@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper: it
+prints the same rows/series the paper reports (run with ``pytest -s`` to
+see them) and records the headline numbers in ``benchmark.extra_info`` so
+``--benchmark-json`` output carries the experiment results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.model.spec import ModelSpec
+
+#: Number of sampled batches per workload point (the paper uses 10; the
+#: benchmarks use 3 to keep wall-clock time reasonable — the variance
+#: across warmed batches is small).
+NUM_BATCHES = 3
+
+#: Figure 12 sweep points.
+BATCH_SIZES = (64, 128, 256, 384, 512)
+
+
+def table3_scheme(spec: ModelSpec) -> ParallelismScheme:
+    """The model's default (TP, PP) from Table 3."""
+    return ParallelismScheme(spec.tensor_parallel, spec.pipeline_parallel)
+
+
+def record(benchmark, values: Dict[str, float]) -> None:
+    """Attach experiment outputs to the benchmark JSON."""
+    for key, value in values.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,36 @@
+"""§8.2 area overhead: dual row buffer costs ~3.11% of bank area.
+
+Regenerates the CACTI-methodology estimate: doubling the sense-amplifier
+stripe (plus its latch state) while sharing the mat and decoders.
+"""
+
+from repro.analysis.area import BankAreaModel, dual_row_buffer_area_overhead
+
+from benchmarks.conftest import record
+
+
+def test_area_overhead(benchmark):
+    overhead = benchmark(dual_row_buffer_area_overhead)
+
+    print()
+    print(f"dual row buffer area overhead: {overhead * 100:.2f}% "
+          f"(paper: 3.11%)")
+
+    assert 0.02 < overhead < 0.05
+    record(benchmark, {"area_overhead": overhead})
+
+
+def test_area_overhead_sensitivity(benchmark):
+    """Sweep the latch factor: the overhead stays marginal (< 7%) across
+    the plausible range, supporting the paper's practicality claim."""
+    model = BankAreaModel()
+
+    def run():
+        return {f: model.dual_row_buffer_overhead(f)
+                for f in (0.0, 0.25, 0.5, 1.0)}
+
+    sweep = benchmark(run)
+    for factor, overhead in sweep.items():
+        print(f"latch_factor={factor}: {overhead * 100:.2f}%")
+        assert overhead < 0.07
+    record(benchmark, {f"latch_{f}": o for f, o in sweep.items()})

@@ -1,0 +1,132 @@
+"""Extra ablations beyond the paper's Figure 13.
+
+Design-choice sweeps DESIGN.md calls out:
+
+* channel-balancing policy under increasing sequence-length skew;
+* composite-ISA contribution in isolation (C/A traffic and refresh
+  interaction);
+* DRAM page size sensitivity of the MHA latency estimator;
+* adaptive-SBI fallback vs forced SBI at small batch.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import iteration_throughput
+from repro.analysis.report import format_series, format_table
+from repro.core.binpack import (
+    channel_loads,
+    greedy_min_load_assign,
+    load_imbalance,
+    round_robin_assign,
+)
+from repro.core.config import NeuPimsConfig
+from repro.core.device import NeuPimsDevice
+from repro.core.estimator import MhaLatencyEstimator, analytic_latencies
+from repro.dram.timing import HbmOrganization
+from repro.model.spec import GPT3_7B
+from repro.serving.trace import SHAREGPT, warmed_batch
+
+from benchmarks.conftest import record
+from tests.conftest import make_request
+
+
+def test_balancing_policy_vs_skew(benchmark):
+    """GMLBP's advantage grows with sequence-length skew."""
+    estimator = MhaLatencyEstimator(GPT3_7B, HbmOrganization(),
+                                    analytic_latencies())
+    channels = 16
+
+    def imbalance_gap(sigma, seed):
+        rng = np.random.default_rng(seed)
+        lengths = np.clip(rng.lognormal(np.log(200), sigma, 128),
+                          1, 8192).astype(int)
+        greedy = [make_request(i, input_len=int(n))
+                  for i, n in enumerate(lengths)]
+        rr = [make_request(i, input_len=int(n))
+              for i, n in enumerate(lengths)]
+        greedy_min_load_assign(greedy, estimator, channels)
+        round_robin_assign(rr, channels)
+        return (load_imbalance(channel_loads(rr, estimator, channels))
+                / load_imbalance(channel_loads(greedy, estimator, channels)))
+
+    def run():
+        return {
+            sigma: float(np.mean([imbalance_gap(sigma, seed)
+                                  for seed in range(8)]))
+            for sigma in (0.1, 0.5, 1.0)
+        }
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series("round-robin imbalance / greedy imbalance", gaps))
+    assert gaps[1.0] > gaps[0.1]
+    record(benchmark, {f"sigma_{k}": v for k, v in gaps.items()})
+
+
+def test_composite_isa_isolated(benchmark):
+    """Composite ISA alone (on a DRB device) buys a measurable slice."""
+    batch = warmed_batch(SHAREGPT, 128, seed=5)
+
+    def run():
+        with_isa = NeuPimsDevice(
+            GPT3_7B, NeuPimsConfig(composite_isa=True), tp=4,
+            layers_resident=8)
+        without = NeuPimsDevice(
+            GPT3_7B, NeuPimsConfig(composite_isa=False), tp=4,
+            layers_resident=8)
+        t_with = with_isa.iteration(list(batch)).latency
+        t_without = without.iteration(list(batch)).latency
+        return t_without / t_with
+
+    gain = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ncomposite ISA speedup on NeuPIMs: {gain:.3f}x")
+    assert gain >= 1.0
+    record(benchmark, {"composite_isa_gain": gain})
+
+
+def test_page_size_sensitivity(benchmark):
+    """Larger DRAM pages amortize GWRITEs but waste partial pages."""
+    def run():
+        results = {}
+        for page_bytes in (512, 1024, 2048):
+            org = HbmOrganization(page_bytes=page_bytes)
+            estimator = MhaLatencyEstimator(
+                GPT3_7B, org, analytic_latencies(org=org))
+            results[page_bytes] = estimator.estimate(384)
+        return results
+
+    estimates = benchmark(run)
+    print()
+    print(format_series("MHA estimate (cycles) vs page size", estimates))
+    assert all(v > 0 for v in estimates.values())
+    record(benchmark, {f"page_{k}": v for k, v in estimates.items()})
+
+
+def test_adaptive_sbi_fallback(benchmark):
+    """Adaptive SBI matches serialized execution at small batch and
+    forced SBI at large batch — the best of Figure 13's two regimes."""
+    def throughput(config, batch_size, seed):
+        device = NeuPimsDevice(GPT3_7B, config, tp=4, layers_resident=8)
+        batch = warmed_batch(SHAREGPT, batch_size, seed=seed)
+        return iteration_throughput(device.iteration(batch), batch_size)
+
+    def run():
+        rows = []
+        for batch_size in (32, 256, 512):
+            adaptive = throughput(NeuPimsConfig(), batch_size, 7)
+            forced = throughput(NeuPimsConfig(adaptive_sbi=False),
+                                batch_size, 7)
+            serialized = throughput(
+                NeuPimsConfig(sub_batch_interleaving=False), batch_size, 7)
+            rows.append((batch_size, adaptive, forced, serialized))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(["batch", "adaptive", "forced SBI", "serialized"],
+                       [(b, round(a), round(f), round(s))
+                        for b, a, f, s in rows],
+                       title="Adaptive SBI ablation (tokens/s)"))
+    for batch_size, adaptive, forced, serialized in rows:
+        assert adaptive >= max(forced, serialized) * 0.999
+    record(benchmark, {f"adaptive_{b}": a for b, a, _, _ in rows})

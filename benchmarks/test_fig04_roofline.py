@@ -1,0 +1,43 @@
+"""Figure 4: arithmetic intensities of LLM layers on the device roofline.
+
+Regenerates the roofline coordinates for GPT3-13B and GPT3-175B: the
+``Logit, Attend`` operators of the generation phase sit deep in the
+memory-bound region while the summarization phase and the batched
+weight-activation GEMMs are compute-bound.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.model.roofline import roofline_points
+from repro.model.spec import GPT3_13B, GPT3_175B
+
+from benchmarks.conftest import record
+
+
+@pytest.mark.parametrize("spec", [GPT3_13B, GPT3_175B],
+                         ids=lambda s: s.name)
+def test_fig04_roofline(benchmark, spec):
+    points = benchmark(roofline_points, spec, 64, 256)
+
+    rows = [
+        (p.phase, p.label, round(p.arithmetic_intensity, 2),
+         round(p.attainable_tflops, 1), p.bound)
+        for p in points
+    ]
+    print()
+    print(format_table(
+        ["phase", "operators", "FLOPs/byte", "attainable TFLOPS", "bound"],
+        rows, title=f"Figure 4 — {spec.name} roofline points"))
+
+    gen_mha = next(p for p in points
+                   if p.phase == "generation" and "Logit" in p.label)
+    sum_gemm = next(p for p in points
+                    if p.phase == "summarization" and "QKV" in p.label)
+    # Paper shape: generation MHA memory-bound, summarization compute-bound.
+    assert gen_mha.bound == "memory"
+    assert sum_gemm.bound == "compute"
+    record(benchmark, {
+        "generation_mha_intensity": gen_mha.arithmetic_intensity,
+        "summarization_gemm_intensity": sum_gemm.arithmetic_intensity,
+    })

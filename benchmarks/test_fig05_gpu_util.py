@@ -1,0 +1,47 @@
+"""Figure 5: GPU resource utilization for four open LLMs.
+
+Regenerates the compute / bandwidth / capacity utilization bars for
+GPT-NeoX, LLaMA2, OPT and MPT on RTX 3090- and A100-class GPU clusters.
+Paper shape: capacity approaches 100% (cluster size is capacity-driven)
+while compute utilization stays below 40%.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.baselines.gpu import A100_40GB, RTX3090_24GB, gpu_cluster_utilization
+from repro.model.spec import GPT_NEOX_20B, LLAMA2_13B, MPT_30B, OPT_30B
+
+from benchmarks.conftest import record
+
+MODELS = (GPT_NEOX_20B, LLAMA2_13B, OPT_30B, MPT_30B)
+
+
+@pytest.mark.parametrize("gpu,gpu_name", [(RTX3090_24GB, "RTX 3090"),
+                                          (A100_40GB, "A100")],
+                         ids=["rtx3090", "a100"])
+def test_fig05_gpu_utilization(benchmark, gpu, gpu_name):
+    def run():
+        return {spec.name: gpu_cluster_utilization(spec, gpu)
+                for spec in MODELS}
+
+    results = benchmark(run)
+
+    rows = [
+        (name, round(util["compute"], 3), round(util["bandwidth"], 3),
+         round(util["capacity"], 3), int(util["num_gpus"]))
+        for name, util in results.items()
+    ]
+    print()
+    print(format_table(
+        ["model", "compute", "bandwidth", "capacity", "GPUs"],
+        rows, title=f"Figure 5 — GPU utilization ({gpu_name})"))
+
+    for name, util in results.items():
+        # Paper shape: compute < 40%, capacity high.
+        assert util["compute"] < 0.4, name
+        assert util["capacity"] > 0.55, name
+    record(benchmark, {
+        f"{name}.compute": util["compute"]
+        for name, util in results.items()
+    })

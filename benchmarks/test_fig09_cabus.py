@@ -1,0 +1,58 @@
+"""Figure 9: C/A bus traffic — fine-grained PIM commands vs PIM_GEMV.
+
+Regenerates the command-timing comparison: the baseline encoding drives a
+GEMV with per-wave PIM_ACTIVATION / PIM_DOTPRODUCT commands (heavy C/A
+traffic), while the NeuPIMs composite PIM_GEMV encoding issues a constant
+number of commands, leaving the bus idle for concurrent memory commands.
+"""
+
+from repro.analysis.report import format_table
+from repro.dram.timing import HbmOrganization
+from repro.pim.engine import measure_gemv_latency
+from repro.pim.gemv import GemvOp, command_count
+
+from benchmarks.conftest import record
+
+
+def test_fig09_ca_bus_traffic(benchmark):
+    org = HbmOrganization()
+    # A ShareGPT-sized logit GEMV: seq 384 x 32 heads rows, head_dim cols.
+    op = GemvOp(rows=384 * 32, cols=128, tag="logit")
+
+    def run():
+        fine_latency, fine_ctrl = measure_gemv_latency(
+            op, composite=False, refresh=False)
+        comp_latency, comp_ctrl = measure_gemv_latency(
+            op, composite=True, refresh=False)
+        return fine_latency, fine_ctrl, comp_latency, comp_ctrl
+
+    fine_latency, fine_ctrl, comp_latency, comp_ctrl = benchmark(run)
+
+    fine_cmds = command_count(op, org, composite=False)
+    comp_cmds = command_count(op, org, composite=True)
+    fine_busy = fine_ctrl.channel.ca_busy_cycles
+    comp_busy = comp_ctrl.channel.ca_busy_cycles
+    fine_idle = 1.0 - fine_ctrl.channel.ca_utilization(fine_latency)
+    comp_idle = 1.0 - comp_ctrl.channel.ca_utilization(comp_latency)
+
+    rows = [
+        ("fine-grained (Newton)", fine_cmds, round(fine_busy),
+         round(fine_latency), round(fine_idle, 4)),
+        ("composite (NeuPIMs)", comp_cmds, round(comp_busy),
+         round(comp_latency), round(comp_idle, 4)),
+    ]
+    print()
+    print(format_table(
+        ["encoding", "C/A commands", "bus busy (cyc)", "GEMV latency (cyc)",
+         "bus idle fraction"],
+        rows, title="Figure 9 — C/A bus occupancy per GEMV"))
+
+    # Paper shape: composite slashes command traffic and frees the bus.
+    assert comp_cmds < fine_cmds / 20
+    assert comp_busy < fine_busy / 10
+    assert comp_idle > fine_idle
+    assert comp_latency <= fine_latency
+    record(benchmark, {
+        "fine_commands": fine_cmds, "composite_commands": comp_cmds,
+        "fine_bus_busy": fine_busy, "composite_bus_busy": comp_busy,
+    })

@@ -1,0 +1,65 @@
+"""Figure 12: end-to-end throughput of GPU-only / NPU-only / NPU+PIM /
+NeuPIMs across models, datasets and batch sizes.
+
+Regenerates all ten panels: {GPT3-7B, 13B, 30B, 175B} x {Alpaca, ShareGPT}
+x batch sizes {64, 128, 256, 384, 512}, printing tokens/s per system.
+Paper shape: NeuPIMs > NPU+PIM > NPU-only ≈ GPU-only everywhere, with
+gains growing with batch size and larger on ShareGPT.
+"""
+
+import pytest
+
+from repro.analysis.metrics import compare_systems
+from repro.analysis.report import format_table, geomean
+from repro.model.spec import GPT3_7B, GPT3_13B, GPT3_30B, GPT3_175B
+from repro.serving.trace import ALPACA, SHAREGPT
+
+from benchmarks.conftest import BATCH_SIZES, NUM_BATCHES, record
+
+MODELS = (GPT3_7B, GPT3_13B, GPT3_30B, GPT3_175B)
+SYSTEMS = ("GPU-only", "NPU-only", "NPU+PIM", "NeuPIMs")
+
+
+@pytest.mark.parametrize("trace", [ALPACA, SHAREGPT], ids=lambda t: t.name)
+@pytest.mark.parametrize("spec", MODELS, ids=lambda s: s.name)
+def test_fig12_throughput(benchmark, spec, trace):
+    layers = spec.layers_per_stage(spec.pipeline_parallel)
+
+    def run():
+        results = {}
+        for batch_size in BATCH_SIZES:
+            results[batch_size] = compare_systems(
+                spec, trace, batch_size, tp=spec.tensor_parallel,
+                layers_resident=layers, num_batches=NUM_BATCHES, seed=1)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for batch_size, point in results.items():
+        rows.append([batch_size] + [
+            round(point[name].tokens_per_second) for name in SYSTEMS])
+    print()
+    print(format_table(
+        ["batch"] + list(SYSTEMS), rows,
+        title=f"Figure 12 — throughput (tokens/s), {spec.name}, {trace.name}"))
+
+    speedups_vs_naive = []
+    for batch_size, point in results.items():
+        neupims = point["NeuPIMs"].tokens_per_second
+        naive = point["NPU+PIM"].tokens_per_second
+        npu = point["NPU-only"].tokens_per_second
+        gpu = point["GPU-only"].tokens_per_second
+        # Paper shape per panel.
+        assert neupims > naive, f"B={batch_size}"
+        assert neupims > npu, f"B={batch_size}"
+        assert naive >= 0.9 * npu, f"B={batch_size}"
+        assert 0.3 * npu < gpu < 1.5 * npu, f"B={batch_size}"
+        speedups_vs_naive.append(neupims / naive)
+
+    # Gains grow with batch size.
+    assert speedups_vs_naive[-1] > speedups_vs_naive[0] * 0.95
+    record(benchmark, {
+        "geomean_speedup_vs_npu_pim": geomean(speedups_vs_naive),
+        "max_speedup_vs_npu_pim": max(speedups_vs_naive),
+    })

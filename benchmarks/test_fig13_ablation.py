@@ -1,0 +1,72 @@
+"""Figure 13: ablation study — DRB, GMLBP and SBI stacked on NPU+PIM.
+
+Regenerates the throughput-improvement bars for GPT3-7B / ShareGPT across
+batch sizes: dual row buffers give the largest single gain (paper: ~70%
+on average), greedy min-load bin packing always helps, and sub-batch
+interleaving wins for batch sizes >= 256.
+"""
+
+from repro.analysis.metrics import iteration_throughput
+from repro.analysis.report import format_table
+from repro.baselines.npu_pim import ablation_device
+from repro.model.spec import GPT3_7B
+from repro.serving.trace import SHAREGPT, sample_batches
+
+from benchmarks.conftest import BATCH_SIZES, NUM_BATCHES, record
+
+CONFIGS = (
+    ("NPU+PIM", {}),
+    ("+DRB", {"dual_row_buffer": True}),
+    ("+DRB+GMLBP", {"dual_row_buffer": True, "greedy_binpack": True}),
+    ("+DRB+GMLBP+SBI", {"dual_row_buffer": True, "greedy_binpack": True,
+                        "sub_batch_interleaving": True}),
+)
+
+
+def _throughput(flags, batch_size, seed=0):
+    device = ablation_device(GPT3_7B, tp=4, layers_resident=8, **flags)
+    batches = sample_batches(SHAREGPT, batch_size, NUM_BATCHES, seed=seed)
+    values = []
+    for batch in batches:
+        result = device.iteration(batch)
+        values.append(iteration_throughput(result, len(batch)))
+    return sum(values) / len(values)
+
+
+def test_fig13_ablation(benchmark):
+    def run():
+        table = {}
+        for batch_size in BATCH_SIZES:
+            base = _throughput(CONFIGS[0][1], batch_size)
+            table[batch_size] = {
+                name: _throughput(flags, batch_size) / base
+                for name, flags in CONFIGS
+            }
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[f"B={b}"] + [round(table[b][name], 2)
+                          for name, _ in CONFIGS]
+            for b in BATCH_SIZES]
+    print()
+    print(format_table(["batch"] + [name for name, _ in CONFIGS], rows,
+                       title="Figure 13 — throughput improvement over "
+                             "NPU+PIM (GPT3-7B, ShareGPT)"))
+
+    drb_gains = [table[b]["+DRB"] for b in BATCH_SIZES]
+    for batch_size in BATCH_SIZES:
+        point = table[batch_size]
+        # DRB always helps; GMLBP never hurts; full stack >= DRB+GMLBP - eps.
+        assert point["+DRB"] > 1.05
+        assert point["+DRB+GMLBP"] >= point["+DRB"] * 0.999
+        assert point["+DRB+GMLBP+SBI"] >= point["+DRB+GMLBP"] * 0.999
+    # SBI's benefit appears at large batch sizes (paper: B >= 256).
+    assert table[512]["+DRB+GMLBP+SBI"] > table[512]["+DRB+GMLBP"] * 1.05
+    # DRB average gain in the paper's ballpark (69.7%).
+    avg_drb = sum(drb_gains) / len(drb_gains)
+    assert 1.2 < avg_drb < 2.6
+    record(benchmark, {"avg_drb_gain": avg_drb,
+                       "sbi_gain_at_512":
+                           table[512]["+DRB+GMLBP+SBI"]
+                           / table[512]["+DRB+GMLBP"]})

@@ -1,0 +1,81 @@
+"""Figure 14: multi-NeuPIMs throughput across (TP, PP) schemes.
+
+Regenerates the parallelization-scheme sweep: 256 total requests served by
+4 / 8 / 16 / 64 NeuPIMs devices under different tensor/pipeline splits.
+Paper shape: TP-heavy schemes beat PP-heavy ones at equal device count
+because they keep the per-device batch large.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.model.spec import GPT3_7B, GPT3_175B
+from repro.serving.trace import SHAREGPT, warmed_batch
+
+from benchmarks.conftest import record
+
+TOTAL_REQUESTS = 256
+
+#: (device count, [(tp, pp), ...]) — the paper's x-axis groups.
+SCHEMES = (
+    (4, [(4, 1), (2, 2)]),
+    (8, [(8, 1), (4, 2)]),
+    (16, [(8, 2), (4, 4)]),
+    (64, [(16, 4), (8, 8)]),
+)
+
+
+def _throughput(spec, tp, pp):
+    system = NeuPimsSystem(spec, ParallelismScheme(tp, pp))
+    batch = warmed_batch(SHAREGPT, TOTAL_REQUESTS, seed=0)
+    return system.throughput_tokens_per_second(batch) / 1e3
+
+
+def test_fig14_parallelism_schemes(benchmark):
+    spec = GPT3_7B
+
+    def run():
+        table = {}
+        for devices, combos in SCHEMES:
+            for tp, pp in combos:
+                if spec.num_heads % tp:
+                    continue
+                table[(devices, tp, pp)] = _throughput(spec, tp, pp)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [(f"{devices} devices", f"(TP={tp}, PP={pp})", round(value, 1))
+            for (devices, tp, pp), value in table.items()]
+    print()
+    print(format_table(["cluster", "scheme", "throughput (k tok/s)"], rows,
+                       title="Figure 14 — multi-NeuPIMs throughput, "
+                             "256 requests"))
+
+    # Paper shape: at each device count, the TP-heavy scheme wins.
+    for devices, combos in SCHEMES:
+        values = [table[(devices, tp, pp)] for tp, pp in combos
+                  if (devices, tp, pp) in table]
+        if len(values) == 2:
+            assert values[0] >= values[1], f"{devices} devices"
+    record(benchmark, {f"tp{tp}_pp{pp}": v
+                       for (_, tp, pp), v in table.items()})
+
+
+def test_fig14_large_model(benchmark):
+    """The same preference holds for GPT3-175B (TP=8/PP=4 default)."""
+    spec = GPT3_175B
+
+    def run():
+        return {
+            (8, 4): _throughput(spec, 8, 4),
+            (4, 8): _throughput(spec, 4, 8),
+        }
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["scheme", "throughput (k tok/s)"],
+        [(f"(TP={tp}, PP={pp})", round(v, 1)) for (tp, pp), v in table.items()],
+        title="Figure 14 — GPT3-175B, 32 devices"))
+    assert table[(8, 4)] >= table[(4, 8)]
+    record(benchmark, {"tp8_pp4": table[(8, 4)], "tp4_pp8": table[(4, 8)]})

@@ -1,0 +1,52 @@
+"""Figure 15: NeuPIMs speedup over TransPIM.
+
+Regenerates the speedup bars for both datasets across batch sizes.  Paper
+shape: two orders of magnitude (79x-431x, average 228x), growing with
+batch size — TransPIM's single-request token dataflow cannot batch, so
+the gap is essentially the batch size itself plus the GEMM-rate deficit.
+"""
+
+import pytest
+
+from repro.analysis.metrics import iteration_throughput
+from repro.analysis.report import format_series, geomean
+from repro.baselines.transpim import TransPimDevice
+from repro.core.device import NeuPimsDevice
+from repro.model.spec import GPT3_7B
+from repro.serving.trace import ALPACA, SHAREGPT, sample_batches
+
+from benchmarks.conftest import BATCH_SIZES, record
+
+
+@pytest.mark.parametrize("trace", [ALPACA, SHAREGPT], ids=lambda t: t.name)
+def test_fig15_transpim_speedup(benchmark, trace):
+    neupims = NeuPimsDevice(GPT3_7B, tp=1, layers_resident=8)
+    transpim = TransPimDevice(GPT3_7B, layers_resident=8)
+
+    def run():
+        speedups = {}
+        for batch_size in BATCH_SIZES:
+            batches = sample_batches(trace, batch_size, 2, seed=11)
+            ratio = []
+            for batch in batches:
+                t_neu = iteration_throughput(neupims.iteration(batch),
+                                             len(batch))
+                t_trans = iteration_throughput(transpim.iteration(batch),
+                                               len(batch))
+                ratio.append(t_neu / t_trans)
+            speedups[batch_size] = sum(ratio) / len(ratio)
+        return speedups
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(format_series(f"Figure 15 — NeuPIMs speedup over TransPIM "
+                        f"({trace.name})", speedups, unit="x"))
+
+    ordered = [speedups[b] for b in BATCH_SIZES]
+    # Paper shape: speedup grows with batch size and is >> 10x.
+    assert ordered[-1] > ordered[0]
+    assert all(s > 10 for s in ordered)
+    assert ordered[-1] > 100
+    record(benchmark, {"geomean_speedup": geomean(ordered),
+                       "max_speedup": max(ordered)})

@@ -1,0 +1,43 @@
+"""Calibration-sensitivity tornado: do the conclusions survive the knobs?
+
+Perturbs every fidelity parameter DESIGN.md §6 calls out (bus width, PIM
+MAC pacing, blocked-mode overhead, bandwidth derate) by 2x in each
+direction and re-measures the NeuPIMs-over-naive speedup.  The headline
+conclusion — NeuPIMs beats the naive NPU+PIM integration — must hold at
+*every* setting.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sensitivity import (
+    conclusion_robust,
+    sensitivity_sweep,
+    tornado_table,
+)
+
+from benchmarks.conftest import record
+
+
+def test_sensitivity_tornado(benchmark):
+    points = benchmark.pedantic(sensitivity_sweep, rounds=1, iterations=1)
+
+    table = tornado_table(points)
+    rows = []
+    for knob, by_scale in sorted(table.items()):
+        scales = sorted(by_scale)
+        rows.append([knob] + [f"{by_scale[s]:.2f}x @ {s}x" for s in scales])
+    width = max(len(r) for r in rows)
+    headers = ["knob"] + [f"setting {i}" for i in range(1, width)]
+    rows = [r + [""] * (width - len(r)) for r in rows]
+    print()
+    print(format_table(headers, rows,
+                       title="Calibration sensitivity — NeuPIMs speedup "
+                             "over naive NPU+PIM (GPT3-7B, B=256, ShareGPT)"))
+
+    assert conclusion_robust(points, threshold=1.0), \
+        "NeuPIMs lost to the naive integration under some calibration"
+    speedups = [p.speedup_vs_naive for p in points]
+    spread = max(speedups) / min(speedups)
+    print(f"speedup range: {min(speedups):.2f}x - {max(speedups):.2f}x "
+          f"(spread {spread:.2f}x)")
+    record(benchmark, {"min_speedup": min(speedups),
+                       "max_speedup": max(speedups)})

@@ -1,0 +1,49 @@
+"""Table 4: average NPU / PIM compute and bandwidth utilization.
+
+Regenerates the utilization table for GPT3-30B, batch 256, ShareGPT:
+NPU-only -> NPU+PIM -> NeuPIMs raises NPU utilization (paper: 12.3% ->
+28.0% -> 64.9%) and PIM utilization (- -> 17.0% -> 26.4%).
+"""
+
+from repro.analysis.metrics import compare_systems
+from repro.analysis.report import format_table
+from repro.model.spec import GPT3_30B
+from repro.serving.trace import SHAREGPT
+
+from benchmarks.conftest import NUM_BATCHES, record
+
+
+def test_tab04_utilization(benchmark):
+    def run():
+        return compare_systems(GPT3_30B, SHAREGPT, batch_size=256,
+                               tp=4, layers_resident=24,
+                               num_batches=NUM_BATCHES, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("NPU-only", "NPU+PIM", "NeuPIMs"):
+        util = results[name].utilization
+        rows.append((name, round(util.get("npu", 0.0), 3),
+                     round(util.get("pim", 0.0), 3),
+                     round(util.get("bandwidth", 0.0), 3)))
+    print()
+    print(format_table(["system", "NPU", "PIM", "bandwidth"], rows,
+                       title="Table 4 — utilization "
+                             "(GPT3-30B, B=256, ShareGPT)"))
+
+    npu_only = results["NPU-only"].utilization
+    naive = results["NPU+PIM"].utilization
+    neupims = results["NeuPIMs"].utilization
+
+    # Paper shape: each step raises NPU utilization; NeuPIMs raises PIM
+    # utilization over the naive integration.
+    assert npu_only["npu"] < naive["npu"] < neupims["npu"]
+    assert neupims["pim"] > naive["pim"]
+    # NPU-only burns bandwidth on MHA; naive NPU+PIM leaves it idle.
+    assert naive["bandwidth"] < npu_only["bandwidth"]
+    record(benchmark, {
+        f"{name}.{resource}": results[name].utilization.get(resource, 0.0)
+        for name in ("NPU-only", "NPU+PIM", "NeuPIMs")
+        for resource in ("npu", "pim", "bandwidth")
+    })

@@ -1,0 +1,59 @@
+"""§9 discussion: NeuPIMs' (in)efficiency for model training.
+
+Quantifies the paper's training argument: training steps are GEMM-only
+(fixed-length sequences, matrix-matrix attention), so the PIM has nothing
+to accelerate and the NeuPIMs speedup ceiling over NPU-only is ~1.0 —
+versus the large GEMV time share of generation-phase inference.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.training import (
+    inference_vs_training_pim_value,
+    profile_training_step,
+)
+from repro.model.spec import GPT3_7B, GPT3_13B
+
+from benchmarks.conftest import record
+
+
+def test_training_vs_inference_pim_value(benchmark):
+    def run():
+        return {
+            spec.name: inference_vs_training_pim_value(spec, batch_size=64,
+                                                       seq_len=384)
+            for spec in (GPT3_7B, GPT3_13B)
+        }
+
+    contrast = benchmark(run)
+
+    rows = [
+        (name,
+         f"{v['inference_gemv_time_share']:.1%}",
+         f"{v['training_gemv_time_share']:.1%}",
+         round(v["training_speedup_ceiling"], 3))
+        for name, v in contrast.items()
+    ]
+    print()
+    print(format_table(
+        ["model", "inference GEMV time share", "training GEMV time share",
+         "training speedup ceiling"],
+        rows, title="§9 — PIM value: inference vs training"))
+
+    for name, v in contrast.items():
+        assert v["inference_gemv_time_share"] > 0.3, name
+        assert v["training_gemv_time_share"] == 0.0, name
+        assert abs(v["training_speedup_ceiling"] - 1.0) < 1e-6, name
+    record(benchmark, {
+        f"{name}.inference_share": v["inference_gemv_time_share"]
+        for name, v in contrast.items()
+    })
+
+
+def test_training_step_profile(benchmark):
+    profile = benchmark(profile_training_step, GPT3_7B, 8, 512)
+    print(f"\nGPT3-7B training step (B=8, seq 512): "
+          f"{profile.gemm_flops / 1e12:.1f} TFLOP GEMM, "
+          f"{profile.gemv_flops:.0f} FLOP GEMV, "
+          f"ceiling {profile.neupims_speedup_ceiling:.3f}x")
+    assert profile.gemv_fraction == 0.0
+    record(benchmark, {"gemm_tflops": profile.gemm_flops / 1e12})

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Deployment planning: pick (TP, PP, batch) for a model and device budget.
+
+Uses the planner to enumerate feasible configurations of a NeuPIMs
+cluster for GPT3-13B on ShareGPT traffic, under an optional per-token
+latency SLO, and prints the decision table.
+
+Run:  python examples/capacity_planner.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.planner import plan_deployment
+from repro.model.spec import GPT3_13B, GPT3_175B
+from repro.serving.trace import SHAREGPT
+
+
+def plan_and_print(spec, max_devices, slo_ms=None):
+    label = f"{spec.name}, up to {max_devices} devices"
+    if slo_ms is not None:
+        label += f", iteration SLO {slo_ms} ms"
+    plan = plan_deployment(spec, SHAREGPT, max_devices=max_devices,
+                           batch_sizes=[64, 128, 256, 512],
+                           max_iteration_latency_ms=slo_ms)
+
+    rows = []
+    for point in sorted(plan.points,
+                        key=lambda p: -p.throughput_tokens_per_second)[:10]:
+        rows.append((
+            f"(TP={point.tp}, PP={point.pp})", point.batch_size,
+            point.devices,
+            round(point.throughput_tokens_per_second / 1e3, 1),
+            round(point.iteration_latency_ms, 2),
+            "yes" if point.feasible else "no",
+        ))
+    print(format_table(
+        ["scheme", "batch", "devices", "k tokens/s", "iter ms", "feasible"],
+        rows, title=label))
+    if plan.best is None:
+        print("-> no feasible configuration\n")
+    else:
+        best = plan.best
+        print(f"-> chosen: (TP={best.tp}, PP={best.pp}) batch "
+              f"{best.batch_size}: "
+              f"{best.throughput_tokens_per_second / 1e3:.1f}k tokens/s\n")
+
+
+def main() -> None:
+    plan_and_print(GPT3_13B, max_devices=4)
+    plan_and_print(GPT3_13B, max_devices=4, slo_ms=10.0)
+    # 175B needs many devices before anything is feasible.
+    plan_and_print(GPT3_175B, max_devices=32)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Design-space sweep: batch sizes, datasets and parallelism schemes.
+
+Reproduces the decision surface a deployment would care about: how the
+four systems compare across batch sizes on both datasets (Figure 12), and
+how tensor vs pipeline parallelism trade off at a fixed request count
+(Figure 14).
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro.analysis.metrics import compare_systems
+from repro.analysis.report import format_table
+from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.model.spec import GPT3_7B, GPT3_30B
+from repro.serving.trace import ALPACA, SHAREGPT, warmed_batch
+
+
+def throughput_sweep() -> None:
+    spec = GPT3_7B
+    print(f"== throughput sweep ({spec.name}, TP=4) ==\n")
+    for trace in (ALPACA, SHAREGPT):
+        rows = []
+        for batch_size in (64, 128, 256, 512):
+            results = compare_systems(spec, trace, batch_size, tp=4,
+                                      layers_resident=8, num_batches=3)
+            npu = results["NPU-only"].tokens_per_second
+            rows.append((
+                batch_size,
+                round(results["GPU-only"].tokens_per_second / npu, 2),
+                1.0,
+                round(results["NPU+PIM"].tokens_per_second / npu, 2),
+                round(results["NeuPIMs"].tokens_per_second / npu, 2),
+            ))
+        print(format_table(
+            ["batch", "GPU-only", "NPU-only", "NPU+PIM", "NeuPIMs"],
+            rows, title=f"normalized throughput — {trace.name}"))
+        print()
+
+
+def parallelism_sweep() -> None:
+    spec = GPT3_30B
+    total_requests = 256
+    print(f"== parallelism sweep ({spec.name}, {total_requests} requests) ==\n")
+    rows = []
+    for tp, pp in ((4, 1), (2, 2), (8, 1), (4, 2), (8, 2), (4, 4)):
+        if spec.num_heads % tp:
+            continue
+        system = NeuPimsSystem(spec, ParallelismScheme(tp, pp))
+        batch = warmed_batch(SHAREGPT, total_requests, seed=0)
+        tokens_per_s = system.throughput_tokens_per_second(batch)
+        rows.append((f"(TP={tp}, PP={pp})", tp * pp,
+                     round(tokens_per_s / 1e3, 1)))
+    print(format_table(["scheme", "devices", "throughput (k tokens/s)"],
+                       rows))
+    print("\nTP-heavy schemes keep the per-device batch large, matching the")
+    print("paper's preference for tensor over pipeline parallelism (§7).")
+
+
+def main() -> None:
+    throughput_sweep()
+    parallelism_sweep()
+
+
+if __name__ == "__main__":
+    main()

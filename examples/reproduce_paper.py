@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Reproduce every headline claim of the paper in one run.
+
+Runs the fast validation suite over all reproduced artifacts — the
+roofline (Fig. 4), the composite ISA (Fig. 9), MHA overlap (Fig. 10), the
+throughput ordering (Fig. 12), utilization (Table 4), the ablation
+(Fig. 13), parallelism preference (Fig. 14), the TransPIM gap (Fig. 15)
+and the area overhead — and prints a pass/fail table.  For the full
+tables and figures run ``pytest benchmarks/ --benchmark-only -s``.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.analysis.validate import validate_all
+
+
+def main() -> int:
+    results = validate_all()
+    rows = [
+        (r.name, r.claim, r.measured, "PASS" if r.passed else "FAIL")
+        for r in results
+    ]
+    print(format_table(["artifact", "claim", "measured", "status"], rows,
+                       title="NeuPIMs reproduction — claim validation"))
+    failed = [r for r in results if not r.passed]
+    print(f"\n{len(results) - len(failed)}/{len(results)} claims validated")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

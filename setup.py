@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses this via the legacy code path; package metadata
+lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

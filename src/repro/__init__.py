@@ -1,0 +1,40 @@
+"""NeuPIMs reproduction: NPU-PIM heterogeneous acceleration for batched
+LLM inferencing (Heo et al., ASPLOS 2024).
+
+Public API highlights
+---------------------
+* :class:`repro.core.NeuPimsDevice` / :class:`repro.core.NeuPimsSystem` —
+  the paper's accelerator and its multi-device scaling.
+* :class:`repro.core.NeuPimsConfig` — hardware parameters + the DRB /
+  GMLBP / SBI feature flags of the ablation study.
+* :mod:`repro.baselines` — GPU-only, NPU-only, naive NPU+PIM, TransPIM.
+* :mod:`repro.serving` — Orca-style iteration scheduling, vLLM-style
+  paged KV cache, ShareGPT/Alpaca traces.
+* :func:`repro.analysis.compare_systems` — the Figure 12 harness.
+"""
+
+from repro.core import (
+    MhaLatencyEstimator,
+    NeuPimsConfig,
+    NeuPimsDevice,
+    NeuPimsSystem,
+    ParallelismScheme,
+)
+from repro.model import ModelSpec, get_model
+from repro.serving import InferenceRequest, get_dataset, warmed_batch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MhaLatencyEstimator",
+    "NeuPimsConfig",
+    "NeuPimsDevice",
+    "NeuPimsSystem",
+    "ParallelismScheme",
+    "ModelSpec",
+    "get_model",
+    "InferenceRequest",
+    "get_dataset",
+    "warmed_batch",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Analysis: measurement harness, area model, report formatting."""
+
+from repro.analysis.area import (
+    BankAreaModel,
+    dual_row_buffer_area_overhead,
+)
+from repro.analysis.metrics import (
+    ThroughputMeasurement,
+    build_standard_devices,
+    compare_systems,
+    iteration_throughput,
+    measure_device,
+)
+from repro.analysis.report import format_series, format_table, geomean, normalize
+
+from repro.analysis.energy import EnergyParams, EnergyReport, iteration_energy
+from repro.analysis.sweep import SweepAxis, SweepResult, pareto_front, run_sweep
+from repro.analysis.training import (
+    inference_vs_training_pim_value,
+    profile_training_step,
+)
+
+from repro.analysis.validate import CheckResult, validate, validate_all
+
+__all__ = [
+    "BankAreaModel",
+    "dual_row_buffer_area_overhead",
+    "ThroughputMeasurement",
+    "build_standard_devices",
+    "compare_systems",
+    "iteration_throughput",
+    "measure_device",
+    "format_series",
+    "format_table",
+    "geomean",
+    "normalize",
+    "EnergyParams",
+    "EnergyReport",
+    "iteration_energy",
+    "SweepAxis",
+    "SweepResult",
+    "pareto_front",
+    "run_sweep",
+    "inference_vs_training_pim_value",
+    "profile_training_step",
+    "CheckResult",
+    "validate",
+    "validate_all",
+]

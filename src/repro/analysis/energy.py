@@ -1,0 +1,106 @@
+"""Energy-per-token analysis combining power and throughput (Table 5).
+
+The paper's power argument: NeuPIMs draws 1.8x the memory power but runs
+2.4x faster, netting ~25% energy per token saved.  This module composes
+the channel power model with the device throughput model to compute that
+trade for arbitrary configurations, and adds an NPU energy estimate so
+device-level energy comparisons are possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.device import IterationResult
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Device-level energy constants.
+
+    ``npu_idle_w`` / ``npu_active_w`` bracket the NPU package power;
+    memory power comes per channel from the DRAM power model.
+    """
+
+    npu_idle_w: float = 60.0
+    npu_active_w: float = 220.0
+    channels: int = 32
+
+    def __post_init__(self) -> None:
+        if self.npu_idle_w < 0 or self.npu_active_w <= 0:
+            raise ValueError("NPU power must be positive")
+        if self.npu_active_w < self.npu_idle_w:
+            raise ValueError("active power below idle power")
+        if self.channels <= 0:
+            raise ValueError("channels must be positive")
+
+
+@dataclass
+class EnergyReport:
+    """Energy accounting of one iteration."""
+
+    iteration_cycles: float
+    tokens: int
+    npu_energy_j: float
+    memory_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.npu_energy_j + self.memory_energy_j
+
+    @property
+    def energy_per_token_mj(self) -> float:
+        if self.tokens <= 0:
+            return 0.0
+        return self.total_energy_j / self.tokens * 1e3
+
+    @property
+    def average_power_w(self) -> float:
+        seconds = self.iteration_cycles * 1e-9
+        if seconds <= 0:
+            return 0.0
+        return self.total_energy_j / seconds
+
+
+def iteration_energy(result: IterationResult, tokens: int,
+                     memory_power_mw_per_channel: float,
+                     params: Optional[EnergyParams] = None) -> EnergyReport:
+    """Energy of one iteration from its utilization profile.
+
+    NPU energy interpolates idle/active power by compute utilization;
+    memory energy uses the measured per-channel average power (from
+    :class:`repro.dram.power.PowerModel`) over the iteration.
+    """
+    if tokens <= 0:
+        raise ValueError("tokens must be positive")
+    if memory_power_mw_per_channel <= 0:
+        raise ValueError("memory power must be positive")
+    params = params or EnergyParams()
+    seconds = result.latency * 1e-9
+    npu_util = result.utilization("npu")
+    npu_power = (params.npu_idle_w
+                 + (params.npu_active_w - params.npu_idle_w) * npu_util)
+    memory_power = memory_power_mw_per_channel * 1e-3 * params.channels
+    return EnergyReport(
+        iteration_cycles=result.latency,
+        tokens=tokens,
+        npu_energy_j=npu_power * seconds,
+        memory_energy_j=memory_power * seconds,
+    )
+
+
+def energy_comparison(results: Dict[str, IterationResult],
+                      tokens: Dict[str, int],
+                      memory_power_mw: Dict[str, float],
+                      params: Optional[EnergyParams] = None
+                      ) -> Dict[str, EnergyReport]:
+    """Energy reports for multiple systems over the same workload."""
+    missing = set(results) - set(tokens) | set(results) - set(memory_power_mw)
+    if missing:
+        raise ValueError(f"missing inputs for systems: {sorted(missing)}")
+    return {
+        name: iteration_energy(result, tokens[name],
+                               memory_power_mw[name], params)
+        for name, result in results.items()
+    }

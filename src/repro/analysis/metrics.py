@@ -1,0 +1,133 @@
+"""End-to-end measurement harness shared by examples and benchmarks.
+
+Implements the paper's workload methodology (§8.1): for each
+(model, dataset, batch size) point, sample ``num_batches`` warmed-up
+batches, run one generation iteration per batch on every system under
+test, and report mean throughput (tokens/second).  The harness is what
+the Figure 12/13/14/15 and Table 4 benchmarks call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import NeuPimsConfig
+from repro.core.device import IterationResult, NeuPimsDevice
+from repro.model.spec import ModelSpec
+from repro.serving.request import InferenceRequest
+from repro.serving.trace import DatasetTrace, sample_batches
+
+#: A device under test: maps a batch to an IterationResult.
+DeviceRunner = Callable[[Sequence[InferenceRequest]], IterationResult]
+
+
+@dataclass
+class ThroughputMeasurement:
+    """Throughput of one system on one workload point."""
+
+    system: str
+    model: str
+    dataset: str
+    batch_size: int
+    tokens_per_second: float
+    utilization: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, other: "ThroughputMeasurement") -> float:
+        """Throughput ratio of this system over ``other``."""
+        if other.tokens_per_second <= 0:
+            return float("inf")
+        return self.tokens_per_second / other.tokens_per_second
+
+
+def iteration_throughput(result: IterationResult, batch_size: int,
+                         clock_hz: float = 1e9) -> float:
+    """Tokens/second of one iteration result (one token per request)."""
+    if result.latency <= 0:
+        return 0.0
+    return batch_size / (result.latency / clock_hz)
+
+
+def measure_device(
+    name: str,
+    runner: DeviceRunner,
+    spec: ModelSpec,
+    trace: DatasetTrace,
+    batch_size: int,
+    num_batches: int = 10,
+    seed: int = 0,
+    config: Optional[NeuPimsConfig] = None,
+    clock_hz: float = 1e9,
+) -> ThroughputMeasurement:
+    """Measure mean throughput and utilization over sampled batches."""
+    batches = sample_batches(trace, batch_size, num_batches, seed=seed)
+    throughputs: List[float] = []
+    busy_acc: Dict[str, float] = {}
+    latency_acc = 0.0
+    bytes_acc = 0.0
+    for batch in batches:
+        result = runner(batch)
+        throughputs.append(iteration_throughput(result, len(batch), clock_hz))
+        latency_acc += result.latency
+        bytes_acc += result.external_bytes
+        for key, value in result.busy.items():
+            busy_acc[key] = busy_acc.get(key, 0.0) + value
+    utilization = {
+        key: min(1.0, value / latency_acc) if latency_acc > 0 else 0.0
+        for key, value in busy_acc.items()
+    }
+    if config is not None and latency_acc > 0:
+        # Bandwidth utilization is reported against *peak* external
+        # bandwidth, matching the paper's Table 4 accounting.
+        seconds = latency_acc / clock_hz
+        utilization["bandwidth"] = min(
+            1.0, bytes_acc / (config.org.total_bandwidth * seconds))
+    return ThroughputMeasurement(
+        system=name,
+        model=spec.name,
+        dataset=trace.name,
+        batch_size=batch_size,
+        tokens_per_second=sum(throughputs) / len(throughputs),
+        utilization=utilization,
+    )
+
+
+def build_standard_devices(spec: ModelSpec, tp: int = 1,
+                           layers_resident: Optional[int] = None
+                           ) -> Dict[str, DeviceRunner]:
+    """The four systems of Figure 12, as runners over one device shard."""
+    from repro.baselines.gpu import GpuOnlyDevice
+    from repro.baselines.npu_only import NpuOnlyDevice
+    from repro.baselines.npu_pim import naive_npu_pim_device
+
+    gpu = GpuOnlyDevice(spec, tp=tp, layers_resident=layers_resident)
+    npu = NpuOnlyDevice(spec, tp=tp, layers_resident=layers_resident)
+    naive = naive_npu_pim_device(spec, tp=tp, layers_resident=layers_resident)
+    neupims = NeuPimsDevice(spec, NeuPimsConfig.neupims(), tp=tp,
+                            layers_resident=layers_resident)
+    return {
+        "GPU-only": gpu.iteration,
+        "NPU-only": npu.iteration,
+        "NPU+PIM": naive.iteration,
+        "NeuPIMs": neupims.iteration,
+    }
+
+
+def compare_systems(
+    spec: ModelSpec,
+    trace: DatasetTrace,
+    batch_size: int,
+    tp: int = 1,
+    layers_resident: Optional[int] = None,
+    num_batches: int = 10,
+    seed: int = 0,
+) -> Dict[str, ThroughputMeasurement]:
+    """Run the Figure 12 comparison for one workload point."""
+    config = NeuPimsConfig()
+    devices = build_standard_devices(spec, tp=tp,
+                                     layers_resident=layers_resident)
+    return {
+        name: measure_device(name, runner, spec, trace, batch_size,
+                             num_batches=num_batches, seed=seed, config=config)
+        for name, runner in devices.items()
+    }

@@ -1,0 +1,73 @@
+"""Plain-text table/series formatting for experiment outputs.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that formatting consistent and easy to
+diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(name: str, points: Mapping[object, float],
+                  unit: str = "") -> str:
+    """Render a named series (one figure line) as ``x -> y`` pairs."""
+    parts = [f"{name}:"]
+    for x, y in points.items():
+        suffix = f" {unit}" if unit else ""
+        parts.append(f"  {x} -> {_fmt(y)}{suffix}")
+    return "\n".join(parts)
+
+
+def normalize(points: Mapping[object, float],
+              baseline_key: object) -> Dict[object, float]:
+    """Normalize a series to one of its entries (speedup plots)."""
+    base = points[baseline_key]
+    if base == 0:
+        raise ValueError("baseline value is zero")
+    return {k: v / base for k, v in points.items()}
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (speedup aggregation)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

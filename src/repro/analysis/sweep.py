@@ -1,0 +1,111 @@
+"""Parameter-sweep utilities for design-space exploration.
+
+Generic cartesian-product sweeps with labelled axes, used by the extra
+ablation benches and the design-space example.  Results collect into a
+flat record list that :func:`repro.analysis.report.format_table` renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter."""
+
+    name: str
+    values: Sequence[Any]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis needs a name")
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has no values")
+
+
+@dataclass
+class SweepResult:
+    """Outcome records of a sweep."""
+
+    axes: List[str]
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    def column(self, name: str) -> List[Any]:
+        """One column (axis or metric) across all records."""
+        return [record[name] for record in self.records]
+
+    def filter(self, **conditions: Any) -> "SweepResult":
+        """Records matching all given axis values."""
+        kept = [r for r in self.records
+                if all(r.get(k) == v for k, v in conditions.items())]
+        return SweepResult(axes=self.axes, records=kept)
+
+    def best(self, metric: str, maximize: bool = True) -> Dict[str, Any]:
+        """The record optimizing ``metric``."""
+        if not self.records:
+            raise ValueError("empty sweep")
+        key = lambda r: r[metric]  # noqa: E731
+        return max(self.records, key=key) if maximize \
+            else min(self.records, key=key)
+
+    def as_rows(self, columns: Sequence[str]) -> List[List[Any]]:
+        """Records projected onto ``columns`` (for table rendering)."""
+        return [[record[c] for c in columns] for record in self.records]
+
+
+def run_sweep(axes: Iterable[SweepAxis],
+              evaluate: Callable[..., Mapping[str, Any]],
+              skip: Callable[..., bool] = None  # type: ignore[assignment]
+              ) -> SweepResult:
+    """Evaluate ``evaluate(**point)`` over the cartesian product of axes.
+
+    ``evaluate`` returns a mapping of metric name to value, merged with
+    the axis values into one record.  ``skip`` filters invalid points
+    (e.g. head counts not divisible by TP).
+    """
+    axes = list(axes)
+    names = [axis.name for axis in axes]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate axis names")
+    result = SweepResult(axes=names)
+    for combo in product(*(axis.values for axis in axes)):
+        point = dict(zip(names, combo))
+        if skip is not None and skip(**point):
+            continue
+        metrics = evaluate(**point)
+        overlap = set(point) & set(metrics)
+        if overlap:
+            raise ValueError(f"metrics shadow axes: {sorted(overlap)}")
+        record = dict(point)
+        record.update(metrics)
+        result.records.append(record)
+    return result
+
+
+def pareto_front(result: SweepResult, objectives: Sequence[str],
+                 maximize: Sequence[bool] = None  # type: ignore[assignment]
+                 ) -> List[Dict[str, Any]]:
+    """Non-dominated records under the given objectives."""
+    if maximize is None:
+        maximize = [True] * len(objectives)
+    if len(maximize) != len(objectives):
+        raise ValueError("maximize flags must match objectives")
+
+    def dominates(a: Mapping[str, Any], b: Mapping[str, Any]) -> bool:
+        at_least_as_good = all(
+            (a[o] >= b[o]) if up else (a[o] <= b[o])
+            for o, up in zip(objectives, maximize))
+        strictly_better = any(
+            (a[o] > b[o]) if up else (a[o] < b[o])
+            for o, up in zip(objectives, maximize))
+        return at_least_as_good and strictly_better
+
+    front = []
+    for candidate in result.records:
+        if not any(dominates(other, candidate)
+                   for other in result.records if other is not candidate):
+            front.append(candidate)
+    return front

@@ -1,0 +1,118 @@
+"""Training-efficiency analysis (paper §9 discussion).
+
+The paper argues NeuPIMs is a poor fit for training: training uses
+fixed-length sequences, so *everything* is GEMM-shaped — there are no
+bandwidth-bound GEMVs for the PIM to accelerate, and the PIM silicon
+idles.  This module quantifies that: the PIM-attributable fraction of a
+training step's work, and the speedup ceiling NeuPIMs has over an
+NPU-only device for training (which Amdahl's law pins near 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import NeuPimsConfig
+from repro.model.layers import decoder_block_operators
+from repro.model.spec import ModelSpec
+from repro.npu.chip import NpuChip
+
+
+@dataclass(frozen=True)
+class TrainingStepProfile:
+    """Work decomposition of one training step (forward + backward)."""
+
+    gemm_flops: float
+    gemv_flops: float
+    total_cycles_npu_only: float
+    pim_accelerable_cycles: float
+
+    @property
+    def gemv_fraction(self) -> float:
+        total = self.gemm_flops + self.gemv_flops
+        return self.gemv_flops / total if total else 0.0
+
+    @property
+    def neupims_speedup_ceiling(self) -> float:
+        """Amdahl bound: even free GEMVs barely help a GEMM-only step."""
+        if self.total_cycles_npu_only <= 0:
+            return 1.0
+        remaining = self.total_cycles_npu_only - self.pim_accelerable_cycles
+        return self.total_cycles_npu_only / max(remaining, 1e-9)
+
+
+def profile_training_step(spec: ModelSpec, batch_size: int, seq_len: int,
+                          tp: int = 1,
+                          config: Optional[NeuPimsConfig] = None
+                          ) -> TrainingStepProfile:
+    """Profile one training step of ``batch_size`` fixed-length sequences.
+
+    Training processes whole sequences like the summarization phase
+    (attention between full matrices -> GEMM), and the backward pass
+    roughly doubles the forward work (2x for dgrad + wgrad combined is
+    modelled as a 3x total-of-forward multiplier, the standard estimate).
+    """
+    if batch_size <= 0 or seq_len <= 0:
+        raise ValueError("batch_size and seq_len must be positive")
+    config = config or NeuPimsConfig()
+    npu = NpuChip(config.npu, config.org, config.bandwidth_derate)
+
+    ops = decoder_block_operators(spec, [seq_len] * batch_size, tp=tp,
+                                  phase="summarization")
+    backward_multiplier = 3.0
+    gemm_flops = sum(op.flops for op in ops) * backward_multiplier \
+        * spec.num_layers
+    # No GEMVs in training: fixed-shape attention is matrix-matrix.
+    gemv_flops = 0.0
+
+    total_cycles = 0.0
+    for op in ops:
+        compute = op.flops / (2 * npu.config.systolic.macs_per_cycle
+                              * npu.config.num_systolic_arrays)
+        memory = npu._bytes_cycles(op.bytes_moved)
+        total_cycles += max(compute, memory)
+    total_cycles *= backward_multiplier * spec.num_layers
+
+    return TrainingStepProfile(
+        gemm_flops=gemm_flops,
+        gemv_flops=gemv_flops,
+        total_cycles_npu_only=total_cycles,
+        pim_accelerable_cycles=0.0,
+    )
+
+
+def inference_vs_training_pim_value(spec: ModelSpec, batch_size: int,
+                                    seq_len: int,
+                                    config: Optional[NeuPimsConfig] = None
+                                    ) -> dict:
+    """Contrast the PIM-accelerable share of inference vs training.
+
+    Returns the fraction of NPU-only execution time attributable to
+    bandwidth-bound MHA GEMVs in each regime — large for generation-phase
+    inference, zero for training (§9's argument in numbers).
+    """
+    config = config or NeuPimsConfig()
+    npu = NpuChip(config.npu, config.org, config.bandwidth_derate)
+
+    gen_ops = decoder_block_operators(spec, [seq_len] * batch_size,
+                                      phase="generation")
+    gemv_cycles = 0.0
+    total = 0.0
+    for op in gen_ops:
+        compute = op.flops / (2 * npu.config.systolic.macs_per_cycle
+                              * npu.config.num_systolic_arrays)
+        memory = npu._bytes_cycles(op.bytes_moved)
+        cycles = max(compute, memory)
+        total += cycles
+        if op.name.startswith(("logit", "attend")):
+            gemv_cycles += cycles
+    inference_share = gemv_cycles / total if total else 0.0
+
+    training = profile_training_step(spec, batch_size, seq_len,
+                                     config=config)
+    return {
+        "inference_gemv_time_share": inference_share,
+        "training_gemv_time_share": training.gemv_fraction,
+        "training_speedup_ceiling": training.neupims_speedup_ceiling,
+    }

@@ -1,0 +1,156 @@
+"""Fast shape validation of every reproduced claim.
+
+A lightweight mirror of the benchmark harness: each check evaluates one
+paper claim at reduced scale and returns pass/fail plus the measured
+value, so `examples/reproduce_paper.py` (and CI) can confirm the whole
+reproduction in seconds without pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.analysis.area import dual_row_buffer_area_overhead
+from repro.analysis.metrics import compare_systems, iteration_throughput
+from repro.baselines.npu_pim import ablation_device
+from repro.baselines.transpim import TransPimDevice
+from repro.core.device import NeuPimsDevice
+from repro.core.overlap import HeadPipelineModel
+from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.model.roofline import roofline_points
+from repro.model.spec import GPT3_7B, GPT3_13B
+from repro.pim.gemv import GemvOp, command_count
+from repro.dram.timing import HbmOrganization
+from repro.serving.trace import SHAREGPT, sample_batches, warmed_batch
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one claim validation."""
+
+    name: str
+    claim: str
+    measured: str
+    passed: bool
+
+
+def _check_fig4() -> CheckResult:
+    points = roofline_points(GPT3_13B, 64, 256)
+    mha = next(p for p in points
+               if p.phase == "generation" and "Logit" in p.label)
+    gemm = next(p for p in points
+                if p.phase == "summarization" and "QKV" in p.label)
+    ok = mha.bound == "memory" and gemm.bound == "compute"
+    return CheckResult(
+        "fig4", "generation MHA memory-bound, summarization compute-bound",
+        f"MHA {mha.arithmetic_intensity:.1f} FLOP/B ({mha.bound}), "
+        f"GEMM {gemm.arithmetic_intensity:.0f} FLOP/B ({gemm.bound})", ok)
+
+
+def _check_fig9() -> CheckResult:
+    op = GemvOp(rows=384 * 32, cols=128)
+    org = HbmOrganization()
+    fine = command_count(op, org, composite=False)
+    comp = command_count(op, org, composite=True)
+    return CheckResult(
+        "fig9", "composite ISA slashes C/A command count",
+        f"{fine} -> {comp} commands", comp * 20 < fine)
+
+
+def _check_fig12() -> CheckResult:
+    results = compare_systems(GPT3_7B, SHAREGPT, 256, tp=4,
+                              layers_resident=2, num_batches=2)
+    neupims = results["NeuPIMs"].tokens_per_second
+    naive = results["NPU+PIM"].tokens_per_second
+    npu = results["NPU-only"].tokens_per_second
+    ok = neupims > naive > 0.9 * npu
+    return CheckResult(
+        "fig12", "NeuPIMs > NPU+PIM >= NPU-only",
+        f"{neupims / npu:.2f}x / {naive / npu:.2f}x / 1.00x", ok)
+
+
+def _check_tab4() -> CheckResult:
+    results = compare_systems(GPT3_7B, SHAREGPT, 256, tp=4,
+                              layers_resident=2, num_batches=2)
+    ok = (results["NPU-only"].utilization["npu"]
+          < results["NPU+PIM"].utilization["npu"]
+          < results["NeuPIMs"].utilization["npu"])
+    chain = " < ".join(
+        f"{results[s].utilization['npu']:.0%}"
+        for s in ("NPU-only", "NPU+PIM", "NeuPIMs"))
+    return CheckResult("tab4", "NPU utilization rises per technique",
+                       chain, ok)
+
+
+def _check_fig13() -> CheckResult:
+    batches = sample_batches(SHAREGPT, 256, 2, seed=0)
+    def throughput(**flags):
+        device = ablation_device(GPT3_7B, tp=4, layers_resident=2, **flags)
+        values = [iteration_throughput(device.iteration(b), len(b))
+                  for b in batches]
+        return sum(values) / len(values)
+    base = throughput()
+    drb = throughput(dual_row_buffer=True)
+    full = throughput(dual_row_buffer=True, greedy_binpack=True,
+                      sub_batch_interleaving=True)
+    ok = drb > base and full > drb
+    return CheckResult("fig13", "DRB then SBI stack gains at B=256",
+                       f"1.00 -> {drb / base:.2f} -> {full / base:.2f}", ok)
+
+
+def _check_fig14() -> CheckResult:
+    batch = warmed_batch(SHAREGPT, 256, seed=0)
+    tp = NeuPimsSystem(GPT3_7B, ParallelismScheme(4, 1))
+    pp = NeuPimsSystem(GPT3_7B, ParallelismScheme(2, 2))
+    t_tp = tp.throughput_tokens_per_second(batch)
+    t_pp = pp.throughput_tokens_per_second(batch)
+    return CheckResult("fig14", "TP-heavy beats PP-heavy at 4 devices",
+                       f"{t_tp / t_pp:.2f}x", t_tp > t_pp)
+
+
+def _check_fig15() -> CheckResult:
+    batch = warmed_batch(SHAREGPT, 128, seed=0)
+    neupims = NeuPimsDevice(GPT3_7B, tp=1, layers_resident=2)
+    transpim = TransPimDevice(GPT3_7B, layers_resident=2)
+    speedup = (transpim.iteration(batch).latency
+               / neupims.iteration(batch).latency)
+    return CheckResult("fig15", "order-of-magnitude gap over TransPIM",
+                       f"{speedup:.0f}x", speedup > 30)
+
+
+def _check_fig10() -> CheckResult:
+    speedup = HeadPipelineModel(GPT3_7B).overlap_speedup(512)
+    return CheckResult("fig10", "head-granularity overlap speeds up MHA",
+                       f"{speedup:.2f}x", speedup > 1.1)
+
+
+def _check_area() -> CheckResult:
+    overhead = dual_row_buffer_area_overhead()
+    return CheckResult("area", "dual row buffer ~3.11% bank area",
+                       f"{overhead:.2%}", 0.02 < overhead < 0.05)
+
+
+_CHECKS: Dict[str, Callable[[], CheckResult]] = {
+    "fig4": _check_fig4,
+    "fig9": _check_fig9,
+    "fig10": _check_fig10,
+    "fig12": _check_fig12,
+    "tab4": _check_tab4,
+    "fig13": _check_fig13,
+    "fig14": _check_fig14,
+    "fig15": _check_fig15,
+    "area": _check_area,
+}
+
+
+def validate_all() -> List[CheckResult]:
+    """Run every claim check; returns the results in a stable order."""
+    return [check() for _, check in sorted(_CHECKS.items())]
+
+
+def validate(name: str) -> CheckResult:
+    """Run one claim check by name."""
+    if name not in _CHECKS:
+        raise KeyError(f"unknown check {name!r}; known: {sorted(_CHECKS)}")
+    return _CHECKS[name]()

@@ -1,0 +1,25 @@
+"""Baseline device models: GPU-only, NPU-only, naive NPU+PIM, TransPIM."""
+
+from repro.baselines.gpu import (
+    A100_40GB,
+    RTX3090_24GB,
+    GpuModel,
+    GpuOnlyDevice,
+    gpu_cluster_utilization,
+)
+from repro.baselines.npu_only import NpuOnlyDevice
+from repro.baselines.npu_pim import ablation_device, naive_npu_pim_device
+from repro.baselines.transpim import TransPimDevice, TransPimModel
+
+__all__ = [
+    "A100_40GB",
+    "RTX3090_24GB",
+    "GpuModel",
+    "GpuOnlyDevice",
+    "gpu_cluster_utilization",
+    "NpuOnlyDevice",
+    "ablation_device",
+    "naive_npu_pim_device",
+    "TransPimDevice",
+    "TransPimModel",
+]

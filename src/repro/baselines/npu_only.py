@@ -1,0 +1,96 @@
+"""NPU-only baseline device (no PIM).
+
+Represents an existing NPU accelerator (TPU-class) with the same memory
+bandwidth as the other alternatives (paper §8.1): GEMMs run on the
+systolic arrays, and the MHA GEMVs run against plain HBM at external
+bandwidth — the bandwidth-bound execution that motivates PIM offload.
+Softmax runs on the GPU-like vector units.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import NeuPimsConfig
+from repro.core.device import IterationResult
+from repro.model.layers import attend_gemv, logit_gemv
+from repro.model.spec import ModelSpec
+from repro.npu.chip import NpuChip
+from repro.serving.request import InferenceRequest
+
+
+class NpuOnlyDevice:
+    """Latency model of the NPU-only baseline.
+
+    The iteration timeline is fully serialized per decoder block (the
+    GEMM -> GEMV dependency of §2.1 admits no overlap on a homogeneous
+    device): QKV GEMM, then per-request logit/softmax/attend on the NPU,
+    then projection + FFNs.
+    """
+
+    def __init__(self, spec: ModelSpec, config: Optional[NeuPimsConfig] = None,
+                 tp: int = 1, layers_resident: Optional[int] = None) -> None:
+        self.spec = spec
+        self.config = config or NeuPimsConfig()
+        self.tp = tp
+        self.layers = (spec.num_layers if layers_resident is None
+                       else layers_resident)
+        if self.layers <= 0:
+            raise ValueError("layers_resident must be positive")
+        self.npu = NpuChip(self.config.npu, self.config.org,
+                           self.config.bandwidth_derate)
+
+    def gemm_stage_cycles(self, batch_tokens: int):
+        """Reuses the NeuPIMs GEMM stage model (identical NPU)."""
+        from repro.core.device import NeuPimsDevice
+        helper = NeuPimsDevice(self.spec, self.config, tp=self.tp,
+                               layers_resident=self.layers)
+        return helper.gemm_stage_cycles(batch_tokens)
+
+    def mha_cycles(self, requests: Sequence[InferenceRequest]):
+        """(latency, external bytes) of MHA against plain HBM.
+
+        Following the paper's MHA accounting (Algorithm 1 operates on the
+        full ``E`` / ``N_head``), attention is not sharded by TP.
+        """
+        dtype = self.spec.dtype_bytes
+        total_cycles = 0.0
+        total_bytes = 0.0
+        softmax = 0.0
+        for request in requests:
+            logit = logit_gemv(self.spec, request.seq_len)
+            attend = attend_gemv(self.spec, request.seq_len)
+            total_cycles += self.npu.gemv_cycles(logit, dtype)
+            total_cycles += self.npu.gemv_cycles(attend, dtype)
+            total_bytes += logit.bytes_moved(dtype) + attend.bytes_moved(dtype)
+            softmax += self.npu.softmax_latency(request.seq_len,
+                                                self.spec.num_heads)
+        # Softmax overlaps the bandwidth-bound GEMV streams on-chip.
+        return max(total_cycles, softmax), total_bytes, softmax
+
+    def iteration(self, requests: Sequence[InferenceRequest]) -> IterationResult:
+        """One generation iteration on the NPU-only device."""
+        if not requests:
+            raise ValueError("empty batch")
+        gemm = self.gemm_stage_cycles(len(requests))
+        t_mha, mha_bytes, softmax = self.mha_cycles(requests)
+        latency = (gemm.qkv_cycles + t_mha + gemm.projffn_cycles) * self.layers
+        # NPU compute is only meaningfully busy during the GEMM stages;
+        # the GEMV stage keeps the arrays nearly idle (its FLOPs are tiny).
+        busy = {
+            "npu": gemm.compute_cycles * self.layers,
+            "npu_vector": softmax * self.layers,
+            "pim": 0.0,
+        }
+        return IterationResult(
+            latency=latency,
+            busy=busy,
+            external_bytes=(gemm.external_bytes + mha_bytes) * self.layers,
+            internal_pim_bytes=0.0,
+        )
+
+    def executor(self):
+        """A BatchExecutor closure over this device."""
+        def run(batch: Sequence[InferenceRequest]) -> float:
+            return self.iteration(batch).latency
+        return run

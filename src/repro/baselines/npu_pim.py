@@ -1,0 +1,55 @@
+"""Naive NPU+PIM baseline (paper §3.2).
+
+Integrates a Newton-class PIM with the NPU *without* any of the NeuPIMs
+techniques: single row buffer per bank (blocked mode), fine-grained PIM
+commands, round-robin channel assignment, and fully serialized NPU / PIM
+execution (Figure 11(a)).  Implemented as a configuration of
+:class:`repro.core.device.NeuPimsDevice` so the ablation study (Figure 13)
+can enable each technique independently from exactly this starting point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import NeuPimsConfig
+from repro.core.device import NeuPimsDevice
+from repro.model.spec import ModelSpec
+
+
+def naive_npu_pim_device(spec: ModelSpec, tp: int = 1,
+                         layers_resident: Optional[int] = None,
+                         config: Optional[NeuPimsConfig] = None
+                         ) -> NeuPimsDevice:
+    """Build the naive NPU+PIM baseline device.
+
+    ``config`` may override hardware parameters; its feature flags are
+    forced to the baseline values.
+    """
+    base = config or NeuPimsConfig()
+    naive = base.with_features(dual_row_buffer=False, composite_isa=False,
+                               greedy_binpack=False,
+                               sub_batch_interleaving=False)
+    return NeuPimsDevice(spec, naive, tp=tp, layers_resident=layers_resident)
+
+
+def ablation_device(spec: ModelSpec, *, dual_row_buffer: bool = False,
+                    greedy_binpack: bool = False,
+                    sub_batch_interleaving: bool = False,
+                    tp: int = 1,
+                    layers_resident: Optional[int] = None) -> NeuPimsDevice:
+    """Build an ablation point for Figure 13.
+
+    The figure's configurations stack techniques in order: NPU+PIM (all
+    off) -> +DRB -> +DRB+GMLBP -> +DRB+GMLBP+SBI.  The composite ISA ships
+    with the dual-row-buffer bank (it exists to keep the shared C/A bus
+    off the critical path once both flows run concurrently), so it toggles
+    together with ``dual_row_buffer``.
+    """
+    config = NeuPimsConfig(
+        dual_row_buffer=dual_row_buffer,
+        composite_isa=dual_row_buffer,
+        greedy_binpack=greedy_binpack,
+        sub_batch_interleaving=sub_batch_interleaving,
+    )
+    return NeuPimsDevice(spec, config, tp=tp, layers_resident=layers_resident)

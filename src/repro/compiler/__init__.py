@@ -1,0 +1,45 @@
+"""NeuPIMs compiler framework: operator IR and instruction lowering."""
+
+from repro.compiler.ir import IrModule, IrOp, IrOpKind, TensorShape
+from repro.compiler.lower import (
+    DeviceBinary,
+    NpuInstruction,
+    emit_binary,
+    lower_model,
+)
+
+from repro.compiler.frontend import (
+    CompilationInput,
+    SpecificationError,
+    load_specification,
+    parse_model_spec,
+    parse_system_spec,
+)
+from repro.compiler.schedule import (
+    EngineQueues,
+    balance_report,
+    deserialize,
+    schedule_binary,
+    serialize,
+)
+
+__all__ = [
+    "IrModule",
+    "IrOp",
+    "IrOpKind",
+    "TensorShape",
+    "DeviceBinary",
+    "NpuInstruction",
+    "emit_binary",
+    "lower_model",
+    "CompilationInput",
+    "SpecificationError",
+    "load_specification",
+    "parse_model_spec",
+    "parse_system_spec",
+    "EngineQueues",
+    "balance_report",
+    "deserialize",
+    "schedule_binary",
+    "serialize",
+]

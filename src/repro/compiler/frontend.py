@@ -1,0 +1,166 @@
+"""Compiler front-end: LLM and system specifications (paper Figure 7 4).
+
+The NeuPIMs compiler framework takes two inputs from the system admin: an
+*LLM specification* (whose "syntax largely resembles ONNX" — a structured
+description of the decoder architecture) and a *system specification*
+(device counts, parallelism, feature flags).  This module parses both
+from plain dictionaries / JSON, validates them, and produces the
+:class:`~repro.model.spec.ModelSpec` and
+:class:`~repro.core.config.NeuPimsConfig` the rest of the stack consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple
+
+from repro.core.config import NeuPimsConfig
+from repro.core.system import ParallelismScheme
+from repro.dram.timing import HbmOrganization, PimTiming, TimingParams
+from repro.model.spec import MODEL_REGISTRY, ModelSpec
+
+
+class SpecificationError(ValueError):
+    """Raised on malformed or inconsistent specifications."""
+
+
+_REQUIRED_MODEL_FIELDS = ("name", "num_layers", "num_heads", "d_model")
+
+
+def parse_model_spec(data: Mapping[str, Any]) -> ModelSpec:
+    """Parse an LLM specification dictionary.
+
+    Either ``{"preset": "gpt3-13b"}`` referencing a registered model, or
+    an explicit architecture description::
+
+        {"name": "my-model", "num_layers": 24, "num_heads": 16,
+         "d_model": 2048, "ffn_mult": 4, "dtype_bytes": 2}
+    """
+    if "preset" in data:
+        preset = str(data["preset"]).lower()
+        if preset not in MODEL_REGISTRY:
+            raise SpecificationError(
+                f"unknown preset {preset!r}; known: {sorted(MODEL_REGISTRY)}")
+        return MODEL_REGISTRY[preset]
+    missing = [f for f in _REQUIRED_MODEL_FIELDS if f not in data]
+    if missing:
+        raise SpecificationError(f"model spec missing fields: {missing}")
+    try:
+        return ModelSpec(
+            name=str(data["name"]),
+            num_layers=int(data["num_layers"]),
+            num_heads=int(data["num_heads"]),
+            d_model=int(data["d_model"]),
+            ffn_mult=int(data.get("ffn_mult", 4)),
+            dtype_bytes=int(data.get("dtype_bytes", 2)),
+            tensor_parallel=int(data.get("tensor_parallel", 1)),
+            pipeline_parallel=int(data.get("pipeline_parallel", 1)),
+        )
+    except ValueError as exc:
+        raise SpecificationError(str(exc)) from exc
+
+
+def parse_system_spec(data: Mapping[str, Any]
+                      ) -> Tuple[NeuPimsConfig, ParallelismScheme]:
+    """Parse a system specification dictionary.
+
+    Recognized sections: ``features`` (the DRB/ISA/GMLBP/SBI flags),
+    ``parallelism`` (tp/pp), ``hbm`` (organization overrides), ``timing``
+    (Table 2 overrides) and ``pim`` (PIM datapath overrides).
+    """
+    features = dict(data.get("features", {}))
+    known_flags = {"dual_row_buffer", "composite_isa", "greedy_binpack",
+                   "sub_batch_interleaving", "adaptive_sbi"}
+    unknown = set(features) - known_flags
+    if unknown:
+        raise SpecificationError(f"unknown feature flags: {sorted(unknown)}")
+
+    try:
+        org = HbmOrganization(**data.get("hbm", {}))
+        timing = TimingParams(**data.get("timing", {}))
+        pim = PimTiming(**data.get("pim", {}))
+    except TypeError as exc:
+        raise SpecificationError(f"bad hardware section: {exc}") from exc
+    except ValueError as exc:
+        raise SpecificationError(str(exc)) from exc
+
+    config = NeuPimsConfig(
+        org=org, timing=timing, pim_timing=pim,
+        **{flag: bool(value) for flag, value in features.items()},
+    )
+
+    parallelism = data.get("parallelism", {})
+    try:
+        scheme = ParallelismScheme(tp=int(parallelism.get("tp", 1)),
+                                   pp=int(parallelism.get("pp", 1)))
+    except ValueError as exc:
+        raise SpecificationError(str(exc)) from exc
+    return config, scheme
+
+
+@dataclass(frozen=True)
+class CompilationInput:
+    """Validated front-end output handed to the lowering pipeline."""
+
+    model: ModelSpec
+    config: NeuPimsConfig
+    scheme: ParallelismScheme
+
+    def validate(self) -> None:
+        """Cross-checks between model and system."""
+        if self.model.num_heads % self.scheme.tp != 0:
+            raise SpecificationError(
+                f"{self.model.name}: {self.model.num_heads} heads not "
+                f"divisible by TP={self.scheme.tp}")
+        if self.scheme.pp > self.model.num_layers:
+            raise SpecificationError(
+                f"PP={self.scheme.pp} exceeds layer count "
+                f"{self.model.num_layers}")
+
+
+def load_specification(text: str) -> CompilationInput:
+    """Parse a combined JSON specification document.
+
+    Expected top-level keys: ``model`` and ``system``.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecificationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict) or "model" not in document:
+        raise SpecificationError("specification needs a 'model' section")
+    model = parse_model_spec(document["model"])
+    config, scheme = parse_system_spec(document.get("system", {}))
+    result = CompilationInput(model=model, config=config, scheme=scheme)
+    result.validate()
+    return result
+
+
+def dump_specification(compilation: CompilationInput) -> str:
+    """Serialize a compilation input back to JSON (round-trippable)."""
+    document = {
+        "model": {
+            "name": compilation.model.name,
+            "num_layers": compilation.model.num_layers,
+            "num_heads": compilation.model.num_heads,
+            "d_model": compilation.model.d_model,
+            "ffn_mult": compilation.model.ffn_mult,
+            "dtype_bytes": compilation.model.dtype_bytes,
+            "tensor_parallel": compilation.model.tensor_parallel,
+            "pipeline_parallel": compilation.model.pipeline_parallel,
+        },
+        "system": {
+            "features": {
+                "dual_row_buffer": compilation.config.dual_row_buffer,
+                "composite_isa": compilation.config.composite_isa,
+                "greedy_binpack": compilation.config.greedy_binpack,
+                "sub_batch_interleaving":
+                    compilation.config.sub_batch_interleaving,
+                "adaptive_sbi": compilation.config.adaptive_sbi,
+            },
+            "parallelism": {"tp": compilation.scheme.tp,
+                            "pp": compilation.scheme.pp},
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,111 @@
+"""Operator intermediate representation (paper Figure 7, component 4).
+
+The NeuPIMs compiler front-end takes an LLM specification (ONNX-like) and
+a system specification, and lowers the model into an operator IR; the
+backend then emits NPU compute instructions and MEM/PIM access
+instructions.  The IR here is deliberately small: enough structure to
+drive both the tile-level NPU model and the command-level PIM simulation
+from a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+
+class IrOpKind(Enum):
+    """IR operator categories."""
+
+    GEMM = "gemm"          # weight-activation matmul -> NPU systolic
+    GEMV = "gemv"          # activation-activation matvec -> PIM
+    SOFTMAX = "softmax"    # -> NPU vector units
+    LAYERNORM = "layernorm"
+    ALLREDUCE = "allreduce"  # TP communication
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """A dense tensor shape with element width."""
+
+    dims: Tuple[int, ...]
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d <= 0 for d in self.dims):
+            raise ValueError(f"invalid tensor dims {self.dims}")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+
+    @property
+    def elements(self) -> int:
+        total = 1
+        for d in self.dims:
+            total *= d
+        return total
+
+    @property
+    def bytes(self) -> int:
+        return self.elements * self.dtype_bytes
+
+
+@dataclass(frozen=True)
+class IrOp:
+    """One IR operator.
+
+    ``inputs`` / ``outputs`` are tensor shapes; ``attrs`` carry
+    kind-specific parameters (e.g. request index for per-request GEMVs).
+    """
+
+    name: str
+    kind: IrOpKind
+    inputs: Tuple[TensorShape, ...]
+    outputs: Tuple[TensorShape, ...]
+    layer: int = 0
+    request_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("IR op requires a name")
+        if not self.inputs or not self.outputs:
+            raise ValueError(f"{self.name}: IR op requires inputs and outputs")
+
+
+@dataclass
+class IrModule:
+    """A lowered model: ordered IR ops plus metadata."""
+
+    model_name: str
+    ops: List[IrOp] = field(default_factory=list)
+
+    def append(self, op: IrOp) -> None:
+        """Add an operator at the end of the module."""
+        self.ops.append(op)
+
+    def by_kind(self, kind: IrOpKind) -> List[IrOp]:
+        """All operators of the given kind, in program order."""
+        return [op for op in self.ops if op.kind is kind]
+
+    def layers(self) -> int:
+        """Number of decoder layers the module spans."""
+        return max((op.layer for op in self.ops), default=-1) + 1
+
+    def validate(self) -> None:
+        """Structural checks: per-layer stage ordering and shape chaining."""
+        for layer in range(self.layers()):
+            names = [op.name for op in self.ops if op.layer == layer]
+            if not any(n.startswith("qkv") for n in names):
+                raise ValueError(f"layer {layer}: missing QKV generation")
+            if not any(n.startswith("ffn") for n in names):
+                raise ValueError(f"layer {layer}: missing FFN")
+        for op in self.ops:
+            if op.kind is IrOpKind.GEMM:
+                a, b = op.inputs[0], op.inputs[1]
+                if a.dims[-1] != b.dims[0]:
+                    raise ValueError(
+                        f"{op.name}: GEMM contraction mismatch {a.dims} x {b.dims}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.ops)

@@ -1,0 +1,161 @@
+"""Lowering: model specification -> IR -> device instruction binaries.
+
+Mirrors the NeuPIMs compiler pipeline: the front-end builds the decoder
+block IR for a batch (with selective batching — batched GEMMs, per-request
+GEMVs); the backend tiles GEMMs for the systolic arrays and lowers GEMVs
+to PIM command streams (composite or fine-grained encoding per the system
+specification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.compiler.ir import IrModule, IrOp, IrOpKind, TensorShape
+from repro.core.config import NeuPimsConfig
+from repro.dram.commands import Command
+from repro.model.layers import ffn_gemms, projection_gemm, qkv_generation_gemm
+from repro.model.spec import ModelSpec
+from repro.npu.systolic import SystolicConfig, schedule_gemm
+from repro.pim.gemv import GemvOp, composite_stream, fine_grained_stream
+
+
+def lower_model(spec: ModelSpec, seq_lens: Sequence[int], tp: int = 1,
+                num_layers: int = None  # type: ignore[assignment]
+                ) -> IrModule:
+    """Front-end: build the generation-phase IR for one batch."""
+    if not seq_lens:
+        raise ValueError("empty batch")
+    layers = spec.num_layers if num_layers is None else num_layers
+    module = IrModule(model_name=spec.name)
+    batch = len(seq_lens)
+    dtype = spec.dtype_bytes
+    heads = spec.num_heads
+
+    for layer in range(layers):
+        qkv = qkv_generation_gemm(spec, batch, tp)
+        module.append(IrOp(
+            name=f"qkv_generation.l{layer}", kind=IrOpKind.GEMM, layer=layer,
+            inputs=(TensorShape((qkv.m, qkv.k), dtype),
+                    TensorShape((qkv.k, qkv.n), dtype)),
+            outputs=(TensorShape((qkv.m, qkv.n), dtype),),
+        ))
+        for idx, seq_len in enumerate(seq_lens):
+            module.append(IrOp(
+                name=f"logit.l{layer}.r{idx}", kind=IrOpKind.GEMV, layer=layer,
+                request_index=idx,
+                inputs=(TensorShape((seq_len * heads, spec.head_dim), dtype),
+                        TensorShape((spec.head_dim,), dtype)),
+                outputs=(TensorShape((seq_len * heads,), dtype),),
+            ))
+            module.append(IrOp(
+                name=f"softmax.l{layer}.r{idx}", kind=IrOpKind.SOFTMAX,
+                layer=layer, request_index=idx,
+                inputs=(TensorShape((seq_len * heads,), dtype),),
+                outputs=(TensorShape((seq_len * heads,), dtype),),
+            ))
+            module.append(IrOp(
+                name=f"attend.l{layer}.r{idx}", kind=IrOpKind.GEMV, layer=layer,
+                request_index=idx,
+                inputs=(TensorShape((spec.head_dim * heads, seq_len), dtype),
+                        TensorShape((seq_len,), dtype)),
+                outputs=(TensorShape((spec.head_dim * heads,), dtype),),
+            ))
+        proj = projection_gemm(spec, batch, tp)
+        module.append(IrOp(
+            name=f"projection.l{layer}", kind=IrOpKind.GEMM, layer=layer,
+            inputs=(TensorShape((proj.m, proj.k), dtype),
+                    TensorShape((proj.k, proj.n), dtype)),
+            outputs=(TensorShape((proj.m, proj.n), dtype),),
+        ))
+        for i, ffn in enumerate(ffn_gemms(spec, batch, tp)):
+            module.append(IrOp(
+                name=f"ffn{i + 1}.l{layer}", kind=IrOpKind.GEMM, layer=layer,
+                inputs=(TensorShape((ffn.m, ffn.k), dtype),
+                        TensorShape((ffn.k, ffn.n), dtype)),
+                outputs=(TensorShape((ffn.m, ffn.n), dtype),),
+            ))
+        if tp > 1:
+            module.append(IrOp(
+                name=f"allreduce.l{layer}", kind=IrOpKind.ALLREDUCE,
+                layer=layer,
+                inputs=(TensorShape((batch, spec.d_model), dtype),),
+                outputs=(TensorShape((batch, spec.d_model), dtype),),
+            ))
+    module.validate()
+    return module
+
+
+# ----------------------------------------------------------------------
+# Backend: instruction emission.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NpuInstruction:
+    """One NPU tile instruction (load weights + stream activations)."""
+
+    op_name: str
+    array_index: int
+    tile_k: int
+    tile_n: int
+    stream_m: int
+    cycles: float
+
+
+@dataclass
+class DeviceBinary:
+    """Lowered instruction streams for one NeuPIMs device."""
+
+    model_name: str
+    npu_instructions: List[NpuInstruction] = field(default_factory=list)
+    pim_commands: List[Command] = field(default_factory=list)
+
+    @property
+    def npu_cycle_estimate(self) -> float:
+        """Per-array makespan estimate of the NPU instruction stream."""
+        if not self.npu_instructions:
+            return 0.0
+        arrays = max(i.array_index for i in self.npu_instructions) + 1
+        per_array = [0.0] * arrays
+        for inst in self.npu_instructions:
+            per_array[inst.array_index] += inst.cycles
+        return max(per_array)
+
+
+def emit_binary(module: IrModule, config: NeuPimsConfig = None,  # type: ignore[assignment]
+                systolic: SystolicConfig = None  # type: ignore[assignment]
+                ) -> DeviceBinary:
+    """Backend: tile GEMMs onto the arrays and encode GEMVs as PIM commands."""
+    config = config or NeuPimsConfig()
+    systolic = systolic or config.npu.systolic
+    num_arrays = config.npu.num_systolic_arrays
+    binary = DeviceBinary(model_name=module.model_name)
+    stream_builder = (composite_stream if config.composite_isa
+                      else fine_grained_stream)
+
+    array_cursor = 0
+    for op in module.ops:
+        if op.kind is IrOpKind.GEMM:
+            m = op.inputs[0].dims[0]
+            k = op.inputs[0].dims[1]
+            n = op.inputs[1].dims[1]
+            from repro.model.layers import GemmShape
+            schedule = schedule_gemm(GemmShape(m, k, n), systolic, num_arrays)
+            for tk in range(schedule.tiles_k):
+                for tn in range(schedule.tiles_n):
+                    binary.npu_instructions.append(NpuInstruction(
+                        op_name=op.name,
+                        array_index=array_cursor % num_arrays,
+                        tile_k=tk, tile_n=tn, stream_m=m,
+                        cycles=schedule.cycles_per_tile,
+                    ))
+                    array_cursor += 1
+        elif op.kind is IrOpKind.GEMV:
+            rows = op.inputs[0].dims[0]
+            cols = op.inputs[0].dims[1]
+            gemv = GemvOp(rows=rows, cols=cols, tag=op.name)
+            binary.pim_commands.extend(
+                stream_builder(gemv, config.org, op.inputs[0].dtype_bytes)
+            )
+    return binary

@@ -1,0 +1,129 @@
+"""Instruction scheduling and binary serialization.
+
+Completes the compiler pipeline (Figure 7, component 4): the lowered
+:class:`~repro.compiler.lower.DeviceBinary` is scheduled into per-engine
+queues respecting the decoder block's stage dependencies, and can be
+serialized to a deterministic text format ("NeuPIMs binary") that the
+examples write out and the tests round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.compiler.lower import DeviceBinary, NpuInstruction
+from repro.dram.commands import Command, CommandType
+
+
+@dataclass
+class EngineQueues:
+    """Scheduled per-engine instruction queues for one iteration."""
+
+    npu: Dict[int, List[NpuInstruction]] = field(default_factory=dict)
+    pim: List[Command] = field(default_factory=list)
+
+    @property
+    def npu_instruction_count(self) -> int:
+        return sum(len(q) for q in self.npu.values())
+
+    def npu_makespan_cycles(self) -> float:
+        """Per-array serial makespan (load-balance quality metric)."""
+        if not self.npu:
+            return 0.0
+        return max(sum(inst.cycles for inst in queue)
+                   for queue in self.npu.values())
+
+
+def schedule_binary(binary: DeviceBinary) -> EngineQueues:
+    """Distribute instructions to engines, preserving program order.
+
+    NPU instructions keep their assigned array; within an array the
+    lowered order already respects stage dependencies (the IR is emitted
+    in dependency order).  PIM commands stay in stream order — the memory
+    controller enforces the GWRITE -> GEMV chain at runtime.
+    """
+    queues = EngineQueues()
+    for inst in binary.npu_instructions:
+        queues.npu.setdefault(inst.array_index, []).append(inst)
+    queues.pim = list(binary.pim_commands)
+    return queues
+
+
+def balance_report(queues: EngineQueues) -> Dict[str, float]:
+    """Load-balance diagnostics across the systolic arrays."""
+    if not queues.npu:
+        return {"arrays": 0, "max_cycles": 0.0, "imbalance": 1.0}
+    loads = [sum(inst.cycles for inst in queue)
+             for queue in queues.npu.values()]
+    mean = sum(loads) / len(loads)
+    return {
+        "arrays": float(len(loads)),
+        "max_cycles": max(loads),
+        "imbalance": max(loads) / mean if mean > 0 else 1.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Serialization ("NeuPIMs binary" text format).
+# ----------------------------------------------------------------------
+
+_MAGIC = "NEUPIMS-BIN v1"
+
+
+def serialize(binary: DeviceBinary) -> str:
+    """Serialize to a deterministic line-oriented text format."""
+    lines = [_MAGIC, f"model {binary.model_name}"]
+    for inst in binary.npu_instructions:
+        lines.append(
+            f"NPU {inst.array_index} {inst.op_name} "
+            f"{inst.tile_k} {inst.tile_n} {inst.stream_m} {inst.cycles:.1f}")
+    for cmd in binary.pim_commands:
+        bank = -1 if cmd.bank is None else cmd.bank
+        row = -1 if cmd.row is None else cmd.row
+        banks = ",".join(map(str, cmd.banks)) or "-"
+        lines.append(
+            f"PIM {cmd.ctype.value} {bank} {row} {banks} {cmd.k} "
+            f"{cmd.meta or '-'}")
+    return "\n".join(lines) + "\n"
+
+
+def deserialize(text: str) -> DeviceBinary:
+    """Parse the text format back into a :class:`DeviceBinary`."""
+    lines = text.strip().splitlines()
+    if not lines or lines[0] != _MAGIC:
+        raise ValueError("not a NeuPIMs binary (bad magic)")
+    if len(lines) < 2 or not lines[1].startswith("model "):
+        raise ValueError("missing model header")
+    binary = DeviceBinary(model_name=lines[1][len("model "):])
+    for lineno, line in enumerate(lines[2:], start=3):
+        fields = line.split()
+        if fields[0] == "NPU":
+            if len(fields) != 7:
+                raise ValueError(f"line {lineno}: malformed NPU instruction")
+            binary.npu_instructions.append(NpuInstruction(
+                op_name=fields[2], array_index=int(fields[1]),
+                tile_k=int(fields[3]), tile_n=int(fields[4]),
+                stream_m=int(fields[5]), cycles=float(fields[6])))
+        elif fields[0] == "PIM":
+            if len(fields) != 7:
+                raise ValueError(f"line {lineno}: malformed PIM command")
+            _, ctype, bank, row, banks, k, meta = fields
+            binary.pim_commands.append(Command(
+                ctype=CommandType(ctype),
+                bank=None if bank == "-1" else int(bank),
+                row=None if row == "-1" else int(row),
+                banks=() if banks == "-" else
+                tuple(int(b) for b in banks.split(",")),
+                k=int(k),
+                meta="" if meta == "-" else meta))
+        else:
+            raise ValueError(f"line {lineno}: unknown record {fields[0]!r}")
+    return binary
+
+
+def roundtrip_equal(a: DeviceBinary, b: DeviceBinary) -> bool:
+    """Structural equality check used by the serialization tests."""
+    return (a.model_name == b.model_name
+            and a.npu_instructions == b.npu_instructions
+            and a.pim_commands == b.pim_commands)

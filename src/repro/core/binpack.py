@@ -1,0 +1,100 @@
+"""Channel load balancing — Algorithm 2 (greedy min-load bin packing).
+
+Each request's KV cache lives in one PIM channel, and a channel executes
+its requests' MHA sequentially; the MHA phase of an iteration therefore
+lasts as long as the *most loaded* channel.  Algorithm 2 minimizes that
+makespan greedily: sort incoming requests by sequence length descending
+and place each on the channel with the smallest estimated load (LPT
+scheduling, a 4/3-approximation of the optimal makespan).
+
+The naive NPU+PIM baseline assigns requests round-robin instead
+(:func:`round_robin_assign`), which Figure 13 shows costs throughput
+whenever sequence lengths are skewed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.estimator import MhaLatencyEstimator
+from repro.serving.request import InferenceRequest
+
+
+def channel_loads(requests: Iterable[InferenceRequest],
+                  estimator: MhaLatencyEstimator,
+                  num_channels: int) -> List[float]:
+    """Estimated MHA load (cycles) per channel for assigned requests."""
+    loads = [0.0] * num_channels
+    for request in requests:
+        if request.channel is None:
+            continue
+        if not 0 <= request.channel < num_channels:
+            raise ValueError(
+                f"request {request.request_id} on invalid channel "
+                f"{request.channel}"
+            )
+        loads[request.channel] += estimator.estimate(request.seq_len)
+    return loads
+
+
+def greedy_min_load_assign(
+    new_requests: Sequence[InferenceRequest],
+    estimator: MhaLatencyEstimator,
+    num_channels: int,
+    existing: Sequence[InferenceRequest] = (),
+) -> Dict[int, int]:
+    """Algorithm 2: assign ``new_requests`` to channels, mutating them.
+
+    Parameters
+    ----------
+    new_requests:
+        Requests without a channel assignment.
+    existing:
+        Already-placed requests contributing to current channel loads
+        (Algorithm 2's initial per-channel load computation).
+
+    Returns
+    -------
+    Mapping of request id to assigned channel (also written into each
+    request's ``channel`` field).
+    """
+    if num_channels <= 0:
+        raise ValueError("num_channels must be positive")
+    loads = channel_loads(existing, estimator, num_channels)
+
+    assignment: Dict[int, int] = {}
+    # Sort by sequence length descending (longest-processing-time first).
+    ordered = sorted(new_requests, key=lambda r: (-r.seq_len, r.request_id))
+    for request in ordered:
+        min_index = min(range(num_channels), key=lambda c: (loads[c], c))
+        request.channel = min_index
+        load = estimator.estimate(request.seq_len)
+        loads[min_index] += load
+        assignment[request.request_id] = min_index
+    return assignment
+
+
+def round_robin_assign(
+    new_requests: Sequence[InferenceRequest],
+    num_channels: int,
+    start: int = 0,
+) -> Dict[int, int]:
+    """Baseline policy: requests go to channels round-robin (paper §8.1)."""
+    if num_channels <= 0:
+        raise ValueError("num_channels must be positive")
+    assignment: Dict[int, int] = {}
+    for offset, request in enumerate(new_requests):
+        channel = (start + offset) % num_channels
+        request.channel = channel
+        assignment[request.request_id] = channel
+    return assignment
+
+
+def load_imbalance(loads: Sequence[float]) -> float:
+    """Makespan imbalance: max load over mean load (1.0 = perfectly even)."""
+    if not loads:
+        return 1.0
+    mean = sum(loads) / len(loads)
+    if mean == 0:
+        return 1.0
+    return max(loads) / mean

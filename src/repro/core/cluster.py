@@ -1,0 +1,141 @@
+"""Multi-node NeuPIMs cluster (paper §4: "the system can scale to
+multiple nodes").
+
+A cluster replicates complete :class:`~repro.core.system.NeuPimsSystem`
+instances (each a TP x PP group serving the full model) and routes
+arriving requests across the replicas — data parallelism on top of the
+paper's tensor/pipeline parallelism.  Two routing policies are provided:
+
+* round robin — the baseline;
+* join-shortest-queue (JSQ) by estimated MHA load, reusing the same
+  Algorithm-1 estimator that balances channels *within* a device —
+  the natural extension of greedy min-load bin packing to node scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import NeuPimsConfig
+from repro.core.estimator import MhaLatencyEstimator, analytic_latencies
+from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.model.spec import ModelSpec
+from repro.serving.request import InferenceRequest
+
+
+class RoutingPolicy(Enum):
+    ROUND_ROBIN = "round_robin"
+    JOIN_SHORTEST_QUEUE = "jsq"
+
+
+@dataclass
+class NodeState:
+    """One replica and its currently assigned requests."""
+
+    index: int
+    system: NeuPimsSystem
+    requests: List[InferenceRequest] = field(default_factory=list)
+
+    def load_tokens(self) -> int:
+        """Total context tokens currently assigned to this node."""
+        return sum(r.seq_len for r in self.requests)
+
+
+class NeuPimsCluster:
+    """Data-parallel replicas of a NeuPIMs system.
+
+    Parameters
+    ----------
+    spec:
+        Model served by every replica.
+    num_nodes:
+        Replica count.
+    scheme:
+        Per-replica parallelism (defaults to the model's Table 3 entry).
+    policy:
+        Request routing policy.
+    """
+
+    def __init__(self, spec: ModelSpec, num_nodes: int,
+                 scheme: Optional[ParallelismScheme] = None,
+                 config: Optional[NeuPimsConfig] = None,
+                 policy: RoutingPolicy = RoutingPolicy.JOIN_SHORTEST_QUEUE
+                 ) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.spec = spec
+        self.policy = policy
+        self.config = config or NeuPimsConfig()
+        self.nodes = [
+            NodeState(index=i,
+                      system=NeuPimsSystem(spec, scheme, config=self.config))
+            for i in range(num_nodes)
+        ]
+        self._rr_cursor = 0
+        self._estimator = MhaLatencyEstimator(spec, self.config.org,
+                                              analytic_latencies())
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        return sum(node.system.scheme.num_devices for node in self.nodes)
+
+    def _estimated_load(self, node: NodeState) -> float:
+        return sum(self._estimator.estimate(r.seq_len)
+                   for r in node.requests)
+
+    def route(self, request: InferenceRequest) -> int:
+        """Assign one request to a node; returns the node index."""
+        if self.policy is RoutingPolicy.ROUND_ROBIN:
+            index = self._rr_cursor % len(self.nodes)
+            self._rr_cursor += 1
+        else:
+            index = min(range(len(self.nodes)),
+                        key=lambda i: (self._estimated_load(self.nodes[i]),
+                                       i))
+        self.nodes[index].requests.append(request)
+        return index
+
+    def route_all(self, requests: Sequence[InferenceRequest]) -> Dict[int, int]:
+        """Route a burst; longest-first under JSQ (LPT, like Algorithm 2)."""
+        ordered = list(requests)
+        if self.policy is RoutingPolicy.JOIN_SHORTEST_QUEUE:
+            ordered.sort(key=lambda r: (-r.seq_len, r.request_id))
+        return {r.request_id: self.route(r) for r in ordered}
+
+    def remove_finished(self) -> int:
+        """Drop finished requests from every node; returns count removed."""
+        removed = 0
+        for node in self.nodes:
+            before = len(node.requests)
+            node.requests = [r for r in node.requests if not r.is_finished]
+            removed += before - len(node.requests)
+        return removed
+
+    # ------------------------------------------------------------------
+
+    def iteration_latency(self) -> float:
+        """One cluster-wide iteration: nodes run in parallel (makespan)."""
+        latencies = [
+            node.system.iteration_latency(node.requests)
+            for node in self.nodes if node.requests
+        ]
+        return max(latencies) if latencies else 0.0
+
+    def throughput_tokens_per_second(self, clock_hz: float = 1e9) -> float:
+        """Aggregate steady-state throughput of the current assignment."""
+        return sum(
+            node.system.throughput_tokens_per_second(node.requests, clock_hz)
+            for node in self.nodes if node.requests
+        )
+
+    def load_imbalance(self) -> float:
+        """Max node load over mean node load (1.0 = even)."""
+        loads = [self._estimated_load(node) for node in self.nodes]
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean

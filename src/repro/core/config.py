@@ -1,0 +1,104 @@
+"""NeuPIMs device configuration and feature flags.
+
+Bundles the hardware parameters of Table 2 with the three technique flags
+the ablation study (Figure 13) toggles:
+
+* ``dual_row_buffer`` — the microarchitectural contribution (DRB);
+* ``greedy_binpack`` — greedy min-load bin packing channel balancing
+  (GMLBP, Algorithm 2) vs round-robin assignment;
+* ``sub_batch_interleaving`` — the scheduling contribution (SBI,
+  Algorithms 1/3 + the interleaved executor).
+
+``composite_isa`` selects the NeuPIMs command encoding (PIM_HEADER /
+PIM_GEMV / PIM_PRECHARGE) over the baseline fine-grained Newton commands;
+it is enabled together with DRB in the paper's NeuPIMs configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.dram.timing import HbmOrganization, PimTiming, TimingParams
+from repro.npu.chip import NpuConfig
+
+
+@dataclass(frozen=True)
+class NeuPimsConfig:
+    """Full device configuration."""
+
+    npu: NpuConfig = field(default_factory=NpuConfig)
+    org: HbmOrganization = field(default_factory=HbmOrganization)
+    timing: TimingParams = field(default_factory=TimingParams)
+    pim_timing: PimTiming = field(default_factory=PimTiming)
+
+    dual_row_buffer: bool = True
+    composite_isa: bool = True
+    greedy_binpack: bool = True
+    sub_batch_interleaving: bool = True
+    #: compare the interleaved and serialized schedules with the latency
+    #: model each iteration and run the faster one; avoids SBI's pipelining
+    #: penalty at small batch sizes (paper §8.2, ablation discussion)
+    adaptive_sbi: bool = True
+
+    #: achievable fraction of peak external bandwidth for streamed traffic
+    bandwidth_derate: float = 0.8
+    #: C/A-bus inflation of PIM execution when using the fine-grained
+    #: command encoding (measured from the command-level simulation; see
+    #: tests/test_calibration.py)
+    fine_grained_overhead: float = 0.18
+    #: PIM slowdown in blocked mode (single row buffer): without the dual
+    #: row buffer the per-head PIM<->vector-unit handoffs break the wave
+    #: pipeline (each head's GEMV re-activates rows from a closed bank and
+    #: partial pages cannot be coalesced across heads), which the paper's
+    #: Figure 6/13 data puts at roughly 1.75x the pipelined execution.
+    blocked_mode_overhead: float = 1.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bandwidth_derate <= 1.0:
+            raise ValueError("bandwidth_derate must be in (0, 1]")
+        if self.fine_grained_overhead < 0:
+            raise ValueError("fine_grained_overhead must be non-negative")
+        if self.blocked_mode_overhead < 0:
+            raise ValueError("blocked_mode_overhead must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Named configurations used throughout the evaluation.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def neupims(cls) -> "NeuPimsConfig":
+        """The full NeuPIMs system (all techniques on)."""
+        return cls()
+
+    @classmethod
+    def naive_npu_pim(cls) -> "NeuPimsConfig":
+        """The naive NPU+PIM baseline: blocked-mode PIM, round-robin
+        channel assignment, serialized execution."""
+        return cls(dual_row_buffer=False, composite_isa=False,
+                   greedy_binpack=False, sub_batch_interleaving=False)
+
+    def with_features(self, *, dual_row_buffer: bool = None,  # type: ignore[assignment]
+                      composite_isa: bool = None,  # type: ignore[assignment]
+                      greedy_binpack: bool = None,  # type: ignore[assignment]
+                      sub_batch_interleaving: bool = None,  # type: ignore[assignment]
+                      ) -> "NeuPimsConfig":
+        """Return a copy with the given feature flags overridden."""
+        updates = {}
+        if dual_row_buffer is not None:
+            updates["dual_row_buffer"] = dual_row_buffer
+        if composite_isa is not None:
+            updates["composite_isa"] = composite_isa
+        if greedy_binpack is not None:
+            updates["greedy_binpack"] = greedy_binpack
+        if sub_batch_interleaving is not None:
+            updates["sub_batch_interleaving"] = sub_batch_interleaving
+        return replace(self, **updates)
+
+    @property
+    def num_channels(self) -> int:
+        return self.org.channels
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable external bytes/second."""
+        return self.org.total_bandwidth * self.bandwidth_derate

@@ -1,0 +1,386 @@
+"""The NeuPIMs device model: one NPU+PIM accelerator executing iterations.
+
+This is the event/tile-level model used by the end-to-end experiments
+(Figures 12-15, Table 4).  One generation iteration of the resident
+decoder blocks is composed from:
+
+* **GEMM stages** on the NPU systolic arrays (QKV generation and
+  projection + FFNs), timed by :class:`repro.npu.chip.NpuChip` — these are
+  sharded by tensor parallelism;
+* **MHA stages** on the PIM channels (logit/attend GEMVs per request,
+  estimated by Algorithm 1) and the NPU vector units (softmax).  Following
+  the paper's Algorithm 1 (which uses the full ``E`` and ``N_head``), MHA
+  work is *not* sharded by TP: a request's KV cache lives whole in its
+  assigned channel, and tensor parallelism shards the weight GEMMs only.
+
+Execution composition depends on the feature flags:
+
+* ``sub_batch_interleaving`` off -> the serialized timeline of Figure
+  11(a): N x (QKV -> MHA -> Proj&FFNs).
+* on -> the Figure 11(b) pipeline: the batch splits per Algorithm 3 and
+  the two sub-batches are list-scheduled onto the NPU-S and PIM resources,
+  overlapping one sub-batch's GEMMs with the other's MHA.
+* ``dual_row_buffer`` off (blocked mode) additionally serializes the
+  per-head PIM->vector-unit handoffs inside MHA and pays the fine-grained
+  command overhead (no composite ISA without the NeuPIMs bank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.binpack import greedy_min_load_assign, round_robin_assign
+from repro.core.config import NeuPimsConfig
+from repro.core.estimator import MhaLatencyEstimator, analytic_latencies
+from repro.core.partition import partition_batch
+from repro.model.layers import ffn_gemms, projection_gemm, qkv_generation_gemm
+from repro.model.spec import ModelSpec
+from repro.npu.chip import NpuChip
+from repro.serving.request import InferenceRequest
+from repro.sim.engine import Resource
+
+
+@dataclass
+class IterationResult:
+    """Timing and accounting of one generation iteration."""
+
+    latency: float
+    busy: Dict[str, float] = field(default_factory=dict)
+    external_bytes: float = 0.0
+    internal_pim_bytes: float = 0.0
+
+    def utilization(self, name: str) -> float:
+        """Busy fraction of the named unit over the iteration."""
+        if self.latency <= 0:
+            return 0.0
+        return min(1.0, self.busy.get(name, 0.0) / self.latency)
+
+    def bandwidth_utilization(self, effective_bandwidth: float,
+                              clock_hz: float = 1e9) -> float:
+        """External bandwidth utilization over the iteration."""
+        if self.latency <= 0:
+            return 0.0
+        seconds = self.latency / clock_hz
+        return min(1.0, self.external_bytes / (effective_bandwidth * seconds))
+
+
+@dataclass(frozen=True)
+class GemmStage:
+    """Timing of one sub-batch's GEMM stages (QKV, projection + FFNs)."""
+
+    qkv_cycles: float       #: QKV generation latency (roofline)
+    projffn_cycles: float   #: projection + both FFN GEMMs latency
+    external_bytes: float   #: weight + activation HBM traffic
+    compute_cycles: float   #: ideal MAC-limited cycles (utilization acct)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.qkv_cycles + self.projffn_cycles
+
+
+@dataclass(frozen=True)
+class MhaStageTiming:
+    """Timing components of one sub-batch's MHA stage."""
+
+    pim_cycles: float       #: most-loaded channel's GEMV time (with stalls)
+    softmax_cycles: float   #: vector-unit time across the sub-batch
+    transfer_cycles: float  #: blocked-mode PIM<->host handoff overhead
+    internal_bytes: float   #: KV bytes streamed inside the PIM banks
+    pim_busy_cycles: float = 0.0  #: stall-free GEMV time (utilization acct)
+
+    def duration(self, dual_row_buffer: bool) -> float:
+        """Stage duration under the given bank microarchitecture.
+
+        Dual row buffers let the vector units consume partial logits while
+        the PIM keeps computing (Figure 10), so the stage is the max of
+        the two flows; blocked mode serializes the PIM execution (whose
+        per-channel loads already include the host handoffs) with softmax.
+        """
+        if dual_row_buffer:
+            return max(self.pim_cycles, self.softmax_cycles)
+        return self.pim_cycles + self.softmax_cycles
+
+
+class NeuPimsDevice:
+    """One NeuPIMs accelerator (NPU + PIM channels).
+
+    Parameters
+    ----------
+    spec:
+        Full model specification.
+    config:
+        Hardware + feature configuration.
+    tp:
+        Tensor-parallel degree sharding the weight GEMMs.
+    layers_resident:
+        Decoder blocks executed per iteration on this device
+        (``num_layers / pp`` under pipeline parallelism).
+    estimator:
+        Algorithm-1 estimator; defaults to the analytic calibration.
+    channel_pool:
+        PIM channels available for request placement.  Defaults to one
+        device's channels; a tensor-parallel group pools the channels of
+        all its devices (each request's KV cache lives on one channel of
+        one group member), so :class:`~repro.core.system.NeuPimsSystem`
+        passes ``tp * channels``.
+    """
+
+    def __init__(self, spec: ModelSpec, config: Optional[NeuPimsConfig] = None,
+                 tp: int = 1, layers_resident: Optional[int] = None,
+                 estimator: Optional[MhaLatencyEstimator] = None,
+                 channel_pool: Optional[int] = None) -> None:
+        self.spec = spec
+        self.config = config or NeuPimsConfig()
+        self.tp = tp
+        self.layers = (spec.num_layers if layers_resident is None
+                       else layers_resident)
+        if self.layers <= 0:
+            raise ValueError("layers_resident must be positive")
+        spec.heads_per_shard(tp)  # validates divisibility
+        self.channel_pool = (self.config.num_channels if channel_pool is None
+                             else channel_pool)
+        if self.channel_pool <= 0:
+            raise ValueError("channel_pool must be positive")
+        self.npu = NpuChip(self.config.npu, self.config.org,
+                           self.config.bandwidth_derate)
+        self.estimator = estimator or MhaLatencyEstimator(
+            spec=spec, org=self.config.org,
+            latencies=analytic_latencies(self.config.timing, self.config.org,
+                                         self.config.pim_timing),
+        )
+        self._rr_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Channel assignment (Algorithm 2 or round robin).
+    # ------------------------------------------------------------------
+
+    def assign_channels(self, new_requests: Sequence[InferenceRequest],
+                        existing: Sequence[InferenceRequest] = ()) -> None:
+        """Place unassigned requests onto PIM channels per the config."""
+        if self.config.greedy_binpack:
+            greedy_min_load_assign(new_requests, self.estimator,
+                                   self.channel_pool, existing)
+        else:
+            round_robin_assign(new_requests, self.channel_pool,
+                               start=self._rr_cursor)
+            self._rr_cursor = (self._rr_cursor + len(new_requests)) \
+                % self.channel_pool
+
+    def _ensure_assigned(self, requests: Sequence[InferenceRequest]) -> None:
+        """Assign channels to new requests (and re-home out-of-range ones,
+        e.g. requests previously placed by a system with a larger pool)."""
+        unassigned = []
+        for request in requests:
+            if request.channel is None or request.channel >= self.channel_pool:
+                request.channel = None
+                unassigned.append(request)
+        if unassigned:
+            assigned = [r for r in requests if r.channel is not None]
+            self.assign_channels(unassigned, assigned)
+
+    # ------------------------------------------------------------------
+    # Stage timing.
+    # ------------------------------------------------------------------
+
+    def gemm_stage_cycles(self, batch_tokens: int) -> "GemmStage":
+        """GEMM-stage timing for a sub-batch of ``batch_tokens`` tokens."""
+        if batch_tokens <= 0:
+            raise ValueError("batch_tokens must be positive")
+        dtype = self.spec.dtype_bytes
+        qkv = qkv_generation_gemm(self.spec, batch_tokens, self.tp)
+        proj = projection_gemm(self.spec, batch_tokens, self.tp)
+        ffns = ffn_gemms(self.spec, batch_tokens, self.tp)
+        t_qkv = self.npu.gemm_cycles(qkv, dtype)
+        t_proj = self.npu.gemm_cycles(proj, dtype)
+        t_ffn = sum(self.npu.gemm_cycles(g, dtype) for g in ffns)
+        bytes_moved = (qkv.bytes_moved(dtype) + proj.bytes_moved(dtype)
+                       + sum(g.bytes_moved(dtype) for g in ffns))
+        sys_cfg = self.config.npu.systolic
+        arrays = self.config.npu.num_systolic_arrays
+        ideal = sum(g.flops for g in (qkv, proj, *ffns)) \
+            / (2 * sys_cfg.macs_per_cycle * arrays)
+        return GemmStage(qkv_cycles=t_qkv, projffn_cycles=t_proj + t_ffn,
+                         external_bytes=float(bytes_moved),
+                         compute_cycles=float(ideal))
+
+    def mha_stage(self, requests: Sequence[InferenceRequest]) -> MhaStageTiming:
+        """MHA timing for a sub-batch already assigned to channels."""
+        if not requests:
+            return MhaStageTiming(0.0, 0.0, 0.0, 0.0)
+        loads: Dict[int, float] = {}
+        raw_total = 0.0
+        softmax_total = 0.0
+        internal_bytes = 0.0
+        pim = self.config.pim_timing
+        heads = self.spec.num_heads
+        overhead = 1.0
+        if not self.config.composite_isa:
+            overhead *= 1.0 + self.config.fine_grained_overhead
+        if not self.config.dual_row_buffer:
+            overhead *= 1.0 + self.config.blocked_mode_overhead
+        # Blocked-mode handoffs: per head, the logits leave the PIM via
+        # RDRESULT and the softmax results return via GWRITE through the
+        # single row buffer, serializing with the GEMVs on that channel.
+        transfer_per_request = heads * (pim.rdresult_cycles + pim.gwrite_cycles)
+        for request in requests:
+            channel = request.channel if request.channel is not None else 0
+            estimate = self.estimator.estimate(request.seq_len)
+            raw_total += estimate
+            load = estimate * overhead
+            if not self.config.dual_row_buffer:
+                load += transfer_per_request
+            loads[channel] = loads.get(channel, 0.0) + load
+            softmax_total += self.npu.softmax_latency(request.seq_len, heads)
+            internal_bytes += 2 * request.seq_len * self.spec.d_model \
+                * self.spec.dtype_bytes
+        pim_cycles = max(loads.values())
+        transfers = (0.0 if self.config.dual_row_buffer
+                     else transfer_per_request * len(requests)
+                     / self.channel_pool)
+        # PIM *compute* utilization averages the in-bank units across all
+        # channels (Table 4's accounting), so busy time is the mean
+        # stall-free channel load.
+        mean_raw = raw_total / self.channel_pool
+        return MhaStageTiming(pim_cycles=pim_cycles,
+                              softmax_cycles=softmax_total,
+                              transfer_cycles=transfers,
+                              internal_bytes=internal_bytes,
+                              pim_busy_cycles=mean_raw)
+
+    # ------------------------------------------------------------------
+    # Iteration execution.
+    # ------------------------------------------------------------------
+
+    def iteration(self, requests: Sequence[InferenceRequest]) -> IterationResult:
+        """Execute one generation iteration over the batch.
+
+        With sub-batch interleaving enabled, the runtime compares the
+        interleaved pipeline against the serialized schedule using the
+        same latency model and keeps the faster one (``adaptive_sbi``);
+        the paper notes SBI's pipelining penalty can outweigh its benefit
+        below batch 256, which this fallback avoids paying.
+        """
+        if not requests:
+            raise ValueError("empty batch")
+        self._ensure_assigned(requests)
+        if self.config.sub_batch_interleaving and len(requests) >= 2:
+            interleaved = self._interleaved_iteration(requests)
+            if not self.config.adaptive_sbi:
+                return interleaved
+            serialized = self._serialized_iteration(requests)
+            return (interleaved if interleaved.latency <= serialized.latency
+                    else serialized)
+        return self._serialized_iteration(requests)
+
+    def _serialized_iteration(self, requests: Sequence[InferenceRequest]
+                              ) -> IterationResult:
+        """Figure 11(a): QKV -> MHA -> Proj&FFN per block, serialized."""
+        gemm = self.gemm_stage_cycles(len(requests))
+        mha = self.mha_stage(requests)
+        t_mha = mha.duration(self.config.dual_row_buffer)
+        per_block = gemm.qkv_cycles + t_mha + gemm.projffn_cycles
+        latency = per_block * self.layers
+        busy = {
+            "npu": gemm.compute_cycles * self.layers,
+            "npu_vector": mha.softmax_cycles * self.layers,
+            "pim": mha.pim_busy_cycles * self.layers,
+        }
+        return IterationResult(
+            latency=latency,
+            busy=busy,
+            external_bytes=gemm.external_bytes * self.layers,
+            internal_pim_bytes=mha.internal_bytes * self.layers,
+        )
+
+    def _interleaved_iteration(self, requests: Sequence[InferenceRequest]
+                               ) -> IterationResult:
+        """Figure 11(b): two sub-batches pipelined across NPU-S and PIM."""
+        sb1, sb2 = partition_batch(requests, self.channel_pool)
+        if not sb1 or not sb2:
+            return self._serialized_iteration(requests)
+
+        stage_plans: List[Tuple[GemmStage, MhaStageTiming]] = []
+        gemm_bytes = 0.0
+        internal_bytes = 0.0
+        compute_busy = 0.0
+        for sub_batch in (sb1, sb2):
+            gemm = self.gemm_stage_cycles(len(sub_batch))
+            mha = self.mha_stage(sub_batch)
+            stage_plans.append((gemm, mha))
+            gemm_bytes += gemm.external_bytes * self.layers
+            internal_bytes += mha.internal_bytes * self.layers
+            compute_busy += gemm.compute_cycles * self.layers
+
+        npu_s = Resource("npu_s")
+        pim = Resource("pim")
+        npu_v = Resource("npu_v")
+
+        # Build each sub-batch's operator sequence over the resident layers.
+        sequences: List[List[Tuple[str, float]]] = []
+        for gemm, mha in stage_plans:
+            t_mha = mha.duration(self.config.dual_row_buffer)
+            seq: List[Tuple[str, float]] = []
+            for _ in range(self.layers):
+                seq.append(("npu_s", gemm.qkv_cycles))
+                seq.append(("pim", t_mha))
+                seq.append(("npu_s", gemm.projffn_cycles))
+            sequences.append(seq)
+
+        resources = {"npu_s": npu_s, "pim": pim}
+        ready = [0.0, 0.0]
+        cursor = [0, 0]
+        softmax_share = [plan[1].softmax_cycles for plan in stage_plans]
+        while any(cursor[s] < len(sequences[s]) for s in (0, 1)):
+            # Pick the sub-batch whose next operator can start earliest
+            # (list scheduling); ties favour sub-batch order.
+            best_s, best_start = None, None
+            for s in (0, 1):
+                if cursor[s] >= len(sequences[s]):
+                    continue
+                res_name, _ = sequences[s][cursor[s]]
+                candidate = max(ready[s], resources[res_name].free_at)
+                if best_start is None or candidate < best_start:
+                    best_s, best_start = s, candidate
+            res_name, duration = sequences[best_s][cursor[best_s]]
+            _, end = resources[res_name].acquire_for(duration,
+                                                     earliest=ready[best_s])
+            if res_name == "pim":
+                npu_v.acquire_for(softmax_share[best_s],
+                                  earliest=end - duration)
+            ready[best_s] = end
+            cursor[best_s] += 1
+
+        latency = max(ready)
+        pim_busy = sum(plan[1].pim_busy_cycles
+                       for plan in stage_plans) * self.layers
+        busy = {
+            "npu": compute_busy,
+            "npu_vector": npu_v.busy_time,
+            "pim": pim_busy,
+        }
+        return IterationResult(
+            latency=latency,
+            busy=busy,
+            external_bytes=gemm_bytes,
+            internal_pim_bytes=internal_bytes,
+        )
+
+    # ------------------------------------------------------------------
+
+    def executor(self):
+        """A :data:`~repro.serving.scheduler.BatchExecutor` for this device."""
+        def run(batch: Sequence[InferenceRequest]) -> float:
+            return self.iteration(batch).latency
+        return run
+
+
+def shard_for_mha(spec: ModelSpec, tp: int) -> ModelSpec:
+    """Per-device MHA shard (heads divided by TP).
+
+    The default NeuPIMs model follows Algorithm 1 and keeps MHA unsharded;
+    this helper exists for sensitivity studies that shard attention too.
+    """
+    heads = spec.heads_per_shard(tp)
+    return replace(spec, name=f"{spec.name}-mha-tp{tp}",
+                   num_heads=heads, d_model=heads * spec.head_dim)

@@ -1,0 +1,110 @@
+"""MHA latency estimation — Algorithm 1 of the paper.
+
+The scheduler needs the PIM execution time of a request's multi-head
+attention *without* running the command-level simulation.  Algorithm 1
+derives it from the KV-cache memory layout (§6.3): the logit GEMV
+(K^T x q) reads ``seq_len`` key rows interleaved across the channel's
+banks, ``E / P_DRAM`` pages each; the attend GEMV (logits x V) reads each
+head's values with the head embedding interleaved across banks.  Both
+contribute GWRITE commands to stage their operand vectors plus ``L_tile``
+per dot-product wave.
+
+``L_tile`` and ``L_GWRITE`` are hardware constants; this module takes them
+from a :class:`~repro.pim.engine.CalibratedLatencies`, which can either be
+measured from the command-level simulation (:func:`repro.pim.engine.calibrate`)
+or derived analytically (:func:`analytic_latencies`) — the test suite
+checks the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Iterable, Optional
+
+from repro.dram.timing import HbmOrganization, PimTiming, TimingParams
+from repro.model.spec import ModelSpec
+from repro.pim.engine import CalibratedLatencies
+
+
+def analytic_latencies(timing: Optional[TimingParams] = None,
+                       org: Optional[HbmOrganization] = None,
+                       pim_timing: Optional[PimTiming] = None
+                       ) -> CalibratedLatencies:
+    """Closed-form L_tile / L_GWRITE matching the channel's wave pitch.
+
+    Successive GEMV waves pipeline at the maximum of the page MAC time and
+    half the row cycle (activation of the next wave overlaps the MAC of
+    the current one); GWRITE cost comes straight from the PIM timing.
+    """
+    timing = timing or TimingParams()
+    org = org or HbmOrganization()
+    pim_timing = pim_timing or PimTiming()
+    mac = pim_timing.dotprod_cycles_per_page(org.page_bytes)
+    l_tile = float(max(mac, timing.row_cycle // 2))
+    return CalibratedLatencies(l_tile=l_tile,
+                               l_gwrite=float(pim_timing.gwrite_cycles))
+
+
+@dataclass(frozen=True)
+class MhaLatencyEstimator:
+    """Algorithm 1, parameterized by model, layout and calibration.
+
+    Parameters
+    ----------
+    spec:
+        Model (shard) whose MHA is being estimated.
+    org:
+        HBM organization (``B_chnl`` banks per channel, ``P_DRAM`` page).
+    latencies:
+        Calibrated ``L_tile`` / ``L_GWRITE``.
+    """
+
+    spec: ModelSpec
+    org: HbmOrganization
+    latencies: CalibratedLatencies
+
+    @property
+    def _p_dram(self) -> int:
+        """P_DRAM: elements per DRAM page."""
+        return self.org.elements_per_page(self.spec.dtype_bytes)
+
+    @property
+    def _b_chnl(self) -> int:
+        """B_chnl: PIM banks per channel."""
+        return self.org.banks_per_channel
+
+    def logit_latency(self, seq_len: int) -> float:
+        """GEMV latency for ``K^T x Query`` (Algorithm 1, lines 2-4).
+
+        Algorithm 1 uses true (fractional) quotients — partially filled
+        pages of different requests/heads pack together in the KV layout —
+        with at least one full tile per GEMV.
+        """
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+        embed_pages = self.spec.d_model / self._p_dram
+        n_tiles = max(1.0, (seq_len / self._b_chnl) * embed_pages)
+        latency = self.latencies.l_gwrite * ceil(embed_pages)
+        latency += self.latencies.l_tile * n_tiles
+        return latency
+
+    def attend_latency(self, seq_len: int) -> float:
+        """GEMV latency for ``Logits x Value`` (Algorithm 1, lines 5-7)."""
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+        head_rounds = self.spec.head_dim / self._b_chnl
+        logit_pages = seq_len / self._p_dram
+        n_tiles = max(1.0, head_rounds * logit_pages * self.spec.num_heads)
+        latency = self.latencies.l_gwrite * max(
+            1.0, logit_pages * self.spec.num_heads)
+        latency += self.latencies.l_tile * n_tiles
+        return latency
+
+    def estimate(self, seq_len: int) -> float:
+        """Total estimated MHA latency for one request (Algorithm 1)."""
+        return self.logit_latency(seq_len) + self.attend_latency(seq_len)
+
+    def estimate_batch(self, seq_lens: Iterable[int]) -> float:
+        """Sum of estimates — the per-channel load metric of Algorithm 2."""
+        return sum(self.estimate(s) for s in seq_lens)

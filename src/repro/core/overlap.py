@@ -1,0 +1,127 @@
+"""Head-granularity MHA overlap model (paper Figure 10).
+
+Within the MHA layer, NeuPIMs overlaps the PIM-side logit/attend GEMVs
+with the NPU-side softmax at *head* granularity: as soon as head h's
+logit GEMV finishes on the PIM, its softmax runs on a vector unit while
+head h+1's logit GEMV proceeds on the PIM; attend GEMVs follow the same
+pattern.  Blocked-mode PIMs cannot do this because results cannot move
+between the PIM and the vector units mid-operation.
+
+This module builds the per-head pipeline explicitly with resources and
+exposes the resulting stage latency — validating (and refining) the
+``max(pim, softmax)`` approximation the device model uses, and directly
+quantifying Figure 10's "idleness" bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.estimator import MhaLatencyEstimator, analytic_latencies
+from repro.dram.timing import HbmOrganization
+from repro.model.spec import ModelSpec
+from repro.npu.chip import NpuChip
+from repro.sim.engine import Resource
+
+
+@dataclass
+class OverlapTimeline:
+    """Outcome of one request's head-pipelined MHA execution."""
+
+    total_cycles: float
+    pim_busy: float
+    vector_busy: float
+
+    @property
+    def pim_idle_fraction(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return 1.0 - min(1.0, self.pim_busy / self.total_cycles)
+
+    @property
+    def vector_idle_fraction(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return 1.0 - min(1.0, self.vector_busy / self.total_cycles)
+
+
+class HeadPipelineModel:
+    """Schedules one request's MHA at head granularity.
+
+    Parameters
+    ----------
+    spec:
+        Model describing head count and dimensions.
+    dual_row_buffer:
+        With dual row buffers the three per-head operations pipeline
+        (logit on PIM, softmax on NPU-V, attend on PIM); blocked mode
+        serializes them and adds the PIM<->host transfer per head.
+    """
+
+    def __init__(self, spec: ModelSpec,
+                 org: Optional[HbmOrganization] = None,
+                 estimator: Optional[MhaLatencyEstimator] = None,
+                 npu: Optional[NpuChip] = None,
+                 dual_row_buffer: bool = True,
+                 transfer_cycles: float = 50.0) -> None:
+        if transfer_cycles < 0:
+            raise ValueError("transfer_cycles must be non-negative")
+        self.spec = spec
+        self.org = org or HbmOrganization()
+        self.estimator = estimator or MhaLatencyEstimator(
+            spec, self.org, analytic_latencies())
+        self.npu = npu or NpuChip(org=self.org)
+        self.dual_row_buffer = dual_row_buffer
+        self.transfer_cycles = transfer_cycles
+
+    def _per_head_cycles(self, seq_len: int):
+        """(logit, softmax, attend) cycles for one head."""
+        heads = self.spec.num_heads
+        logit = self.estimator.logit_latency(seq_len) / heads
+        attend = self.estimator.attend_latency(seq_len) / heads
+        softmax = self.npu.softmax_latency(seq_len, 1)
+        return logit, softmax, attend
+
+    def run(self, seq_len: int) -> OverlapTimeline:
+        """Execute the per-head pipeline; returns the timeline."""
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+        logit, softmax, attend = self._per_head_cycles(seq_len)
+        pim = Resource("pim")
+        vector = Resource("npu_v")
+
+        if self.dual_row_buffer:
+            # Heads flow through a 3-stage pipeline.
+            for _ in range(self.spec.num_heads):
+                _, logit_end = pim.acquire_for(logit)
+                _, softmax_end = vector.acquire_for(softmax,
+                                                    earliest=logit_end)
+                pim.acquire_for(attend, earliest=softmax_end)
+            total = pim.free_at
+        else:
+            # Blocked mode: logit -> transfer out -> softmax -> transfer
+            # back -> attend, strictly serial per head, PIM held throughout.
+            clock = 0.0
+            for _ in range(self.spec.num_heads):
+                _, end = pim.acquire_for(logit, earliest=clock)
+                clock = end + self.transfer_cycles
+                _, end = vector.acquire_for(softmax, earliest=clock)
+                clock = end + self.transfer_cycles
+                _, end = pim.acquire_for(attend, earliest=clock)
+                clock = end
+            total = clock
+        return OverlapTimeline(total_cycles=total,
+                               pim_busy=pim.busy_time,
+                               vector_busy=vector.busy_time)
+
+    def overlap_speedup(self, seq_len: int) -> float:
+        """Blocked-mode time over dual-row-buffer time for one request."""
+        dual = HeadPipelineModel(self.spec, self.org, self.estimator,
+                                 self.npu, dual_row_buffer=True,
+                                 transfer_cycles=self.transfer_cycles)
+        blocked = HeadPipelineModel(self.spec, self.org, self.estimator,
+                                    self.npu, dual_row_buffer=False,
+                                    transfer_cycles=self.transfer_cycles)
+        return blocked.run(seq_len).total_cycles \
+            / dual.run(seq_len).total_cycles

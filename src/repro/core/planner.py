@@ -1,0 +1,143 @@
+"""Deployment planner: choose batch size and parallelism for a model.
+
+The kind of tool a NeuPIMs operator needs (and that the paper's Figure 14
+discussion implies): given a model and a device inventory, enumerate the
+feasible (TP, PP, batch) points — feasibility means the weights fit the
+devices and the KV cache fits the channels — and pick the
+throughput-optimal configuration, optionally under a latency constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.sweep import SweepAxis, run_sweep
+from repro.core.config import NeuPimsConfig
+from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.model.spec import ModelSpec
+from repro.serving.trace import DatasetTrace, warmed_batch
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One evaluated deployment configuration."""
+
+    tp: int
+    pp: int
+    batch_size: int
+    devices: int
+    throughput_tokens_per_second: float
+    iteration_latency_ms: float
+    weights_fit: bool
+    kv_fits: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.weights_fit and self.kv_fits
+
+
+def weights_fit(spec: ModelSpec, scheme: ParallelismScheme,
+                config: Optional[NeuPimsConfig] = None,
+                weight_capacity_fraction: float = 0.5) -> bool:
+    """Whether the model shard's weights fit one device's memory.
+
+    ``weight_capacity_fraction`` reserves the rest for the KV cache and
+    activations.
+    """
+    config = config or NeuPimsConfig()
+    if not 0 < weight_capacity_fraction <= 1:
+        raise ValueError("weight_capacity_fraction must be in (0, 1]")
+    shard_bytes = spec.weight_bytes / scheme.tp \
+        * spec.layers_per_stage(scheme.pp) / spec.num_layers
+    budget = config.org.total_capacity * weight_capacity_fraction
+    return shard_bytes <= budget
+
+
+def kv_fits(spec: ModelSpec, scheme: ParallelismScheme, batch_size: int,
+            avg_seq_len: int, config: Optional[NeuPimsConfig] = None,
+            kv_capacity_fraction: float = 0.45) -> bool:
+    """Whether the batch's KV cache fits the TP group's pooled channels."""
+    config = config or NeuPimsConfig()
+    if batch_size <= 0 or avg_seq_len <= 0:
+        raise ValueError("batch_size and avg_seq_len must be positive")
+    per_device_requests = -(-batch_size // scheme.pp)
+    layers = spec.layers_per_stage(scheme.pp)
+    kv_bytes = (per_device_requests * avg_seq_len
+                * 2 * spec.d_model * spec.dtype_bytes * layers)
+    pooled_capacity = (config.org.total_capacity * scheme.tp
+                       * kv_capacity_fraction)
+    return kv_bytes <= pooled_capacity
+
+
+@dataclass
+class DeploymentPlan:
+    """Planner output: all evaluated points plus the chosen one."""
+
+    points: List[PlanPoint]
+    best: Optional[PlanPoint]
+
+
+def plan_deployment(
+    spec: ModelSpec,
+    trace: DatasetTrace,
+    max_devices: int = 8,
+    batch_sizes: Optional[List[int]] = None,
+    max_iteration_latency_ms: Optional[float] = None,
+    config: Optional[NeuPimsConfig] = None,
+    seed: int = 0,
+) -> DeploymentPlan:
+    """Enumerate configurations and pick the best feasible one.
+
+    The objective is system throughput; ``max_iteration_latency_ms``
+    optionally bounds per-token latency (a TPOT SLO).
+    """
+    if max_devices <= 0:
+        raise ValueError("max_devices must be positive")
+    config = config or NeuPimsConfig()
+    batch_sizes = batch_sizes or [64, 128, 256, 512]
+
+    tp_values = [t for t in (1, 2, 4, 8, 16)
+                 if t <= max_devices and spec.num_heads % t == 0]
+    pp_values = [p for p in (1, 2, 4, 8) if p <= max_devices]
+
+    def skip(tp: int, pp: int, batch_size: int) -> bool:
+        return tp * pp > max_devices
+
+    def evaluate(tp: int, pp: int, batch_size: int):
+        scheme = ParallelismScheme(tp, pp)
+        batch = warmed_batch(trace, batch_size, seed=seed)
+        avg_seq = max(1, sum(r.seq_len for r in batch) // len(batch))
+        fits_w = weights_fit(spec, scheme, config)
+        fits_kv = kv_fits(spec, scheme, batch_size, avg_seq, config)
+        system = NeuPimsSystem(spec, scheme, config=config)
+        throughput = system.throughput_tokens_per_second(batch)
+        latency_ms = system.iteration_latency(batch) / 1e6
+        return {
+            "devices": tp * pp,
+            "throughput": throughput,
+            "latency_ms": latency_ms,
+            "weights_fit": fits_w,
+            "kv_fits": fits_kv,
+        }
+
+    sweep = run_sweep(
+        [SweepAxis("tp", tp_values), SweepAxis("pp", pp_values),
+         SweepAxis("batch_size", batch_sizes)],
+        evaluate, skip=skip)
+
+    points = [
+        PlanPoint(tp=r["tp"], pp=r["pp"], batch_size=r["batch_size"],
+                  devices=r["devices"],
+                  throughput_tokens_per_second=r["throughput"],
+                  iteration_latency_ms=r["latency_ms"],
+                  weights_fit=r["weights_fit"], kv_fits=r["kv_fits"])
+        for r in sweep.records
+    ]
+    candidates = [p for p in points if p.feasible]
+    if max_iteration_latency_ms is not None:
+        candidates = [p for p in candidates
+                      if p.iteration_latency_ms <= max_iteration_latency_ms]
+    best = max(candidates, key=lambda p: p.throughput_tokens_per_second,
+               default=None)
+    return DeploymentPlan(points=points, best=best)

@@ -1,0 +1,151 @@
+"""Summarization (prefill) phase on standalone NPUs (paper Figure 7, §4).
+
+The NeuPIMs system delegates the summarization phase — entirely GEMMs —
+to *standalone* NPUs, while the NeuPIMs devices run the generation phase.
+This module models that split: prefill latency of a prompt on a standalone
+NPU, the handoff of the KV cache into the NeuPIMs device's PIM channels,
+and an end-to-end request lifecycle combining both phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.config import NeuPimsConfig
+from repro.core.device import NeuPimsDevice
+from repro.model.layers import decoder_block_operators
+from repro.model.spec import ModelSpec
+from repro.npu.chip import NpuChip
+from repro.serving.request import InferenceRequest
+
+
+@dataclass(frozen=True)
+class PrefillResult:
+    """Timing of one prompt's summarization phase."""
+
+    prompt_tokens: int
+    compute_cycles: float
+    kv_transfer_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.compute_cycles + self.kv_transfer_cycles
+
+
+class StandaloneNpu:
+    """A standalone NPU executing summarization-phase decoder blocks.
+
+    Parameters
+    ----------
+    spec:
+        Model (prefill runs the full decoder stack).
+    config:
+        Hardware configuration (shares the NPU/HBM models).
+    tp:
+        Tensor-parallel degree across standalone NPUs.
+    kv_link_bandwidth:
+        Bytes/second of the interconnect carrying the produced KV cache to
+        the NeuPIMs device (PCIe/CXL class, Figure 7's high-bandwidth
+        interconnect).
+    """
+
+    def __init__(self, spec: ModelSpec, config: Optional[NeuPimsConfig] = None,
+                 tp: int = 1, kv_link_bandwidth: float = 100e9) -> None:
+        if kv_link_bandwidth <= 0:
+            raise ValueError("kv_link_bandwidth must be positive")
+        self.spec = spec
+        self.config = config or NeuPimsConfig()
+        self.tp = tp
+        self.kv_link_bandwidth = kv_link_bandwidth
+        self.npu = NpuChip(self.config.npu, self.config.org,
+                           self.config.bandwidth_derate)
+
+    def prefill(self, prompt_tokens: int) -> PrefillResult:
+        """Summarize one prompt: all decoder blocks, GEMM-only."""
+        if prompt_tokens <= 0:
+            raise ValueError("prompt_tokens must be positive")
+        ops = decoder_block_operators(self.spec, [prompt_tokens], tp=self.tp,
+                                      phase="summarization")
+        per_block = 0.0
+        for op in ops:
+            # The roofline time of each summarization operator: all are
+            # GEMM-shaped (attention included).
+            compute = op.flops / (2 * self.npu.config.systolic.macs_per_cycle
+                                  * self.npu.config.num_systolic_arrays)
+            memory = self.npu._bytes_cycles(op.bytes_moved)
+            per_block += max(compute, memory)
+        compute_cycles = per_block * self.spec.num_layers
+
+        kv_bytes = prompt_tokens * self.spec.kv_bytes_per_token()
+        kv_cycles = kv_bytes / self.kv_link_bandwidth * 1e9
+        return PrefillResult(prompt_tokens=prompt_tokens,
+                             compute_cycles=compute_cycles,
+                             kv_transfer_cycles=kv_cycles)
+
+    def prefill_batch(self, prompt_lengths: Sequence[int]) -> PrefillResult:
+        """Summarize a batch of prompts (selective batching applies)."""
+        if not prompt_lengths:
+            raise ValueError("empty prompt batch")
+        ops = decoder_block_operators(self.spec, list(prompt_lengths),
+                                      tp=self.tp, phase="summarization")
+        per_block = 0.0
+        for op in ops:
+            compute = op.flops / (2 * self.npu.config.systolic.macs_per_cycle
+                                  * self.npu.config.num_systolic_arrays)
+            memory = self.npu._bytes_cycles(op.bytes_moved)
+            per_block += max(compute, memory)
+        compute_cycles = per_block * self.spec.num_layers
+        kv_bytes = sum(prompt_lengths) * self.spec.kv_bytes_per_token()
+        kv_cycles = kv_bytes / self.kv_link_bandwidth * 1e9
+        return PrefillResult(prompt_tokens=sum(prompt_lengths),
+                             compute_cycles=compute_cycles,
+                             kv_transfer_cycles=kv_cycles)
+
+
+@dataclass
+class EndToEndResult:
+    """Timing of one request's full lifecycle (prefill + generation)."""
+
+    prefill_cycles: float
+    generation_cycles: float
+    output_tokens: int
+
+    @property
+    def total_cycles(self) -> float:
+        return self.prefill_cycles + self.generation_cycles
+
+    @property
+    def ttft_cycles(self) -> float:
+        """Time to first token = prefill (the first token comes with it)."""
+        return self.prefill_cycles
+
+
+def end_to_end_request(spec: ModelSpec, request: InferenceRequest,
+                       device: Optional[NeuPimsDevice] = None,
+                       prefill_npu: Optional[StandaloneNpu] = None,
+                       batch_context: int = 64) -> EndToEndResult:
+    """Estimate one request's full latency through the NeuPIMs system.
+
+    The request prefills on the standalone NPU, then generates its output
+    tokens on the NeuPIMs device amortized over a batch of
+    ``batch_context`` concurrent requests (its share of each iteration is
+    the full iteration latency — iteration time is what separates its
+    successive tokens).
+    """
+    device = device or NeuPimsDevice(spec, tp=spec.tensor_parallel)
+    prefill_npu = prefill_npu or StandaloneNpu(spec, device.config,
+                                               tp=spec.tensor_parallel)
+    prefill = prefill_npu.prefill(request.input_len)
+
+    # Steady-state iteration latency with this request in a typical batch.
+    from repro.serving.trace import SHAREGPT, warmed_batch
+    context = warmed_batch(SHAREGPT, batch_context, seed=request.request_id)
+    peers = list(context[:-1]) + [request]
+    iteration = device.iteration(peers).latency
+    generation = iteration * request.output_len
+    return EndToEndResult(
+        prefill_cycles=prefill.total_cycles,
+        generation_cycles=generation,
+        output_tokens=request.output_len,
+    )

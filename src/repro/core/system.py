@@ -1,0 +1,146 @@
+"""Multi-device NeuPIMs system: tensor + pipeline parallelism (paper §7).
+
+Scales the single-device model to ``tp x pp`` devices:
+
+* **Tensor parallelism** shards every weight GEMM ``tp`` ways; an
+  all-reduce of the activations follows the attention projection and the
+  second FFN GEMM of every block.  Sub-batch interleaving doubles the
+  number of all-reduces but halves their size, and the communication of
+  one sub-batch overlaps the computation of the other (paper §7.2), so
+  only part of the communication latency is exposed.
+* **Pipeline parallelism** splits the decoder stack into ``pp`` stages;
+  the batch is divided into ``pp`` micro-batches processed in a pipelined
+  fashion.  Steady-state throughput is one micro-batch iteration per
+  pipeline pitch (the per-device iteration latency).
+
+Figure 14 fixes the *total* request count and varies (TP, PP), showing
+TP-heavy schemes win because they keep the per-device batch large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List, Optional, Sequence
+
+from repro.core.config import NeuPimsConfig
+from repro.core.device import NeuPimsDevice
+from repro.model.spec import ModelSpec
+from repro.serving.request import InferenceRequest
+
+
+@dataclass(frozen=True)
+class ParallelismScheme:
+    """A (tensor-parallel, pipeline-parallel) partitioning."""
+
+    tp: int
+    pp: int
+
+    def __post_init__(self) -> None:
+        if self.tp <= 0 or self.pp <= 0:
+            raise ValueError("tp and pp must be positive")
+
+    @property
+    def num_devices(self) -> int:
+        return self.tp * self.pp
+
+    def __str__(self) -> str:
+        return f"(TP={self.tp}, PP={self.pp})"
+
+
+class NeuPimsSystem:
+    """A cluster of NeuPIMs devices running one model.
+
+    Parameters
+    ----------
+    spec:
+        Model to serve.
+    scheme:
+        Parallelism partitioning; defaults to the model's Table 3 entry.
+    config:
+        Per-device configuration.
+    interconnect_bandwidth:
+        Bytes/second of the inter-device link (PCIe/CXL class).
+    """
+
+    def __init__(self, spec: ModelSpec,
+                 scheme: Optional[ParallelismScheme] = None,
+                 config: Optional[NeuPimsConfig] = None,
+                 interconnect_bandwidth: float = 100e9) -> None:
+        if interconnect_bandwidth <= 0:
+            raise ValueError("interconnect_bandwidth must be positive")
+        self.spec = spec
+        self.scheme = scheme or ParallelismScheme(spec.tensor_parallel,
+                                                  spec.pipeline_parallel)
+        self.config = config or NeuPimsConfig()
+        self.interconnect_bandwidth = interconnect_bandwidth
+        self.layers_per_stage = spec.layers_per_stage(self.scheme.pp)
+        # A TP group pools its members' PIM channels: each request's KV
+        # cache lives on one channel of one group member, so the MHA load
+        # spreads across tp x channels while weight GEMMs shard tp ways.
+        self.device = NeuPimsDevice(
+            spec, self.config, tp=self.scheme.tp,
+            layers_resident=self.layers_per_stage,
+            channel_pool=self.scheme.tp * self.config.num_channels,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _allreduce_cycles(self, batch_tokens: int) -> float:
+        """Exposed all-reduce cycles per decoder block for one sub-batch.
+
+        Ring all-reduce moves ``2 (tp-1)/tp`` of the activation bytes per
+        participant; two all-reduces per block (after projection and after
+        FFN2).  Under sub-batch interleaving half of it hides behind the
+        other sub-batch's compute.
+        """
+        if self.scheme.tp == 1:
+            return 0.0
+        bytes_per = (2 * (self.scheme.tp - 1) / self.scheme.tp
+                     * batch_tokens * self.spec.d_model * self.spec.dtype_bytes)
+        total_bytes = 2 * bytes_per  # two all-reduces per block
+        seconds = total_bytes / self.interconnect_bandwidth
+        cycles = seconds * 1e9
+        if self.config.sub_batch_interleaving:
+            cycles *= 0.5
+        return cycles
+
+    def micro_batches(self, requests: Sequence[InferenceRequest]
+                      ) -> List[List[InferenceRequest]]:
+        """Split the batch into ``pp`` micro-batches (contiguous slices)."""
+        pp = self.scheme.pp
+        size = ceil(len(requests) / pp)
+        slices = [list(requests[i * size:(i + 1) * size]) for i in range(pp)]
+        return [s for s in slices if s]
+
+    def pipeline_pitch(self, requests: Sequence[InferenceRequest]) -> float:
+        """Steady-state pitch: per-device iteration latency on a micro-batch."""
+        if not requests:
+            raise ValueError("empty batch")
+        micro = self.micro_batches(requests)[0]
+        result = self.device.iteration(micro)
+        comm = self._allreduce_cycles(len(micro)) * self.layers_per_stage
+        return result.latency + comm
+
+    def iteration_latency(self, requests: Sequence[InferenceRequest]) -> float:
+        """Latency for every request to advance one token.
+
+        With ``pp`` micro-batches in flight, the pipeline completes one
+        micro-batch per pitch; a full batch iteration spans ``pp`` pitches.
+        """
+        return self.pipeline_pitch(requests) * self.scheme.pp
+
+    def throughput_tokens_per_second(self, requests: Sequence[InferenceRequest],
+                                     clock_hz: float = 1e9) -> float:
+        """Steady-state generation throughput for the given batch."""
+        if not requests:
+            return 0.0
+        micro = self.micro_batches(requests)[0]
+        pitch = self.pipeline_pitch(requests)
+        return len(micro) / (pitch / clock_hz)
+
+    def executor(self):
+        """A :data:`~repro.serving.scheduler.BatchExecutor` for the system."""
+        def run(batch: Sequence[InferenceRequest]) -> float:
+            return self.iteration_latency(batch)
+        return run

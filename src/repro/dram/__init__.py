@@ -1,0 +1,55 @@
+"""DRAM/HBM substrate: timing, banks, channels, controllers, power."""
+
+from repro.dram.bank import Bank, StructuralHazard, TimingViolation
+from repro.dram.channel import Channel, IssueRecord
+from repro.dram.commands import (
+    COMPOSITE_COMMANDS,
+    PIM_COMMANDS,
+    BufferTarget,
+    Command,
+    CommandType,
+    buffer_target,
+    ca_bus_cycles,
+)
+from repro.dram.controller import ControllerConfig, MemoryController
+from repro.dram.power import PowerModel, PowerParams, PowerReport
+from repro.dram.timing import (
+    DEFAULT_ORGANIZATION,
+    DEFAULT_PIM_TIMING,
+    DEFAULT_TIMING,
+    HbmOrganization,
+    PimTiming,
+    TimingParams,
+)
+
+from repro.dram.address import AddressMapper, BankInterleaved, ChannelInterleaved, Coordinates
+
+__all__ = [
+    "Bank",
+    "StructuralHazard",
+    "TimingViolation",
+    "Channel",
+    "IssueRecord",
+    "COMPOSITE_COMMANDS",
+    "PIM_COMMANDS",
+    "BufferTarget",
+    "Command",
+    "CommandType",
+    "buffer_target",
+    "ca_bus_cycles",
+    "ControllerConfig",
+    "MemoryController",
+    "PowerModel",
+    "PowerParams",
+    "PowerReport",
+    "DEFAULT_ORGANIZATION",
+    "DEFAULT_PIM_TIMING",
+    "DEFAULT_TIMING",
+    "HbmOrganization",
+    "PimTiming",
+    "TimingParams",
+    "AddressMapper",
+    "BankInterleaved",
+    "ChannelInterleaved",
+    "Coordinates",
+]

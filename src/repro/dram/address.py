@@ -1,0 +1,160 @@
+"""Physical address mapping for the PIM-enabled HBM stack.
+
+Maps linear byte addresses to (channel, bank group, bank, row, column)
+coordinates and back.  Two interleaving orders are provided:
+
+* ``ChannelInterleaved`` — consecutive cache lines rotate across channels
+  (the layout regular NPU traffic wants: weight streams spread over all
+  channels for full aggregate bandwidth);
+* ``BankInterleaved`` — consecutive rows rotate across banks *within* a
+  channel (the layout the KV cache wants: a request's matrix rows spread
+  over its channel's banks so a dot-product wave engages all of them,
+  §6.3).
+
+The mapping is exercised by the KV-layout and compiler tests, which check
+that the tile enumeration of Algorithm 1 agrees with the addresses a
+request's KV cache actually occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.timing import HbmOrganization
+
+
+@dataclass(frozen=True)
+class Coordinates:
+    """Decoded location of one byte address."""
+
+    channel: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def bank_group(self) -> int:
+        """Bank group under the default 4-banks-per-group organization."""
+        return self.bank // 4
+
+
+class AddressMapper:
+    """Base mapper: validates geometry and round-trips addresses."""
+
+    def __init__(self, org: Optional[HbmOrganization] = None,
+                 line_bytes: int = 64) -> None:
+        if line_bytes <= 0:
+            raise ValueError("line_bytes must be positive")
+        self.org = org or HbmOrganization()
+        self.line_bytes = line_bytes
+        if self.org.page_bytes % line_bytes != 0:
+            raise ValueError("page size must be a multiple of the line size")
+        self.lines_per_page = self.org.page_bytes // line_bytes
+        self.rows_per_bank = self.org.rows_per_bank()
+
+    @property
+    def total_bytes(self) -> int:
+        return self.org.total_capacity
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.total_bytes:
+            raise ValueError(
+                f"address {address:#x} out of range (capacity "
+                f"{self.total_bytes:#x})")
+
+    def decode(self, address: int) -> Coordinates:
+        """Map a byte address to (channel, bank, row, column)."""
+        raise NotImplementedError
+
+    def encode(self, coords: Coordinates) -> int:
+        """Map coordinates back to the byte address (decode inverse)."""
+        raise NotImplementedError
+
+
+class ChannelInterleaved(AddressMapper):
+    """Line-granularity channel interleaving (NPU streaming layout).
+
+    Address bits, low to high: line offset | channel | column-line |
+    bank | row.
+    """
+
+    def decode(self, address: int) -> Coordinates:
+        """Decode under line-granularity channel interleaving."""
+        self._check(address)
+        line = address // self.line_bytes
+        offset_in_line = address % self.line_bytes
+        channel = line % self.org.channels
+        line //= self.org.channels
+        column_line = line % self.lines_per_page
+        line //= self.lines_per_page
+        bank = line % self.org.banks_per_channel
+        row = line // self.org.banks_per_channel
+        return Coordinates(channel=channel, bank=bank, row=row,
+                           column=column_line * self.line_bytes
+                           + offset_in_line)
+
+    def encode(self, coords: Coordinates) -> int:
+        """Encode under line-granularity channel interleaving."""
+        column_line = coords.column // self.line_bytes
+        offset = coords.column % self.line_bytes
+        line = coords.row
+        line = line * self.org.banks_per_channel + coords.bank
+        line = line * self.lines_per_page + column_line
+        line = line * self.org.channels + coords.channel
+        return line * self.line_bytes + offset
+
+
+class BankInterleaved(AddressMapper):
+    """Row-granularity bank interleaving within one channel (KV layout).
+
+    Consecutive *pages* rotate across the channel's banks, so matrix row
+    ``i`` of a GEMV operand lands on bank ``i % banks`` — exactly the
+    §6.3 key-cache placement Algorithm 1 assumes.
+    """
+
+    def __init__(self, channel: int,
+                 org: Optional[HbmOrganization] = None,
+                 line_bytes: int = 64, base_row: int = 0) -> None:
+        super().__init__(org, line_bytes)
+        if not 0 <= channel < self.org.channels:
+            raise ValueError(f"invalid channel {channel}")
+        if base_row < 0:
+            raise ValueError("base_row must be non-negative")
+        self.channel = channel
+        self.base_row = base_row
+
+    @property
+    def total_bytes(self) -> int:
+        rows_available = self.rows_per_bank - self.base_row
+        return rows_available * self.org.banks_per_channel \
+            * self.org.page_bytes
+
+    def decode(self, address: int) -> Coordinates:
+        """Decode under page-granularity bank interleaving."""
+        self._check(address)
+        page = address // self.org.page_bytes
+        column = address % self.org.page_bytes
+        bank = page % self.org.banks_per_channel
+        row = self.base_row + page // self.org.banks_per_channel
+        return Coordinates(channel=self.channel, bank=bank, row=row,
+                           column=column)
+
+    def encode(self, coords: Coordinates) -> int:
+        """Encode under page-granularity bank interleaving."""
+        if coords.channel != self.channel:
+            raise ValueError("coordinates belong to another channel")
+        page = ((coords.row - self.base_row) * self.org.banks_per_channel
+                + coords.bank)
+        return page * self.org.page_bytes + coords.column
+
+    def matrix_row_location(self, row_index: int,
+                            row_bytes: int) -> Coordinates:
+        """Location of GEMV matrix row ``row_index``'s first byte.
+
+        Rows are padded to whole pages (the layout the dot-product waves
+        require: one open page per bank per wave).
+        """
+        pages_per_row = -(-row_bytes // self.org.page_bytes)
+        address = row_index * pages_per_row * self.org.page_bytes
+        return self.decode(address)

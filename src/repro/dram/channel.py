@@ -1,0 +1,359 @@
+"""A PIM-capable HBM channel: banks, C/A bus, data bus, tFAW tracking.
+
+The channel is where the concurrency story of the paper plays out: one
+command/address (C/A) bus is shared between regular memory commands and PIM
+commands, one data bus carries read/write bursts and PIM results, and the
+32 banks execute both flows.  The channel enforces:
+
+* C/A bus serialization — each command occupies the bus for
+  :func:`repro.dram.commands.ca_bus_cycles` cycles;
+* the four-activation window (tFAW) across *all* activates, including the
+  grouped ``PIM_ACTIVATION`` (which counts as 4);
+* per-bank timing via :class:`repro.dram.bank.Bank`.
+
+It also owns the channel-scope PIM state: the global vector buffer
+(operand vector for GEMV) and the per-bank accumulators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.dram.bank import Bank, StructuralHazard
+from repro.dram.commands import BufferTarget, Command, CommandType, ca_bus_cycles
+from repro.dram.timing import HbmOrganization, PimTiming, TimingParams
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class IssueRecord:
+    """Outcome of issuing one command on the channel."""
+
+    command: Command
+    issue_time: float
+    bus_release: float
+    complete_time: float
+
+
+class Channel:
+    """One HBM channel with PIM-capable banks.
+
+    Parameters
+    ----------
+    index:
+        Channel index within the device.
+    timing, org, pim_timing:
+        Hardware parameters (Table 2 defaults).
+    dual_row_buffer:
+        Build NeuPIMs banks (``True``) or blocked-mode banks (``False``).
+    stats:
+        Optional shared stats registry; the channel records command counts
+        and C/A-bus busy cycles into it (used by the Figure 9 bench).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        timing: TimingParams = None,  # type: ignore[assignment]
+        org: HbmOrganization = None,  # type: ignore[assignment]
+        pim_timing: PimTiming = None,  # type: ignore[assignment]
+        dual_row_buffer: bool = True,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.index = index
+        self.timing = timing or TimingParams()
+        self.org = org or HbmOrganization()
+        self.pim_timing = pim_timing or PimTiming()
+        self.dual_row_buffer = dual_row_buffer
+        self.stats = stats or StatsRegistry()
+        self.banks: List[Bank] = [
+            Bank(i, self.timing, dual_row_buffer)
+            for i in range(self.org.banks_per_channel)
+        ]
+        self._ca_free_at = 0.0
+        self._ca_busy_cycles = 0.0
+        #: booked (start, end) busy intervals on the shared data bus,
+        #: kept sorted; bursts may be booked in the future (PIM results),
+        #: so reads fill earlier gaps (first-fit).
+        self._data_busy: List[Tuple[float, float]] = []
+        self._act_window: Deque[float] = deque()
+        #: row currently staged in the global vector buffer (None = empty)
+        self.global_vector_row: Optional[Tuple[int, int]] = None
+        self._issued: List[IssueRecord] = []
+
+    # ------------------------------------------------------------------
+    # Bus bookkeeping.
+    # ------------------------------------------------------------------
+
+    @property
+    def ca_busy_cycles(self) -> float:
+        """Total cycles the C/A bus carried commands."""
+        return self._ca_busy_cycles
+
+    @property
+    def ca_free_at(self) -> float:
+        return self._ca_free_at
+
+    def ca_utilization(self, horizon: float) -> float:
+        """C/A bus busy fraction over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self._ca_busy_cycles / horizon)
+
+    def _book_ca(self, earliest: float, cycles: int) -> float:
+        start = max(earliest, self._ca_free_at)
+        self._ca_free_at = start + cycles
+        self._ca_busy_cycles += cycles
+        return start
+
+    def _book_data(self, earliest: float, duration: float) -> float:
+        """First-fit booking on the shared data bus; returns burst start."""
+        start = earliest
+        for busy_start, busy_end in self._data_busy:
+            if start + duration <= busy_start:
+                break
+            if start < busy_end:
+                start = busy_end
+        self._data_busy.append((start, start + duration))
+        self._data_busy.sort()
+        return start
+
+    def _respect_faw(self, t: float, activations: int) -> float:
+        """Earliest time ``activations`` new ACTs fit in the tFAW window."""
+        while True:
+            window_start = t - self.timing.tFAW
+            recent = [a for a in self._act_window if a > window_start]
+            if len(recent) + activations <= 4:
+                self._act_window = deque(recent)
+                return t
+            # Wait until the oldest blocking activate leaves the window.
+            t = recent[0] + self.timing.tFAW
+            # Small epsilon not needed: strictly-greater comparison above.
+
+    def _record_acts(self, time: float, count: int) -> None:
+        for _ in range(count):
+            self._act_window.append(time)
+
+    # ------------------------------------------------------------------
+    # Command issue.
+    # ------------------------------------------------------------------
+
+    def issue(self, cmd: Command, earliest: float = 0.0) -> IssueRecord:
+        """Issue ``cmd`` at the earliest legal time at or after ``earliest``.
+
+        Returns an :class:`IssueRecord` whose ``complete_time`` is when the
+        command's effect finishes (data burst end for RD/WR, accumulate end
+        for DOTPRODUCT, full GEMV end for PIM_GEMV, ...).
+        """
+        handler = {
+            CommandType.ACT: self._issue_act,
+            CommandType.PRE: self._issue_pre,
+            CommandType.RD: self._issue_rdwr,
+            CommandType.WR: self._issue_rdwr,
+            CommandType.REF: self._issue_ref,
+            CommandType.PIM_GWRITE: self._issue_gwrite,
+            CommandType.PIM_ACTIVATION: self._issue_pim_act,
+            CommandType.PIM_DOTPRODUCT: self._issue_dotprod,
+            CommandType.PIM_RDRESULT: self._issue_rdresult,
+            CommandType.PIM_HEADER: self._issue_header,
+            CommandType.PIM_GEMV: self._issue_gemv,
+            CommandType.PIM_PRECHARGE: self._issue_pim_pre,
+        }[cmd.ctype]
+        record = handler(cmd, earliest)
+        self._issued.append(record)
+        self.stats.add(f"cmd.{cmd.ctype.value}")
+        return record
+
+    @property
+    def issued(self) -> List[IssueRecord]:
+        """All issue records in order."""
+        return list(self._issued)
+
+    # -- regular memory commands ---------------------------------------
+
+    def _issue_act(self, cmd: Command, earliest: float) -> IssueRecord:
+        bank = self.banks[cmd.bank]
+        t = bank.earliest_activate(BufferTarget.MEM, earliest)
+        t = self._respect_faw(max(t, self._ca_free_at), 1)
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        bank.activate(BufferTarget.MEM, cmd.row, start)
+        self._record_acts(start, 1)
+        return IssueRecord(cmd, start, self._ca_free_at,
+                           start + self.timing.tRCD)
+
+    def _issue_pre(self, cmd: Command, earliest: float) -> IssueRecord:
+        bank = self.banks[cmd.bank]
+        t = bank.earliest_precharge(BufferTarget.MEM, earliest)
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        bank.precharge(BufferTarget.MEM, start)
+        return IssueRecord(cmd, start, self._ca_free_at,
+                           start + self.timing.tRP)
+
+    def _issue_rdwr(self, cmd: Command, earliest: float) -> IssueRecord:
+        bank = self.banks[cmd.bank]
+        is_write = cmd.ctype is CommandType.WR
+        row = bank.open_row(BufferTarget.MEM)
+        if row is None:
+            raise StructuralHazard(
+                f"channel {self.index} bank {cmd.bank}: no open MEM row for "
+                f"{cmd.ctype.value}"
+            )
+        t = bank.earliest_column(BufferTarget.MEM, row, earliest)
+        if not self.dual_row_buffer and bank.is_blocked_for_mem(t):
+            t = bank.pim_busy_until
+        t = max(t, self._ca_free_at)
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        data_end = bank.column_access(BufferTarget.MEM, row, start, is_write)
+        # Data bus is shared across banks of the channel.
+        burst_start = self._book_data(data_end - self.timing.tBL,
+                                      self.timing.tBL)
+        self.stats.add("data.bytes", self.org.bus_bytes_per_cycle * self.timing.tBL)
+        return IssueRecord(cmd, start, self._ca_free_at,
+                           burst_start + self.timing.tBL)
+
+    def _issue_ref(self, cmd: Command, earliest: float) -> IssueRecord:
+        # Refresh requires all banks precharged; model as closing them.
+        t = max(earliest, self._ca_free_at)
+        for bank in self.banks:
+            for target in ((BufferTarget.MEM, BufferTarget.PIM)
+                           if self.dual_row_buffer else (BufferTarget.MEM,)):
+                if bank.open_row(target) is not None:
+                    t = max(t, bank.earliest_precharge(target, t))
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        for bank in self.banks:
+            bank.refresh(start, self.timing.tRFC)
+        return IssueRecord(cmd, start, self._ca_free_at,
+                           start + self.timing.tRFC)
+
+    # -- baseline PIM commands ------------------------------------------
+
+    def _issue_gwrite(self, cmd: Command, earliest: float) -> IssueRecord:
+        """Copy a row of a bank into the channel's global vector buffer."""
+        t = max(earliest, self._ca_free_at)
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        end = start + self.pim_timing.gwrite_cycles
+        self.global_vector_row = (cmd.bank or 0, cmd.row or 0)
+        if not self.dual_row_buffer:
+            for bank in self.banks:
+                bank.begin_pim_hold(end)
+        return IssueRecord(cmd, start, self._ca_free_at, end)
+
+    def _issue_pim_act(self, cmd: Command, earliest: float) -> IssueRecord:
+        """Grouped activation of up to 4 banks' PIM row buffers."""
+        if len(cmd.banks) > 4:
+            raise ValueError("PIM_ACTIVATION activates at most 4 banks (tFAW)")
+        target = BufferTarget.PIM if self.dual_row_buffer else BufferTarget.MEM
+        t = earliest
+        for b in cmd.banks:
+            t = max(t, self.banks[b].earliest_activate(target, t))
+        t = self._respect_faw(max(t, self._ca_free_at), len(cmd.banks))
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        for b in cmd.banks:
+            self.banks[b].activate(target, cmd.row, start)
+        self._record_acts(start, len(cmd.banks))
+        end = start + self.timing.tRCD
+        if not self.dual_row_buffer:
+            for b in cmd.banks:
+                self.banks[b].begin_pim_hold(end)
+        return IssueRecord(cmd, start, self._ca_free_at, end)
+
+    def _issue_dotprod(self, cmd: Command, earliest: float) -> IssueRecord:
+        """All-bank dot-product of open PIM rows against the global vector."""
+        if self.global_vector_row is None:
+            raise StructuralHazard("PIM_DOTPRODUCT with empty global vector buffer")
+        target = BufferTarget.PIM if self.dual_row_buffer else BufferTarget.MEM
+        t = earliest
+        active = [b for b in self.banks if b.open_row(target) is not None]
+        if not active:
+            raise StructuralHazard("PIM_DOTPRODUCT with no activated PIM rows")
+        for bank in active:
+            t = max(t, bank.earliest_column(target, bank.open_row(target), t))
+        t = max(t, self._ca_free_at)
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        duration = self.pim_timing.dotprod_cycles_per_page(self.org.page_bytes)
+        end = start + duration
+        for bank in active:
+            bank.column_access(target, bank.open_row(target), start)
+            if not self.dual_row_buffer:
+                bank.begin_pim_hold(end)
+        self.stats.add("pim.dotprods", len(active))
+        return IssueRecord(cmd, start, self._ca_free_at, end)
+
+    def _issue_rdresult(self, cmd: Command, earliest: float) -> IssueRecord:
+        """Drain per-bank accumulators over the data bus to the host."""
+        t = max(earliest, self._ca_free_at)
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        burst_start = self._book_data(start + self.timing.tCL,
+                                      self.pim_timing.rdresult_cycles)
+        end = burst_start + self.pim_timing.rdresult_cycles
+        return IssueRecord(cmd, start, self._ca_free_at, end)
+
+    # -- NeuPIMs composite commands ---------------------------------------
+
+    def _issue_header(self, cmd: Command, earliest: float) -> IssueRecord:
+        """Dimensionality announcement; occupies the bus, no bank effect."""
+        t = max(earliest, self._ca_free_at)
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        return IssueRecord(cmd, start, self._ca_free_at,
+                           start + self.pim_timing.header_cycles)
+
+    def gemv_wave_duration(self, num_banks: int) -> float:
+        """Duration of one internally-sequenced GEMV wave over ``num_banks``.
+
+        A wave activates ``num_banks`` PIM rows (in groups of 4 spaced by
+        tRRD_L, bounded by tFAW), waits tRCD, MACs the full page, then
+        precharges.  Used by ``PIM_GEMV`` whose internal sequencer replays
+        this pattern ``k`` times without per-step C/A commands.
+        """
+        groups = -(-num_banks // 4)
+        # Group i can start no earlier than i*tRRD_L, and each window of 30
+        # cycles (tFAW) admits one group of four.
+        act_spread = (groups - 1) * max(self.timing.tRRD_L,
+                                        self.timing.tFAW // 4 + 1)
+        mac = self.pim_timing.dotprod_cycles_per_page(self.org.page_bytes)
+        return act_spread + self.timing.tRCD + mac + self.timing.tRP
+
+    def _issue_gemv(self, cmd: Command, earliest: float) -> IssueRecord:
+        """Composite GEMV: ``k`` dot-product waves + result readout."""
+        if self.global_vector_row is None:
+            raise StructuralHazard("PIM_GEMV with empty global vector buffer")
+        target = BufferTarget.PIM if self.dual_row_buffer else BufferTarget.MEM
+        t = max(earliest, self._ca_free_at)
+        # Must wait until the PIM buffers are free (previous wave precharged).
+        open_banks = [b for b in self.banks if b.open_row(target) is not None]
+        for bank in open_banks:
+            t = max(t, bank.earliest_precharge(target, t))
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        for bank in open_banks:
+            bank.precharge(target, start)
+        wave = self.gemv_wave_duration(self.org.banks_per_channel)
+        # Successive waves pipeline: the next group of activates can begin
+        # while the previous wave's MAC drains, bounded by the row cycle.
+        wave_pitch = max(self.pim_timing.dotprod_cycles_per_page(self.org.page_bytes),
+                         self.timing.row_cycle // 2)
+        compute_end = start + wave + (cmd.k - 1) * wave_pitch
+        burst_start = self._book_data(compute_end,
+                                      self.pim_timing.rdresult_cycles)
+        end = burst_start + self.pim_timing.rdresult_cycles
+        if not self.dual_row_buffer:
+            for bank in self.banks:
+                bank.begin_pim_hold(end)
+        self.stats.add("pim.gemv_waves", cmd.k)
+        return IssueRecord(cmd, start, self._ca_free_at, end)
+
+    def _issue_pim_pre(self, cmd: Command, earliest: float) -> IssueRecord:
+        """Precharge PIM row buffers (all banks or one)."""
+        target = BufferTarget.PIM if self.dual_row_buffer else BufferTarget.MEM
+        banks = ([self.banks[cmd.bank]] if cmd.bank is not None else self.banks)
+        t = earliest
+        for bank in banks:
+            if bank.open_row(target) is not None:
+                t = max(t, bank.earliest_precharge(target, t))
+        t = max(t, self._ca_free_at)
+        start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
+        for bank in banks:
+            bank.precharge(target, start)
+        return IssueRecord(cmd, start, self._ca_free_at,
+                           start + self.timing.tRP)

@@ -1,0 +1,240 @@
+"""Per-channel memory controller with MEM/PIM command interleaving.
+
+Paper §5.3: each PIM channel has its own memory controller holding separate
+queues for regular memory read/write commands and PIM commands.  The
+controller *prioritizes PIM commands* — their issuing delay is larger but
+their C/A bandwidth share is small, so interleaving them first lets both
+flows proceed without starving either.  It is also responsible for not
+letting a refresh land in the middle of a GEMV: the ``PIM_HEADER`` command
+announces the GEMV's dimensionality so the controller can compute its
+duration and, if the GEMV would collide with the upcoming refresh deadline,
+refresh *early* instead (the paper's stated purpose of PIM_HEADER).
+
+Without headers (the baseline fine-grained command mode), a refresh may
+preempt a GEMV mid-flight; the controller then charges the re-activation
+penalty to the GEMV, which is one of the overheads the composite ISA
+removes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.dram.channel import Channel, IssueRecord
+from repro.dram.commands import Command, CommandType
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class ControllerConfig:
+    """Scheduling policy knobs.
+
+    Attributes
+    ----------
+    pim_priority:
+        Prefer the PIM queue when both queues have issuable commands
+        (paper default ``True``).
+    header_aware_refresh:
+        Use PIM_HEADER duration estimates to hoist refreshes out of GEMV
+        windows (NeuPIMs behaviour).  When ``False``, refreshes fire on
+        their tREFI deadline and may interrupt a GEMV.
+    refresh_enabled:
+        Disable to measure pure command streams (used in unit tests).
+    """
+
+    pim_priority: bool = True
+    header_aware_refresh: bool = True
+    refresh_enabled: bool = True
+
+
+class MemoryController:
+    """Drains MEM and PIM command queues onto one channel.
+
+    The controller runs in "batch replay" style: callers enqueue the
+    command streams produced by the compiler / PIM engine and then call
+    :meth:`drain`, which issues everything in a legal, policy-driven
+    order and returns the per-command issue records.
+    """
+
+    def __init__(self, channel: Channel,
+                 config: Optional[ControllerConfig] = None,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        self.channel = channel
+        self.config = config or ControllerConfig()
+        self.stats = stats or channel.stats
+        self.mem_queue: Deque[Command] = deque()
+        self.pim_queue: Deque[Command] = deque()
+        self._next_refresh = float(channel.timing.tREFI)
+        self._pending_gemv_cycles = 0.0
+        self.records: List[IssueRecord] = []
+        self._clock = 0.0
+        #: completion frontier of the dependent PIM flow (GWRITE -> ACT ->
+        #: DOTPROD -> RDRESULT must execute in order).
+        self._pim_frontier = 0.0
+        #: activations of the in-flight fine-grained wave; a refresh closes
+        #: all row buffers, so the controller must replay these afterwards.
+        self._open_pim_acts: List[Command] = []
+        #: rows opened by regular ACTs (bank -> row), also replayed after
+        #: a refresh so queued column commands find their rows open.
+        self._open_mem_rows: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def enqueue_mem(self, commands) -> None:
+        """Append regular memory commands (in program order)."""
+        self.mem_queue.extend(commands)
+
+    def enqueue_pim(self, commands) -> None:
+        """Append PIM commands (in program order)."""
+        self.pim_queue.extend(commands)
+
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    # ------------------------------------------------------------------
+
+    def _estimate_duration(self, cmd: Command) -> float:
+        """Upper-bound duration estimate used for refresh avoidance."""
+        timing = self.channel.timing
+        pim = self.channel.pim_timing
+        if cmd.ctype is CommandType.PIM_GEMV:
+            wave = self.channel.gemv_wave_duration(
+                self.channel.org.banks_per_channel)
+            return wave * cmd.k + pim.rdresult_cycles
+        if cmd.ctype is CommandType.PIM_GWRITE:
+            return pim.gwrite_cycles
+        if cmd.ctype is CommandType.PIM_DOTPRODUCT:
+            return pim.dotprod_cycles_per_page(self.channel.org.page_bytes)
+        if cmd.ctype is CommandType.PIM_ACTIVATION:
+            return timing.tRCD
+        return timing.tCL + timing.tBL
+
+    def _maybe_refresh(self, next_cmd: Optional[Command]) -> None:
+        """Issue a refresh if the deadline passed or a GEMV would cross it."""
+        if not self.config.refresh_enabled:
+            return
+        due = self._clock >= self._next_refresh
+        hoist = False
+        if (not due and next_cmd is not None and self.config.header_aware_refresh
+                and self._pending_gemv_cycles > 0):
+            # A header announced a GEMV of known duration: if it cannot
+            # finish before the refresh deadline, refresh early.
+            hoist = self._clock + self._pending_gemv_cycles > self._next_refresh
+        if due or hoist:
+            record = self.channel.issue(Command(CommandType.REF),
+                                        earliest=self._clock)
+            self.records.append(record)
+            self._clock = max(self._clock, record.complete_time)
+            self._next_refresh = record.issue_time + self.channel.timing.tREFI
+            self.stats.add("refresh.issued")
+            if hoist:
+                self.stats.add("refresh.hoisted")
+            if self._open_pim_acts:
+                # The refresh closed the PIM row buffers mid-wave: replay
+                # the activations so the pending dot-product can proceed.
+                replay = list(self._open_pim_acts)
+                self._open_pim_acts.clear()
+                for act in replay:
+                    rec = self.channel.issue(act, earliest=self._clock)
+                    self.records.append(rec)
+                    self._pim_frontier = max(self._pim_frontier,
+                                             rec.complete_time)
+                    self._open_pim_acts.append(act)
+                self.stats.add("refresh.act_replays", len(replay))
+            if self._open_mem_rows:
+                # Likewise restore rows the MEM flow had open.
+                for bank, row in sorted(self._open_mem_rows.items()):
+                    rec = self.channel.issue(
+                        Command(CommandType.ACT, bank=bank, row=row),
+                        earliest=self._clock)
+                    self.records.append(rec)
+                self.stats.add("refresh.act_replays",
+                               len(self._open_mem_rows))
+
+    def _select_queue(self) -> Optional[Deque[Command]]:
+        """Pick the queue whose head can issue first.
+
+        PIM commands are gated by the PIM flow's completion frontier (the
+        GWRITE -> ACTIVATION -> DOTPRODUCT -> RDRESULT chain is dependent);
+        regular memory commands only wait for the C/A bus.  The queue with
+        the earlier candidate issue time wins; PIM wins ties — the paper's
+        PIM-priority policy.
+        """
+        if not self.pim_queue and not self.mem_queue:
+            return None
+        if not self.pim_queue:
+            return self.mem_queue
+        if not self.mem_queue:
+            return self.pim_queue
+        if not self.channel.dual_row_buffer:
+            # Blocked mode: the single row buffer cannot serve both flows,
+            # so the PIM phase drains completely before memory commands.
+            return self.pim_queue
+        pim_candidate = max(self._pim_frontier, self.channel.ca_free_at)
+        mem_candidate = self.channel.ca_free_at
+        if self.config.pim_priority:
+            return self.pim_queue if pim_candidate <= mem_candidate else self.mem_queue
+        return self.mem_queue if mem_candidate <= pim_candidate else self.pim_queue
+
+    def step(self) -> Optional[IssueRecord]:
+        """Issue one command; returns its record or ``None`` when drained."""
+        queue = self._select_queue()
+        if queue is None:
+            return None
+        cmd = queue[0]
+        self._maybe_refresh(cmd)
+        queue.popleft()
+
+        interrupted = False
+        earliest = self._pim_frontier if cmd.is_pim else 0.0
+        if (cmd.ctype is CommandType.PIM_GEMV
+                and not self.config.header_aware_refresh
+                and self.config.refresh_enabled):
+            # Baseline behaviour: a refresh deadline inside the GEMV window
+            # preempts it; charge a re-activation penalty.
+            duration = self._estimate_duration(cmd)
+            if max(earliest, self.channel.ca_free_at) + duration > self._next_refresh:
+                interrupted = True
+
+        record = self.channel.issue(cmd, earliest=earliest)
+        self._clock = max(self._clock, record.issue_time)
+        if cmd.ctype is CommandType.PIM_HEADER:
+            self._pending_gemv_cycles = self._estimate_duration(
+                Command(CommandType.PIM_GEMV, k=max(1, cmd.k)))
+        elif cmd.ctype is CommandType.PIM_GEMV:
+            self._pending_gemv_cycles = 0.0
+
+        if interrupted:
+            penalty = self.channel.timing.tRFC + self.channel.timing.tRCD
+            record = IssueRecord(record.command, record.issue_time,
+                                 record.bus_release,
+                                 record.complete_time + penalty)
+            self.stats.add("refresh.gemv_interrupted")
+
+        if cmd.ctype is CommandType.PIM_ACTIVATION:
+            self._open_pim_acts.append(cmd)
+        elif cmd.ctype in (CommandType.PIM_PRECHARGE, CommandType.PIM_GEMV):
+            self._open_pim_acts.clear()
+        elif cmd.ctype is CommandType.ACT:
+            self._open_mem_rows[cmd.bank] = cmd.row
+        elif cmd.ctype is CommandType.PRE:
+            self._open_mem_rows.pop(cmd.bank, None)
+
+        if cmd.is_pim and cmd.ctype is not CommandType.PIM_HEADER:
+            self._pim_frontier = max(self._pim_frontier, record.complete_time)
+        self.records.append(record)
+        return record
+
+    def drain(self) -> List[IssueRecord]:
+        """Issue all queued commands; returns the accumulated records."""
+        while self.step() is not None:
+            pass
+        return self.records
+
+    @property
+    def finish_time(self) -> float:
+        """Completion time of the last finished command."""
+        return max((r.complete_time for r in self.records), default=0.0)

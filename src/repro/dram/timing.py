@@ -1,0 +1,155 @@
+"""HBM timing parameters (paper Table 2) and derived quantities.
+
+All values are in cycles of the 1 GHz memory clock, so one cycle equals one
+nanosecond in the prototype configuration.  Table 2 lists the constraint
+set the NeuPIMs memory controller must respect when interleaving regular
+memory commands with PIM commands; parameters the table omits (CAS latency,
+burst length, read-to-precharge) use JEDEC-typical values and are called
+out as such in the attribute docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """DRAM timing constraints in memory-clock cycles.
+
+    The first group is Table 2 verbatim; the second group fills in
+    parameters a command-level simulation additionally needs.
+    """
+
+    # --- Table 2 of the paper ---
+    tRP: int = 14      #: row precharge
+    tRCD: int = 14     #: row activate to column command
+    tRAS: int = 34     #: row activate to precharge
+    tRRD_L: int = 6    #: activate to activate, same bank group
+    tWR: int = 16      #: write recovery
+    tCCD_S: int = 1    #: column-to-column, different bank group
+    tCCD_L: int = 2    #: column-to-column, same bank group
+    tREFI: int = 3900  #: average refresh interval
+    tRFC: int = 260    #: refresh cycle time
+    tFAW: int = 30     #: four-activation window
+
+    # --- JEDEC-typical values not listed in Table 2 ---
+    tCL: int = 14      #: CAS (read) latency
+    tBL: int = 4       #: burst length on the data bus, cycles per column access
+    tRTP: int = 8      #: read to precharge
+    tRRD_S: int = 4    #: activate to activate, different bank group
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) <= 0:
+                raise ValueError(f"timing parameter {name} must be positive")
+        if self.tRAS < self.tRCD:
+            raise ValueError("tRAS must be at least tRCD")
+        if self.tFAW < self.tRRD_L:
+            raise ValueError("tFAW must be at least tRRD_L")
+
+    @property
+    def row_cycle(self) -> int:
+        """tRC: minimum time between activates to the same bank (tRAS+tRP)."""
+        return self.tRAS + self.tRP
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time lost to refresh (tRFC / tREFI)."""
+        return self.tRFC / self.tREFI
+
+
+@dataclass(frozen=True)
+class HbmOrganization:
+    """HBM organization from Table 2.
+
+    The paper's prototype has 32 channels per chip, 32 banks per channel
+    (grouped 4 banks per bank group), 1 GB per channel, 1 KB DRAM pages
+    (row-buffer size), at 1 GHz.
+    """
+
+    channels: int = 32
+    banks_per_channel: int = 32
+    banks_per_group: int = 4
+    capacity_per_channel: int = 1 << 30  #: bytes (1 GB)
+    page_bytes: int = 1024               #: row buffer / DRAM page size
+    clock_ghz: float = 1.0
+    #: data bus bytes per cycle per channel; 64 B/cycle at 1 GHz gives the
+    #: 2 TB/s-class aggregate of an HBM2E-generation 32-channel stack
+    bus_bytes_per_cycle: int = 64
+
+    def __post_init__(self) -> None:
+        if self.banks_per_channel % self.banks_per_group != 0:
+            raise ValueError("banks_per_channel must be a multiple of banks_per_group")
+        for name in ("channels", "banks_per_channel", "banks_per_group",
+                     "capacity_per_channel", "page_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.clock_ghz <= 0 or self.bus_bytes_per_cycle <= 0:
+            raise ValueError("clock and bus width must be positive")
+
+    @property
+    def bank_groups(self) -> int:
+        return self.banks_per_channel // self.banks_per_group
+
+    @property
+    def channel_bandwidth(self) -> float:
+        """Peak external bandwidth of one channel in bytes/second."""
+        return self.bus_bytes_per_cycle * self.clock_ghz * 1e9
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Peak aggregate external bandwidth in bytes/second."""
+        return self.channel_bandwidth * self.channels
+
+    @property
+    def total_capacity(self) -> int:
+        """Total device capacity in bytes."""
+        return self.capacity_per_channel * self.channels
+
+    def rows_per_bank(self) -> int:
+        """Number of DRAM rows in one bank."""
+        bank_bytes = self.capacity_per_channel // self.banks_per_channel
+        return bank_bytes // self.page_bytes
+
+    def elements_per_page(self, dtype_bytes: int) -> int:
+        """Elements of the given width per DRAM page (Algorithm 1's P_DRAM)."""
+        if dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+        return self.page_bytes // dtype_bytes
+
+
+DEFAULT_TIMING = TimingParams()
+DEFAULT_ORGANIZATION = HbmOrganization()
+
+
+@dataclass(frozen=True)
+class PimTiming:
+    """Timing of the in-bank PIM datapath (Newton-style).
+
+    ``dotprod_cycles_per_chunk`` is the cycles the parallel multiplier +
+    adder tree needs per column chunk of an open row; one chunk covers
+    ``chunk_bytes`` of the row buffer (2 cycles per 32 B = Newton-class
+    column-command pacing at tCCD_L).  ``gwrite_cycles`` copies one DRAM
+    page into the channel's global vector buffer.  ``rdresult_cycles``
+    drains per-bank accumulators to the host.
+    """
+
+    chunk_bytes: int = 32
+    dotprod_cycles_per_chunk: int = 2
+    gwrite_cycles: int = 30
+    rdresult_cycles: int = 20
+    header_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) <= 0:
+                raise ValueError(f"PIM timing {name} must be positive")
+
+    def dotprod_cycles_per_page(self, page_bytes: int) -> int:
+        """Cycles to MAC one full open row against the global vector."""
+        chunks = -(-page_bytes // self.chunk_bytes)
+        return chunks * self.dotprod_cycles_per_chunk
+
+
+DEFAULT_PIM_TIMING = PimTiming()

@@ -1,0 +1,135 @@
+"""Operator dependency graph for decoder blocks.
+
+The sub-batch interleaving analysis (paper §6.2, Figure 11) relies on the
+dependency structure *within* a decoder block: QKV generation feeds MHA,
+MHA feeds projection, projection feeds the FFNs, and the FFN output feeds
+the next block's QKV generation.  This module builds that DAG explicitly so
+schedulers can query ready sets instead of hard-coding stage orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.model.layers import Operator, decoder_block_operators
+from repro.model.spec import ModelSpec
+
+
+@dataclass
+class OpNode:
+    """A node of the operator DAG."""
+
+    op: Operator
+    layer: int
+    predecessors: Set[int] = field(default_factory=set)
+    successors: Set[int] = field(default_factory=set)
+
+
+class OperatorGraph:
+    """DAG of decoder-block operators across ``num_layers`` blocks.
+
+    Stage structure within each block (generation phase):
+
+    ``qkv`` -> { per-request ``logit[i]`` -> ``softmax[i]`` -> ``attend[i]`` }
+    -> ``projection`` -> ``ffn1`` -> ``ffn2`` -> next block's ``qkv``.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, OpNode] = {}
+        self._next_id = 0
+
+    def add(self, op: Operator, layer: int, deps: Sequence[int] = ()) -> int:
+        """Insert ``op`` with dependency edges from ``deps``; returns node id."""
+        node_id = self._next_id
+        self._next_id += 1
+        node = OpNode(op=op, layer=layer, predecessors=set(deps))
+        for dep in deps:
+            if dep not in self.nodes:
+                raise KeyError(f"unknown dependency node {dep}")
+            self.nodes[dep].successors.add(node_id)
+        self.nodes[node_id] = node
+        return node_id
+
+    def ready(self, completed: Set[int]) -> List[int]:
+        """Node ids whose predecessors are all in ``completed``."""
+        return [
+            node_id
+            for node_id, node in self.nodes.items()
+            if node_id not in completed and node.predecessors <= completed
+        ]
+
+    def topological_order(self) -> List[int]:
+        """Deterministic topological order (Kahn's algorithm, id-ordered)."""
+        in_degree = {nid: len(node.predecessors) for nid, node in self.nodes.items()}
+        frontier = sorted(nid for nid, deg in in_degree.items() if deg == 0)
+        order: List[int] = []
+        while frontier:
+            nid = frontier.pop(0)
+            order.append(nid)
+            for succ in sorted(self.nodes[nid].successors):
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    frontier.append(succ)
+            frontier.sort()
+        if len(order) != len(self.nodes):
+            raise ValueError("operator graph contains a cycle")
+        return order
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def build_decoder_graph(
+    spec: ModelSpec,
+    seq_lens: Sequence[int],
+    num_layers: int = None,  # type: ignore[assignment]
+    tp: int = 1,
+    phase: str = "generation",
+) -> OperatorGraph:
+    """Build the full operator DAG for ``num_layers`` decoder blocks.
+
+    ``num_layers`` defaults to the spec's layer count; experiments often
+    build a single block (``num_layers=1``) and multiply, since blocks are
+    structurally identical.
+    """
+    layers = spec.num_layers if num_layers is None else num_layers
+    if layers <= 0:
+        raise ValueError("num_layers must be positive")
+
+    graph = OperatorGraph()
+    prev_tail: List[int] = []
+    for layer in range(layers):
+        ops = decoder_block_operators(spec, seq_lens, tp=tp, phase=phase)
+        by_name = {}
+        qkv_id = graph.add(ops[0], layer, deps=prev_tail)
+        by_name[ops[0].name] = qkv_id
+
+        attend_ids: List[int] = []
+        pending: Dict[int, int] = {}
+        for op in ops[1:]:
+            if op.name.startswith("logit["):
+                pending[op.request_index] = graph.add(op, layer, deps=[qkv_id])
+            elif op.name.startswith("softmax["):
+                pending[op.request_index] = graph.add(
+                    op, layer, deps=[pending[op.request_index]]
+                )
+            elif op.name.startswith("attend["):
+                attend_ids.append(
+                    graph.add(op, layer, deps=[pending[op.request_index]])
+                )
+            elif op.name.startswith("attention["):
+                attend_ids.append(graph.add(op, layer, deps=[qkv_id]))
+            elif op.name == "projection":
+                proj_id = graph.add(op, layer, deps=attend_ids or [qkv_id])
+                by_name[op.name] = proj_id
+            elif op.name == "ffn1":
+                ffn1_id = graph.add(op, layer, deps=[by_name["projection"]])
+                by_name[op.name] = ffn1_id
+            elif op.name == "ffn2":
+                ffn2_id = graph.add(op, layer, deps=[by_name["ffn1"]])
+                by_name[op.name] = ffn2_id
+            else:
+                raise ValueError(f"unexpected operator {op.name!r}")
+        prev_tail = [by_name["ffn2"]]
+    return graph

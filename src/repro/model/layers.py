@@ -1,0 +1,231 @@
+"""Decoder-block operators and their FLOP / byte accounting.
+
+Figure 1(a) and Figure 3 of the paper decompose a decoder block into:
+
+* **QKV generation** — weight-activation GEMM ``[B, E] x [E, 3E]``.
+* **Multi-head attention** — per-request activation-activation GEMVs
+  (logit = K^T q, attend = logits·V) plus softmax on the vector units.
+* **Projection + FFNs** — weight-activation GEMMs ``[B, E] x [E, E]``,
+  ``[B, E] x [E, 4E]`` and ``[B, 4E] x [4E, E]``.
+
+These operator descriptions are consumed by every device model (NPU, GPU
+roofline, PIM, TransPIM), which is what lets the end-to-end experiments run
+the *same* workload on all baselines.  Shapes can be sharded for tensor
+parallelism: Megatron-style column/row splits divide the weight matrices
+and heads by ``tp`` while activations keep full ``d_model``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence
+
+from repro.model.spec import ModelSpec
+
+
+class OpKind(Enum):
+    """Operator categories used by the accelerator mapping logic."""
+
+    GEMM = "gemm"
+    GEMV = "gemv"
+    VECTOR = "vector"
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """A dense ``[m, k] x [k, n]`` matrix multiplication."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise ValueError(f"GEMM dims must be positive, got {self}")
+
+    @property
+    def flops(self) -> int:
+        """Multiply-accumulate FLOPs (2 per MAC)."""
+        return 2 * self.m * self.k * self.n
+
+    def bytes_moved(self, dtype_bytes: int, weight_resident: bool = False) -> int:
+        """Off-chip bytes: inputs + weights + outputs.
+
+        ``weight_resident`` models weights already staged on chip (only
+        meaningful for small K/N; the LLM weight matrices never fit).
+        """
+        activation = (self.m * self.k + self.m * self.n) * dtype_bytes
+        weights = 0 if weight_resident else self.k * self.n * dtype_bytes
+        return activation + weights
+
+
+@dataclass(frozen=True)
+class GemvShape:
+    """A dense ``[rows, cols] x [cols]`` matrix-vector multiplication."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.cols) <= 0:
+            raise ValueError(f"GEMV dims must be positive, got {self}")
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.rows * self.cols
+
+    def bytes_moved(self, dtype_bytes: int) -> int:
+        """Off-chip bytes: the matrix dominates (vector + result ≪ matrix)."""
+        return (self.rows * self.cols + self.rows + self.cols) * dtype_bytes
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One schedulable operator instance of a decoder block.
+
+    ``request_index`` is set for per-request MHA operators (selective
+    batching computes them individually, per Orca); batched GEMMs leave it
+    as ``None``.
+    """
+
+    name: str
+    kind: OpKind
+    flops: int
+    bytes_moved: int
+    request_index: Optional[int] = None
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per off-chip byte, the x-axis of the Figure 4 roofline."""
+        if self.bytes_moved == 0:
+            return float("inf")
+        return self.flops / self.bytes_moved
+
+
+def qkv_generation_gemm(spec: ModelSpec, batch_tokens: int, tp: int = 1) -> GemmShape:
+    """QKV generation GEMM for ``batch_tokens`` tokens under TP degree ``tp``."""
+    heads = spec.heads_per_shard(tp)
+    return GemmShape(m=batch_tokens, k=spec.d_model, n=3 * heads * spec.head_dim)
+
+
+def projection_gemm(spec: ModelSpec, batch_tokens: int, tp: int = 1) -> GemmShape:
+    """Attention output projection (row-parallel under TP)."""
+    heads = spec.heads_per_shard(tp)
+    return GemmShape(m=batch_tokens, k=heads * spec.head_dim, n=spec.d_model)
+
+
+def ffn_gemms(spec: ModelSpec, batch_tokens: int, tp: int = 1) -> List[GemmShape]:
+    """The two FFN GEMMs (column- then row-parallel under TP)."""
+    inner = spec.d_ffn // tp
+    if inner <= 0:
+        raise ValueError(f"TP degree {tp} too large for d_ffn {spec.d_ffn}")
+    return [
+        GemmShape(m=batch_tokens, k=spec.d_model, n=inner),
+        GemmShape(m=batch_tokens, k=inner, n=spec.d_model),
+    ]
+
+
+def logit_gemv(spec: ModelSpec, seq_len: int, tp: int = 1) -> GemvShape:
+    """Per-request logit GEMV ``K^T q`` aggregated across this shard's heads.
+
+    Each head computes ``[seq_len, head_dim] x [head_dim]``; the shard owns
+    ``heads_per_shard`` heads, so rows scale with the head count.
+    """
+    heads = spec.heads_per_shard(tp)
+    return GemvShape(rows=seq_len * heads, cols=spec.head_dim)
+
+
+def attend_gemv(spec: ModelSpec, seq_len: int, tp: int = 1) -> GemvShape:
+    """Per-request attend GEMV ``logits · V`` aggregated across heads."""
+    heads = spec.heads_per_shard(tp)
+    return GemvShape(rows=spec.head_dim * heads, cols=seq_len)
+
+
+def softmax_flops(spec: ModelSpec, seq_len: int, tp: int = 1) -> int:
+    """Vector-unit FLOPs for the per-request softmax (exp + sum + div ≈ 5/elt)."""
+    heads = spec.heads_per_shard(tp)
+    return 5 * heads * seq_len
+
+
+def decoder_block_operators(
+    spec: ModelSpec,
+    seq_lens: Sequence[int],
+    tp: int = 1,
+    phase: str = "generation",
+) -> List[Operator]:
+    """Operator list for one decoder block over a batch.
+
+    Parameters
+    ----------
+    seq_lens:
+        Per-request KV-cache lengths (context so far).  In the generation
+        phase each request contributes one new token; in the summarization
+        phase every request contributes ``seq_len`` prompt tokens.
+    tp:
+        Tensor-parallel degree; shapes are per-device.
+    phase:
+        ``"generation"`` or ``"summarization"``.
+
+    Returns
+    -------
+    The batched GEMMs (QKV, projection, FFN x2), per-request MHA GEMVs
+    (logit, attend) and per-request softmax vector ops, in dependency
+    order: QKV -> MHA -> projection -> FFNs.
+    """
+    if phase not in ("generation", "summarization"):
+        raise ValueError(f"unknown phase {phase!r}")
+    if not seq_lens:
+        raise ValueError("empty batch")
+    if any(s <= 0 for s in seq_lens):
+        raise ValueError("sequence lengths must be positive")
+
+    if phase == "generation":
+        batch_tokens = len(seq_lens)
+    else:
+        batch_tokens = sum(seq_lens)
+
+    dtype = spec.dtype_bytes
+    ops: List[Operator] = []
+
+    qkv = qkv_generation_gemm(spec, batch_tokens, tp)
+    ops.append(Operator("qkv_generation", OpKind.GEMM, qkv.flops,
+                        qkv.bytes_moved(dtype)))
+
+    for idx, seq_len in enumerate(seq_lens):
+        if phase == "generation":
+            logit = logit_gemv(spec, seq_len, tp)
+            attend = attend_gemv(spec, seq_len, tp)
+            ops.append(Operator(f"logit[{idx}]", OpKind.GEMV, logit.flops,
+                                logit.bytes_moved(dtype), request_index=idx))
+            ops.append(Operator(f"softmax[{idx}]", OpKind.VECTOR,
+                                softmax_flops(spec, seq_len, tp),
+                                2 * spec.heads_per_shard(tp) * seq_len * dtype,
+                                request_index=idx))
+            ops.append(Operator(f"attend[{idx}]", OpKind.GEMV, attend.flops,
+                                attend.bytes_moved(dtype), request_index=idx))
+        else:
+            # Summarization attention is a GEMM per request
+            # (seq x head_dim) x (head_dim x seq) per head; compute-bound.
+            heads = spec.heads_per_shard(tp)
+            attn = GemmShape(m=seq_len * heads, k=spec.head_dim, n=seq_len)
+            ops.append(Operator(f"attention[{idx}]", OpKind.GEMM, 2 * attn.flops,
+                                attn.bytes_moved(dtype), request_index=idx))
+
+    proj = projection_gemm(spec, batch_tokens, tp)
+    ops.append(Operator("projection", OpKind.GEMM, proj.flops,
+                        proj.bytes_moved(dtype)))
+    for i, ffn in enumerate(ffn_gemms(spec, batch_tokens, tp)):
+        ops.append(Operator(f"ffn{i + 1}", OpKind.GEMM, ffn.flops,
+                            ffn.bytes_moved(dtype)))
+    return ops
+
+
+def total_flops(ops: Iterable[Operator]) -> int:
+    """Sum of FLOPs across operators."""
+    return sum(op.flops for op in ops)
+
+
+def total_bytes(ops: Iterable[Operator]) -> int:
+    """Sum of off-chip bytes across operators."""
+    return sum(op.bytes_moved for op in ops)

@@ -1,0 +1,148 @@
+"""LLM model specifications.
+
+Mirrors Table 3 of the paper (GPT-3 variants with their default tensor /
+pipeline parallelism degrees) plus the four open models used in Figure 5
+(GPT-NeoX, LLaMA2, OPT, MPT).  A :class:`ModelSpec` carries exactly the
+architectural parameters that the simulators need: layer count, head count,
+model dimension and datatype width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture description of a decoder-only transformer.
+
+    Attributes
+    ----------
+    name:
+        Human-readable model name (e.g. ``"gpt3-13b"``).
+    num_layers:
+        Number of decoder blocks.
+    num_heads:
+        Attention heads per block.
+    d_model:
+        Embedding (model) dimension ``E``.
+    ffn_mult:
+        FFN inner dimension as a multiple of ``d_model`` (4 for GPT-3).
+    dtype_bytes:
+        Bytes per parameter/activation element (2 for fp16).
+    tensor_parallel:
+        Default tensor-parallel degree from Table 3.
+    pipeline_parallel:
+        Default pipeline-parallel degree from Table 3.
+    """
+
+    name: str
+    num_layers: int
+    num_heads: int
+    d_model: int
+    ffn_mult: int = 4
+    dtype_bytes: int = 2
+    tensor_parallel: int = 1
+    pipeline_parallel: int = 1
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.num_heads != 0:
+            raise ValueError(
+                f"{self.name}: d_model {self.d_model} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        for field_name in ("num_layers", "num_heads", "d_model", "ffn_mult",
+                           "dtype_bytes", "tensor_parallel", "pipeline_parallel"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{self.name}: {field_name} must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension ``E / num_heads``."""
+        return self.d_model // self.num_heads
+
+    @property
+    def d_ffn(self) -> int:
+        """FFN inner dimension."""
+        return self.d_model * self.ffn_mult
+
+    @property
+    def num_parameters(self) -> int:
+        """Approximate parameter count of the decoder stack.
+
+        Per block: QKV (3·E²) + projection (E²) + two FFN matrices
+        (2·ffn_mult·E²).  Embeddings and layer norms are ignored, matching
+        the operator set the simulators model.
+        """
+        per_block = (4 + 2 * self.ffn_mult) * self.d_model * self.d_model
+        return per_block * self.num_layers
+
+    @property
+    def weight_bytes(self) -> int:
+        """Total decoder weight footprint in bytes."""
+        return self.num_parameters * self.dtype_bytes
+
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes appended per generated token (all layers)."""
+        return 2 * self.d_model * self.dtype_bytes * self.num_layers
+
+    def layers_per_stage(self, pipeline_parallel: int) -> int:
+        """Decoder blocks resident on one device of a PP partition."""
+        if pipeline_parallel <= 0:
+            raise ValueError("pipeline_parallel must be positive")
+        return max(1, -(-self.num_layers // pipeline_parallel))
+
+    def heads_per_shard(self, tensor_parallel: int) -> int:
+        """Attention heads owned by one device of a TP partition.
+
+        Megatron-style sharding splits heads (and FFN columns) across
+        devices; activations keep the full ``d_model``.  GEMM shapes under
+        TP are derived in :mod:`repro.model.layers` from this head count.
+        """
+        if tensor_parallel <= 0:
+            raise ValueError("tensor_parallel must be positive")
+        if self.num_heads % tensor_parallel != 0:
+            raise ValueError(
+                f"{self.name}: num_heads {self.num_heads} not divisible by "
+                f"tensor parallel degree {tensor_parallel}"
+            )
+        return self.num_heads // tensor_parallel
+
+
+GPT3_7B = ModelSpec("gpt3-7b", num_layers=32, num_heads=32, d_model=4096,
+                    tensor_parallel=4, pipeline_parallel=1)
+GPT3_13B = ModelSpec("gpt3-13b", num_layers=40, num_heads=40, d_model=5120,
+                     tensor_parallel=4, pipeline_parallel=1)
+GPT3_30B = ModelSpec("gpt3-30b", num_layers=48, num_heads=56, d_model=7168,
+                     tensor_parallel=4, pipeline_parallel=2)
+GPT3_175B = ModelSpec("gpt3-175b", num_layers=96, num_heads=96, d_model=12288,
+                      tensor_parallel=8, pipeline_parallel=4)
+
+GPT_NEOX_20B = ModelSpec("gpt-neox-20b", num_layers=44, num_heads=64, d_model=6144)
+LLAMA2_13B = ModelSpec("llama2-13b", num_layers=40, num_heads=40, d_model=5120)
+OPT_30B = ModelSpec("opt-30b", num_layers=48, num_heads=56, d_model=7168)
+MPT_30B = ModelSpec("mpt-30b", num_layers=48, num_heads=64, d_model=7168)
+
+MODEL_REGISTRY: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        GPT3_7B,
+        GPT3_13B,
+        GPT3_30B,
+        GPT3_175B,
+        GPT_NEOX_20B,
+        LLAMA2_13B,
+        OPT_30B,
+        MPT_30B,
+    )
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model spec by name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}")
+    return MODEL_REGISTRY[key]

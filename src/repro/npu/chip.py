@@ -1,0 +1,118 @@
+"""The NPU chip model: systolic arrays + vector units + HBM interface.
+
+Composes the tile-level systolic model and the vector-unit model into
+per-operator latencies, applying the off-chip bandwidth roofline.  The
+same chip model serves the NeuPIMs device (where MHA is offloaded to PIM)
+and the NPU-only baseline (where MHA GEMVs run against plain HBM at
+external bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.timing import HbmOrganization
+from repro.model.layers import GemmShape, GemvShape
+from repro.npu.systolic import SystolicConfig, gemm_compute_cycles
+from repro.npu.vector import VectorConfig, softmax_cycles
+
+
+@dataclass(frozen=True)
+class NpuConfig:
+    """NPU chip parameters (Table 2 defaults).
+
+    8 systolic arrays of 128x128 and 8 SIMD vector units of 128 lanes at
+    1 GHz, fed by the 32-channel HBM stack.
+    """
+
+    num_systolic_arrays: int = 8
+    num_vector_units: int = 8
+    systolic: SystolicConfig = field(default_factory=SystolicConfig)
+    vector: VectorConfig = field(default_factory=VectorConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_systolic_arrays <= 0 or self.num_vector_units <= 0:
+            raise ValueError("unit counts must be positive")
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak GEMM FLOP/s across all systolic arrays."""
+        return self.systolic.peak_flops * self.num_systolic_arrays
+
+    @property
+    def clock_hz(self) -> float:
+        return self.systolic.clock_ghz * 1e9
+
+
+class NpuChip:
+    """Latency model for operators executed on the NPU.
+
+    Parameters
+    ----------
+    config:
+        NPU geometry.
+    org:
+        HBM organization providing the external bandwidth for the
+        memory-side roofline.
+    bandwidth_derate:
+        Achievable fraction of peak external bandwidth (DRAM efficiency);
+        0.8 is typical of well-streamed GEMM traffic.
+    """
+
+    def __init__(self, config: Optional[NpuConfig] = None,
+                 org: Optional[HbmOrganization] = None,
+                 bandwidth_derate: float = 0.8) -> None:
+        if not 0.0 < bandwidth_derate <= 1.0:
+            raise ValueError("bandwidth_derate must be in (0, 1]")
+        self.config = config or NpuConfig()
+        self.org = org or HbmOrganization()
+        self.bandwidth_derate = bandwidth_derate
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable off-chip bytes/second."""
+        return self.org.total_bandwidth * self.bandwidth_derate
+
+    def _bytes_cycles(self, bytes_moved: float) -> float:
+        """Cycles to move ``bytes_moved`` over the HBM interface."""
+        seconds = bytes_moved / self.effective_bandwidth
+        return seconds * self.config.clock_hz
+
+    # ------------------------------------------------------------------
+
+    def gemm_cycles(self, gemm: GemmShape, dtype_bytes: int = 2) -> float:
+        """Latency of a GEMM: max of compute and weight/activation streaming."""
+        compute = gemm_compute_cycles(gemm, self.config.systolic,
+                                      self.config.num_systolic_arrays)
+        memory = self._bytes_cycles(gemm.bytes_moved(dtype_bytes))
+        return max(compute, memory)
+
+    def gemm_compute_utilization(self, gemm: GemmShape,
+                                 dtype_bytes: int = 2) -> float:
+        """Fraction of peak MACs achieved, including memory stalls."""
+        cycles = self.gemm_cycles(gemm, dtype_bytes)
+        if cycles <= 0:
+            return 0.0
+        ideal = gemm.flops / (2 * self.config.systolic.macs_per_cycle
+                              * self.config.num_systolic_arrays)
+        return min(1.0, ideal / cycles)
+
+    def gemv_cycles(self, gemv: GemvShape, dtype_bytes: int = 2) -> float:
+        """Latency of a GEMV executed against plain HBM (NPU-only baseline).
+
+        GEMVs have no weight reuse: every matrix byte is read once, so the
+        operation is bandwidth-bound; the systolic arrays can always keep
+        up (one row per cycle vs 32B/cycle/channel of supply).
+        """
+        memory = self._bytes_cycles(gemv.bytes_moved(dtype_bytes))
+        compute = gemv.flops / (2 * self.config.systolic.macs_per_cycle
+                                * self.config.num_systolic_arrays)
+        return max(memory, compute)
+
+    def softmax_latency(self, seq_len: int, num_heads: int) -> float:
+        """Per-request softmax cycles across the vector-unit pool."""
+        per_unit = softmax_cycles(seq_len, num_heads, self.config.vector)
+        # Heads parallelize across the vector units.
+        speedup = min(self.config.num_vector_units, num_heads)
+        return per_unit / speedup

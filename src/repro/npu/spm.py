@@ -1,0 +1,131 @@
+"""Scratchpad memory (SPM) model for the NPU (paper Figure 7's SPM block).
+
+The systolic arrays stream weight tiles and activation panels through an
+on-chip scratchpad.  The SPM model answers the questions the scheduler and
+the DESIGN.md calibration notes depend on:
+
+* does a tile working set (current + prefetched weight tile, activation
+  panel, output panel) fit, enabling double buffering?
+* can a whole layer's weights persist across sub-batches (they cannot for
+  the evaluated models — which is why sub-batch interleaving re-streams
+  weights, see DESIGN.md §6)?
+
+The allocator is a simple region allocator with explicit lifetimes, enough
+to validate capacity claims without modelling banking conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.model.layers import GemmShape
+from repro.model.spec import ModelSpec
+from repro.npu.systolic import SystolicConfig
+
+
+class SpmCapacityError(RuntimeError):
+    """Raised when a working set does not fit the scratchpad."""
+
+
+@dataclass(frozen=True)
+class SpmConfig:
+    """Scratchpad parameters: 32 MiB, double-buffered, is TPU-class."""
+
+    capacity_bytes: int = 32 * (1 << 20)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+
+
+class Scratchpad:
+    """Region allocator with named buffers."""
+
+    def __init__(self, config: Optional[SpmConfig] = None) -> None:
+        self.config = config or SpmConfig()
+        self._regions: Dict[str, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._regions.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.config.capacity_bytes - self.used_bytes
+
+    def allocate(self, name: str, size: int) -> None:
+        """Reserve ``size`` bytes under ``name``; raises when full."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if size > self.free_bytes:
+            raise SpmCapacityError(
+                f"region {name!r} needs {size} bytes, {self.free_bytes} free")
+        self._regions[name] = size
+
+    def release(self, name: str) -> int:
+        """Free region ``name``; returns the bytes released (0 if absent)."""
+        return self._regions.pop(name, 0)
+
+    def fits(self, size: int) -> bool:
+        """Whether ``size`` bytes fit the current free space."""
+        return size <= self.free_bytes
+
+
+def tile_working_set_bytes(gemm: GemmShape, systolic: SystolicConfig,
+                           dtype_bytes: int = 2,
+                           double_buffered: bool = True) -> int:
+    """Bytes the tile pipeline needs resident for one GEMM.
+
+    Current weight tile (+ prefetch buffer), one activation panel
+    ``m x tile_k`` (+ prefetch) and the output accumulator panel
+    ``m x tile_n`` (fp32).
+    """
+    factor = 2 if double_buffered else 1
+    weight_tile = systolic.rows * systolic.cols * dtype_bytes * factor
+    act_panel = gemm.m * systolic.rows * dtype_bytes * factor
+    out_panel = gemm.m * systolic.cols * 4  # fp32 accumulation
+    return weight_tile + act_panel + out_panel
+
+
+def tile_pipeline_fits(gemm: GemmShape, spm: Optional[SpmConfig] = None,
+                       systolic: Optional[SystolicConfig] = None,
+                       dtype_bytes: int = 2) -> bool:
+    """Whether the double-buffered tile pipeline fits the SPM."""
+    spm = spm or SpmConfig()
+    systolic = systolic or SystolicConfig()
+    return tile_working_set_bytes(gemm, systolic, dtype_bytes) \
+        <= spm.capacity_bytes
+
+
+def layer_weights_fit(spec: ModelSpec, tp: int = 1,
+                      spm: Optional[SpmConfig] = None) -> bool:
+    """Whether one decoder block's weights persist in the SPM.
+
+    For every evaluated GPT-3 variant this is ``False`` even under TP,
+    which is why each sub-batch's GEMMs re-stream weights from HBM — the
+    source of sub-batch interleaving's small-batch penalty.
+    """
+    spm = spm or SpmConfig()
+    heads = spec.heads_per_shard(tp)
+    per_block = (
+        spec.d_model * 3 * heads * spec.head_dim      # QKV
+        + heads * spec.head_dim * spec.d_model        # projection
+        + 2 * spec.d_model * (spec.d_ffn // tp)       # FFNs
+    ) * spec.dtype_bytes
+    return per_block <= spm.capacity_bytes
+
+
+def max_streaming_batch(spm: Optional[SpmConfig] = None,
+                        systolic: Optional[SystolicConfig] = None,
+                        dtype_bytes: int = 2) -> int:
+    """Largest M whose double-buffered tile pipeline fits the SPM."""
+    spm = spm or SpmConfig()
+    systolic = systolic or SystolicConfig()
+    # Solve tile_working_set_bytes(m) <= capacity for m.
+    fixed = systolic.rows * systolic.cols * dtype_bytes * 2
+    per_m = systolic.rows * dtype_bytes * 2 + systolic.cols * 4
+    budget = spm.capacity_bytes - fixed
+    return max(0, budget // per_m)

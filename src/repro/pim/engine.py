@@ -1,0 +1,199 @@
+"""PIM channel execution engine and latency calibration.
+
+Bridges the command-level DRAM simulation and the device-level pipeline
+model: MHA GEMVs are lowered to PIM command streams, replayed through a
+:class:`~repro.dram.controller.MemoryController`, and timed.  The measured
+per-wave (``L_tile``) and per-GWRITE (``L_GWRITE``) latencies calibrate
+Algorithm 1's estimator, which the scheduler then uses without paying the
+cost of command-level simulation on every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dram.channel import Channel
+from repro.dram.controller import ControllerConfig, MemoryController
+from repro.dram.timing import HbmOrganization, PimTiming, TimingParams
+from repro.model.spec import ModelSpec
+from repro.pim.gemv import GemvOp, composite_stream, fine_grained_stream
+from repro.pim.layout import KvLayout
+
+
+@dataclass(frozen=True)
+class CalibratedLatencies:
+    """Algorithm 1's hardware constants, measured from the command level.
+
+    ``l_tile`` is the effective cycles per dot-product wave (a "PIM tile");
+    ``l_gwrite`` is the cycles to stage one page of the operand vector.
+    """
+
+    l_tile: float
+    l_gwrite: float
+
+    def __post_init__(self) -> None:
+        if self.l_tile <= 0 or self.l_gwrite <= 0:
+            raise ValueError("calibrated latencies must be positive")
+
+
+def _fresh_controller(
+    dual_row_buffer: bool,
+    composite: bool,
+    timing: Optional[TimingParams] = None,
+    org: Optional[HbmOrganization] = None,
+    pim_timing: Optional[PimTiming] = None,
+    refresh: bool = True,
+) -> MemoryController:
+    channel = Channel(0, timing=timing, org=org, pim_timing=pim_timing,
+                      dual_row_buffer=dual_row_buffer)
+    config = ControllerConfig(pim_priority=True,
+                              header_aware_refresh=composite,
+                              refresh_enabled=refresh)
+    return MemoryController(channel, config)
+
+
+def measure_gemv_latency(
+    op: GemvOp,
+    dual_row_buffer: bool = True,
+    composite: bool = True,
+    timing: Optional[TimingParams] = None,
+    org: Optional[HbmOrganization] = None,
+    pim_timing: Optional[PimTiming] = None,
+    dtype_bytes: int = 2,
+    refresh: bool = True,
+) -> Tuple[float, MemoryController]:
+    """Simulate one GEMV and return (latency_cycles, controller).
+
+    The controller is returned so callers can inspect issue records,
+    command counts and C/A-bus occupancy (Figure 9 does exactly this).
+    """
+    controller = _fresh_controller(dual_row_buffer, composite,
+                                   timing, org, pim_timing, refresh)
+    org = controller.channel.org
+    stream_builder = composite_stream if composite else fine_grained_stream
+    controller.enqueue_pim(stream_builder(op, org, dtype_bytes))
+    controller.drain()
+    return controller.finish_time, controller
+
+
+def calibrate(
+    timing: Optional[TimingParams] = None,
+    org: Optional[HbmOrganization] = None,
+    pim_timing: Optional[PimTiming] = None,
+    dtype_bytes: int = 2,
+) -> CalibratedLatencies:
+    """Measure ``L_tile`` and ``L_GWRITE`` from the command-level model.
+
+    Runs two GEMVs that differ by a known number of waves and solves for
+    the per-wave latency; GWRITE cost is measured from the GWRITE-count
+    difference of two column widths.
+    """
+    org = org or HbmOrganization()
+    elements = org.elements_per_page(dtype_bytes)
+    banks = org.banks_per_channel
+
+    # Wave cost: same single GWRITE, different wave counts.
+    small = GemvOp(rows=banks, cols=elements, tag="cal-small")
+    large = GemvOp(rows=banks * 9, cols=elements, tag="cal-large")
+    t_small, _ = measure_gemv_latency(small, timing=timing, org=org,
+                                      pim_timing=pim_timing,
+                                      dtype_bytes=dtype_bytes, refresh=False)
+    t_large, _ = measure_gemv_latency(large, timing=timing, org=org,
+                                      pim_timing=pim_timing,
+                                      dtype_bytes=dtype_bytes, refresh=False)
+    waves_small = small.waves(org, dtype_bytes)
+    waves_large = large.waves(org, dtype_bytes)
+    l_tile = (t_large - t_small) / (waves_large - waves_small)
+
+    # GWRITE cost: same wave count, different operand-vector widths means
+    # more GWRITEs.  Use rows == banks so row_rounds stays 1.
+    wide = GemvOp(rows=banks, cols=elements * 4, tag="cal-wide")
+    t_wide, _ = measure_gemv_latency(wide, timing=timing, org=org,
+                                     pim_timing=pim_timing,
+                                     dtype_bytes=dtype_bytes, refresh=False)
+    waves_wide = wide.waves(org, dtype_bytes)
+    # t_wide = fixed + 3 extra gwrites + (waves_wide - waves_small) tiles
+    extra_tiles = (waves_wide - waves_small) * l_tile
+    l_gwrite = max(1.0, (t_wide - t_small - extra_tiles) / 3.0)
+    return CalibratedLatencies(l_tile=l_tile, l_gwrite=l_gwrite)
+
+
+@dataclass
+class MhaExecution:
+    """Timing of one request's MHA on a PIM channel."""
+
+    request_tag: str
+    logit_cycles: float
+    attend_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.logit_cycles + self.attend_cycles
+
+
+class PimChannelEngine:
+    """Executes the MHA GEMVs of the requests mapped to one channel.
+
+    Requests on a channel run sequentially (they share the channel's banks);
+    each request's MHA is a logit GEMV followed by softmax (on the NPU
+    vector units, outside this engine) and an attend GEMV.  The engine
+    lowers both GEMVs per the KV layout and replays the command streams.
+    """
+
+    def __init__(self, spec: ModelSpec,
+                 org: Optional[HbmOrganization] = None,
+                 timing: Optional[TimingParams] = None,
+                 pim_timing: Optional[PimTiming] = None,
+                 dual_row_buffer: bool = True,
+                 composite: bool = True) -> None:
+        self.spec = spec
+        self.org = org or HbmOrganization()
+        self.timing = timing
+        self.pim_timing = pim_timing
+        self.dual_row_buffer = dual_row_buffer
+        self.composite = composite
+        self.layout = KvLayout(self.org, dtype_bytes=spec.dtype_bytes)
+
+    def mha_ops(self, seq_len: int, tag: str = "") -> Tuple[GemvOp, GemvOp]:
+        """The logit and attend GEMVs of one request."""
+        logit = GemvOp(rows=seq_len * self.spec.num_heads,
+                       cols=self.spec.head_dim, tag=f"logit{tag}")
+        attend = GemvOp(rows=self.spec.head_dim * self.spec.num_heads,
+                        cols=seq_len, tag=f"attend{tag}")
+        return logit, attend
+
+    def run_requests(self, seq_lens: Sequence[int]) -> Tuple[float, List[MhaExecution]]:
+        """Simulate the channel's MHA work; returns (total_cycles, per-request)."""
+        controller = _fresh_controller(self.dual_row_buffer, self.composite,
+                                       self.timing, self.org, self.pim_timing)
+        builder = composite_stream if self.composite else fine_grained_stream
+        for idx, seq_len in enumerate(seq_lens):
+            logit, attend = self.mha_ops(seq_len, tag=f"[{idx}]")
+            for op in (logit, attend):
+                controller.enqueue_pim(builder(op, self.org,
+                                               self.spec.dtype_bytes))
+        records = controller.drain()
+
+        spans: dict = {}
+        for record in records:
+            tag = record.command.meta
+            if not tag:
+                continue
+            start, end = spans.get(tag, (record.issue_time, record.complete_time))
+            spans[tag] = (min(start, record.issue_time),
+                          max(end, record.complete_time))
+        executions = [
+            MhaExecution(
+                request_tag=f"[{idx}]",
+                logit_cycles=self._span_cycles(spans, f"logit[{idx}]"),
+                attend_cycles=self._span_cycles(spans, f"attend[{idx}]"),
+            )
+            for idx in range(len(seq_lens))
+        ]
+        return controller.finish_time, executions
+
+    @staticmethod
+    def _span_cycles(spans: dict, tag: str) -> float:
+        interval = spans.get(tag)
+        return (interval[1] - interval[0]) if interval else 0.0

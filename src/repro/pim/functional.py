@@ -1,0 +1,162 @@
+"""Functional (numerical) simulation of the Newton-style PIM GEMV.
+
+The timing models elsewhere in :mod:`repro.pim` answer *how long* a GEMV
+takes; this module answers *what it computes*, executing the in-bank
+dataflow element-for-element:
+
+1. the operand vector is staged into the channel's global vector buffer
+   page by page (``GWRITE``);
+2. matrix rows are interleaved row-wise across the channel's banks
+   (§6.3's key-cache layout);
+3. each dot-product wave opens one page per bank and MACs it against the
+   matching slice of the global buffer, accumulating per bank;
+4. ``RDRESULT`` drains the per-bank accumulators in row order.
+
+The functional model mirrors the wave/tile structure used by the latency
+models (same bank interleaving, same page granularity), so the test suite
+can assert that the dataflow the paper schedules actually computes the
+GEMV — including fp16 storage effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dram.timing import HbmOrganization
+
+
+@dataclass
+class FunctionalBank:
+    """One bank's slice of the matrix operand plus its accumulators."""
+
+    index: int
+    #: rows assigned to this bank, in assignment order: (row_index, data)
+    rows: List = field(default_factory=list)
+
+    def add_row(self, row_index: int, data: np.ndarray) -> None:
+        """Append one matrix row (in assignment order) to this bank."""
+        self.rows.append((row_index, data))
+
+
+class FunctionalPimChannel:
+    """Numerically executes GEMVs with the Newton bank dataflow.
+
+    Parameters
+    ----------
+    org:
+        HBM organization (bank count and page size drive the layout).
+    dtype:
+        Storage dtype inside the banks; fp16 by default, matching the
+        paper's KV-cache precision.  Accumulation is fp32, as in Newton's
+        adder tree.
+    """
+
+    def __init__(self, org: Optional[HbmOrganization] = None,
+                 dtype: np.dtype = np.float16) -> None:
+        self.org = org or HbmOrganization()
+        self.dtype = np.dtype(dtype)
+        self.elements_per_page = self.org.elements_per_page(
+            self.dtype.itemsize)
+        self.banks = [FunctionalBank(i)
+                      for i in range(self.org.banks_per_channel)]
+        self.global_buffer: Optional[np.ndarray] = None
+        self.wave_count = 0
+
+    # ------------------------------------------------------------------
+
+    def load_matrix(self, matrix: np.ndarray) -> None:
+        """Interleave matrix rows across banks (row i -> bank i % banks)."""
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        for bank in self.banks:
+            bank.rows.clear()
+        stored = matrix.astype(self.dtype)
+        for row_index in range(stored.shape[0]):
+            bank = self.banks[row_index % len(self.banks)]
+            bank.add_row(row_index, stored[row_index])
+
+    def gwrite(self, vector: np.ndarray) -> int:
+        """Stage the operand vector; returns the number of GWRITE pages."""
+        if vector.ndim != 1:
+            raise ValueError("vector must be 1-D")
+        self.global_buffer = vector.astype(self.dtype)
+        return ceil(vector.shape[0] / self.elements_per_page)
+
+    def gemv(self, matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        """Execute a full GEMV through the bank dataflow.
+
+        Returns the result in row order, accumulated in fp32.
+        """
+        if matrix.shape[1] != vector.shape[0]:
+            raise ValueError(
+                f"shape mismatch: {matrix.shape} x {vector.shape}")
+        self.load_matrix(matrix)
+        self.gwrite(vector)
+        assert self.global_buffer is not None
+        self.wave_count = 0
+
+        results = np.zeros(matrix.shape[0], dtype=np.float32)
+        cols = matrix.shape[1]
+        col_pages = ceil(cols / self.elements_per_page)
+        max_rows_per_bank = max(len(b.rows) for b in self.banks)
+
+        for row_round in range(max_rows_per_bank):
+            for page in range(col_pages):
+                lo = page * self.elements_per_page
+                hi = min(cols, lo + self.elements_per_page)
+                vec_slice = self.global_buffer[lo:hi].astype(np.float32)
+                # One wave: every bank MACs its open page in parallel.
+                self.wave_count += 1
+                for bank in self.banks:
+                    if row_round >= len(bank.rows):
+                        continue
+                    row_index, data = bank.rows[row_round]
+                    page_slice = data[lo:hi].astype(np.float32)
+                    results[row_index] += float(page_slice @ vec_slice)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def mha_logit(self, keys: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Logit GEMV: ``K q`` with K cached ``[seq, head_dim]`` per head."""
+        return self.gemv(keys, query)
+
+    def mha_attend(self, values: np.ndarray,
+                   probs: np.ndarray) -> np.ndarray:
+        """Attend GEMV: ``V^T p`` with V cached ``[seq, head_dim]``."""
+        return self.gemv(values.T.copy(), probs)
+
+
+def reference_attention(keys: np.ndarray, values: np.ndarray,
+                        query: np.ndarray, scale: float = None  # type: ignore[assignment]
+                        ) -> np.ndarray:
+    """Single-head attention reference in fp32 (for validation)."""
+    if scale is None:
+        scale = 1.0 / np.sqrt(query.shape[0])
+    logits = keys.astype(np.float32) @ query.astype(np.float32) * scale
+    probs = np.exp(logits - logits.max())
+    probs /= probs.sum()
+    return values.astype(np.float32).T @ probs
+
+
+def pim_attention(keys: np.ndarray, values: np.ndarray, query: np.ndarray,
+                  org: Optional[HbmOrganization] = None,
+                  scale: float = None  # type: ignore[assignment]
+                  ) -> np.ndarray:
+    """Single-head attention through the PIM dataflow + NPU softmax.
+
+    The logit and attend GEMVs run in the (functional) PIM channel; the
+    softmax runs at fp32 on the host side, matching the paper's split
+    (GEMVs on PIM, softmax on the NPU vector units).
+    """
+    channel = FunctionalPimChannel(org)
+    if scale is None:
+        scale = 1.0 / np.sqrt(query.shape[0])
+    logits = channel.mha_logit(keys, query) * scale
+    probs = np.exp(logits - logits.max())
+    probs /= probs.sum()
+    return channel.mha_attend(values, probs)

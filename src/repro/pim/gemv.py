@@ -1,0 +1,117 @@
+"""GEMV operation descriptors and PIM command-stream builders.
+
+Two command encodings are produced for the same logical GEMV, matching
+Figure 9 of the paper:
+
+* :func:`fine_grained_stream` — the baseline Newton encoding: one
+  ``PIM_GWRITE``, then per wave a ``PIM_ACTIVATION`` per 4-bank group, one
+  ``PIM_DOTPRODUCT``, and a trailing ``PIM_RDRESULT`` — heavy C/A traffic.
+* :func:`composite_stream` — the NeuPIMs encoding: ``PIM_HEADER`` +
+  ``PIM_GWRITE`` + one ``PIM_GEMV(k)`` + ``PIM_PRECHARGE`` — constant
+  command count regardless of ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import HbmOrganization
+
+
+@dataclass(frozen=True)
+class GemvOp:
+    """One GEMV to run on a PIM channel.
+
+    Attributes
+    ----------
+    rows:
+        Matrix rows (dot products to perform).
+    cols:
+        Matrix columns (elements per dot product).
+    tag:
+        Operation label for stats (e.g. ``"logit[3]"``).
+    """
+
+    rows: int
+    cols: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(f"GEMV dims must be positive: {self}")
+
+    def waves(self, org: HbmOrganization, dtype_bytes: int = 2) -> int:
+        """All-bank dot-product waves needed for this GEMV.
+
+        Each wave MACs one open page per bank: ``banks`` rows at a time,
+        ``page`` elements of the column dimension at a time.
+        """
+        elements_per_page = org.elements_per_page(dtype_bytes)
+        row_rounds = ceil(self.rows / org.banks_per_channel)
+        col_rounds = ceil(self.cols / elements_per_page)
+        return row_rounds * col_rounds
+
+    def gwrites(self, org: HbmOrganization, dtype_bytes: int = 2) -> int:
+        """GWRITE commands to stage the operand vector."""
+        return ceil(self.cols / org.elements_per_page(dtype_bytes))
+
+
+def fine_grained_stream(op: GemvOp, org: HbmOrganization,
+                        dtype_bytes: int = 2, base_row: int = 0) -> List[Command]:
+    """Baseline Newton command stream for one GEMV.
+
+    Returns the full ``GWRITE / (ACT4* DOTPRODUCT)* / RDRESULT`` sequence.
+    Row addresses cycle through ``base_row + wave`` — the actual addresses
+    do not affect timing provided they differ per wave (row misses).
+    """
+    commands: List[Command] = [
+        Command(CommandType.PIM_GWRITE, bank=0, row=base_row + 10_000, meta=op.tag)
+        for _ in range(op.gwrites(org, dtype_bytes))
+    ]
+    groups = [
+        tuple(range(g * org.banks_per_group, (g + 1) * org.banks_per_group))
+        for g in range(org.bank_groups)
+    ]
+    for wave in range(op.waves(org, dtype_bytes)):
+        row = base_row + wave
+        for group in groups:
+            commands.append(
+                Command(CommandType.PIM_ACTIVATION, banks=group, row=row,
+                        meta=op.tag)
+            )
+        commands.append(Command(CommandType.PIM_DOTPRODUCT, meta=op.tag))
+        commands.append(Command(CommandType.PIM_PRECHARGE, meta=op.tag))
+    commands.append(Command(CommandType.PIM_RDRESULT, meta=op.tag))
+    return commands
+
+
+def composite_stream(op: GemvOp, org: HbmOrganization,
+                     dtype_bytes: int = 2, base_row: int = 0) -> List[Command]:
+    """NeuPIMs composite command stream for one GEMV.
+
+    ``PIM_HEADER`` announces the dimensionality (wave count) so the memory
+    controller can schedule around refresh; ``PIM_GEMV`` performs all waves
+    and the result readout; ``PIM_PRECHARGE`` releases the PIM row buffers.
+    """
+    waves = op.waves(org, dtype_bytes)
+    commands: List[Command] = [
+        Command(CommandType.PIM_HEADER, k=waves, meta=op.tag)
+    ]
+    commands.extend(
+        Command(CommandType.PIM_GWRITE, bank=0, row=base_row + 10_000, meta=op.tag)
+        for _ in range(op.gwrites(org, dtype_bytes))
+    )
+    commands.append(Command(CommandType.PIM_GEMV, k=waves, meta=op.tag))
+    commands.append(Command(CommandType.PIM_PRECHARGE, meta=op.tag))
+    return commands
+
+
+def command_count(op: GemvOp, org: HbmOrganization, composite: bool,
+                  dtype_bytes: int = 2) -> int:
+    """Number of C/A-bus commands for the chosen encoding (Figure 9)."""
+    if composite:
+        return len(composite_stream(op, org, dtype_bytes))
+    return len(fine_grained_stream(op, org, dtype_bytes))

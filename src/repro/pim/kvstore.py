@@ -1,0 +1,205 @@
+"""KV-cache store: paged allocation mapped onto PIM channel addresses.
+
+Ties three substrates together the way the real system does:
+
+* the **paged allocator** (vLLM-style, :mod:`repro.serving.paging`)
+  decides *how many* blocks a request owns;
+* the **bank-interleaved address map** (:mod:`repro.dram.address`) decides
+  *where* each block's pages live so dot-product waves engage every bank;
+* the **KV layout** (:mod:`repro.pim.layout`) derives Algorithm 1's tile
+  counts from the same geometry.
+
+The store tracks, per request, the DRAM rows its K and V pages occupy on
+its assigned channel, and can emit the PIM_ACTIVATION row lists a GEMV
+over that request would touch — which the tests cross-check against the
+tile counts the latency estimator charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dram.address import BankInterleaved, Coordinates
+from repro.dram.timing import HbmOrganization
+from repro.model.spec import ModelSpec
+
+
+class KvStoreError(RuntimeError):
+    """Raised on placement failures (capacity, unknown request...)."""
+
+
+@dataclass
+class RequestPlacement:
+    """Where one request's KV cache lives on its channel."""
+
+    request_id: int
+    channel: int
+    #: pages as (bank, row) per cached token row, keys then values
+    key_pages: List[Tuple[int, int]] = field(default_factory=list)
+    value_pages: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def tokens(self) -> int:
+        """Cached context length (keys define it)."""
+        return len(self.key_pages)
+
+    def banks_touched(self) -> Set[int]:
+        """Banks holding any of this request's K or V pages."""
+        return {bank for bank, _ in self.key_pages + self.value_pages}
+
+    def rows_touched(self) -> Set[Tuple[int, int]]:
+        """All (bank, row) pages this request occupies."""
+        return set(self.key_pages) | set(self.value_pages)
+
+
+class ChannelKvStore:
+    """KV-cache placement for one PIM channel.
+
+    One "token row" per cached token for K and for V: a key row holds the
+    token's full-``E`` key vector (padded to whole pages), interleaved
+    across banks token-by-token (§6.3: same row/column across banks =
+    same layer/head, differing sequence index).
+
+    Parameters
+    ----------
+    spec:
+        Model (shard) whose per-token KV footprint sizes the rows.
+    channel:
+        Channel index this store manages.
+    reserved_rows:
+        Rows per bank reserved for weights/activations (not KV).
+    """
+
+    def __init__(self, spec: ModelSpec, channel: int,
+                 org: Optional[HbmOrganization] = None,
+                 reserved_rows: int = 0) -> None:
+        self.spec = spec
+        self.channel = channel
+        self.org = org or HbmOrganization()
+        self.mapper = BankInterleaved(channel=channel, org=self.org,
+                                      base_row=reserved_rows)
+        self._placements: Dict[int, RequestPlacement] = {}
+        bank_rows = self.org.rows_per_bank() - reserved_rows
+        if bank_rows <= 0:
+            raise ValueError("reserved_rows leaves no KV capacity")
+        self._total_pages = bank_rows * self.org.banks_per_channel
+        # Keys grow from the bottom of the region and values from the top:
+        # keeping each side contiguous preserves the bank-cyclic striping
+        # (§6.3) for both operands independently.
+        self._next_key_page = 0
+        self._next_value_page = self._total_pages - 1
+        self._free_key_pages: List[int] = []
+        self._free_value_pages: List[int] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pages_per_token(self) -> int:
+        """Pages one token's key (or value) vector occupies."""
+        row_bytes = self.spec.d_model * self.spec.dtype_bytes
+        return ceil(row_bytes / self.org.page_bytes)
+
+    @property
+    def used_pages(self) -> int:
+        key_used = self._next_key_page - len(self._free_key_pages)
+        value_used = (self._total_pages - 1 - self._next_value_page
+                      - len(self._free_value_pages))
+        return key_used + value_used
+
+    @property
+    def free_pages(self) -> int:
+        return self._total_pages - self.used_pages
+
+    def _exhausted(self) -> bool:
+        return self._next_key_page > self._next_value_page
+
+    def _allocate_page(self, for_keys: bool) -> Tuple[int, int]:
+        free = self._free_key_pages if for_keys else self._free_value_pages
+        if free:
+            page = free.pop()
+        elif self._exhausted():
+            raise KvStoreError(f"channel {self.channel}: out of KV pages")
+        elif for_keys:
+            page = self._next_key_page
+            self._next_key_page += 1
+        else:
+            page = self._next_value_page
+            self._next_value_page -= 1
+        coords = self.mapper.decode(page * self.org.page_bytes)
+        return coords.bank, coords.row
+
+    # ------------------------------------------------------------------
+
+    def register(self, request_id: int) -> RequestPlacement:
+        """Create an empty placement for a new request."""
+        if request_id in self._placements:
+            raise KvStoreError(f"request {request_id} already registered")
+        placement = RequestPlacement(request_id=request_id,
+                                     channel=self.channel)
+        self._placements[request_id] = placement
+        return placement
+
+    def append_token(self, request_id: int) -> None:
+        """Store one new token's K and V vectors (one generation step)."""
+        placement = self._placements.get(request_id)
+        if placement is None:
+            raise KvStoreError(f"unknown request {request_id}")
+        for _ in range(self.pages_per_token):
+            placement.key_pages.append(self._allocate_page(for_keys=True))
+        for _ in range(self.pages_per_token):
+            placement.value_pages.append(self._allocate_page(for_keys=False))
+
+    def append_context(self, request_id: int, tokens: int) -> None:
+        """Bulk-store a prefilled context (prompt handoff, Figure 7)."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        for _ in range(tokens):
+            self.append_token(request_id)
+
+    def release(self, request_id: int) -> int:
+        """Free a finished request's pages; returns pages freed."""
+        placement = self._placements.pop(request_id, None)
+        if placement is None:
+            return 0
+        freed = 0
+        for pages, pool in ((placement.key_pages, self._free_key_pages),
+                            (placement.value_pages, self._free_value_pages)):
+            for bank, row in pages:
+                address = self.mapper.encode(Coordinates(
+                    channel=self.channel, bank=bank, row=row, column=0))
+                pool.append(address // self.org.page_bytes)
+                freed += 1
+        return freed
+
+    def placement(self, request_id: int) -> RequestPlacement:
+        """The placement record of a registered request."""
+        placement = self._placements.get(request_id)
+        if placement is None:
+            raise KvStoreError(f"unknown request {request_id}")
+        return placement
+
+    # ------------------------------------------------------------------
+
+    def logit_wave_rows(self, request_id: int) -> List[List[Tuple[int, int]]]:
+        """Per-wave (bank, row) activation lists for the logit GEMV.
+
+        Each wave opens at most one row per bank; keys spread across banks
+        so a wave covers up to ``banks_per_channel`` token rows.
+        """
+        placement = self.placement(request_id)
+        waves: List[List[Tuple[int, int]]] = []
+        current: Dict[int, int] = {}
+        for bank, row in placement.key_pages:
+            if bank in current:
+                waves.append(sorted(current.items()))
+                current = {}
+            current[bank] = row
+        if current:
+            waves.append(sorted(current.items()))
+        return waves
+
+    def wave_count_logit(self, request_id: int) -> int:
+        """Waves the logit GEMV needs (cross-checked vs Algorithm 1)."""
+        return len(self.logit_wave_rows(request_id))

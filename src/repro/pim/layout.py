@@ -1,0 +1,100 @@
+"""KV-cache memory layout on PIM banks (paper §6.3).
+
+The GEMV matrix operand is interleaved row-wise across a channel's banks so
+all banks contribute to a dot-product wave in parallel:
+
+* **Key cache** (for logit = K^T q): keys at the same DRAM row/column across
+  banks share the same layer and head, with *differing sequence indices* —
+  a wave covers ``banks_per_channel`` sequence positions of one head slice.
+* **Value cache** (for attend = logits V): values at the same row/column
+  share layer, head *and* sequence index, with the head embedding
+  interleaved across banks — a wave covers ``banks_per_channel`` embedding
+  elements.
+
+Algorithm 1's tile counts follow directly from this layout, which is what
+the latency estimator in :mod:`repro.core.estimator` computes.  This module
+provides the exact tile enumeration so the estimator can be validated
+against it (and against the command-level simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.dram.timing import HbmOrganization
+from repro.model.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class KvLayout:
+    """Placement parameters for one model on one PIM channel."""
+
+    org: HbmOrganization
+    dtype_bytes: int = 2
+
+    @property
+    def elements_per_page(self) -> int:
+        """Algorithm 1's ``P_DRAM`` in elements."""
+        return self.org.elements_per_page(self.dtype_bytes)
+
+    @property
+    def banks(self) -> int:
+        """Algorithm 1's ``B_chnl``."""
+        return self.org.banks_per_channel
+
+    # ------------------------------------------------------------------
+    # Logit (K^T x q): K is [seq_len, E] for the request's channel shard.
+    # ------------------------------------------------------------------
+
+    def key_tiles(self, spec: ModelSpec, seq_len: int) -> int:
+        """Dot-product waves needed for the logit GEMV of one request.
+
+        Rows of K (one per cached token) are spread across banks, so
+        ``seq_len / banks`` wave-rounds, each covering ``E / P_DRAM``
+        pages of the embedding dimension.
+        """
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+        seq_rounds = ceil(seq_len / self.banks)
+        pages_per_row = ceil(spec.d_model / self.elements_per_page)
+        return seq_rounds * pages_per_row
+
+    def key_gwrites(self, spec: ModelSpec) -> int:
+        """GWRITE commands to stage the query vector (E elements)."""
+        return ceil(spec.d_model / self.elements_per_page)
+
+    # ------------------------------------------------------------------
+    # Attend (logits x V): V is [seq_len, head_dim] per head.
+    # ------------------------------------------------------------------
+
+    def value_tiles(self, spec: ModelSpec, seq_len: int) -> int:
+        """Dot-product waves for the attend GEMV of one request.
+
+        The head embedding (head_dim elements) is interleaved across
+        banks; each head's logit vector spans ``seq_len / P_DRAM`` pages,
+        repeated per head.
+        """
+        if seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+        emb_rounds = ceil(spec.head_dim / self.banks)
+        pages_per_head = ceil(seq_len / self.elements_per_page)
+        return emb_rounds * pages_per_head * spec.num_heads
+
+    def value_gwrites(self, spec: ModelSpec, seq_len: int) -> int:
+        """GWRITE commands to stage the logit vectors (seq_len per head)."""
+        return ceil(seq_len / self.elements_per_page) * spec.num_heads
+
+    # ------------------------------------------------------------------
+
+    def kv_rows_for_request(self, spec: ModelSpec, seq_len: int) -> int:
+        """DRAM rows the request's KV cache occupies per bank (capacity)."""
+        bytes_total = 2 * seq_len * spec.d_model * self.dtype_bytes
+        per_bank = ceil(bytes_total / self.banks)
+        return ceil(per_bank / self.org.page_bytes)
+
+    def fits(self, spec: ModelSpec, total_tokens: int,
+             reserved_rows: int = 0) -> bool:
+        """Whether ``total_tokens`` of KV cache fit in the channel."""
+        rows_needed = self.kv_rows_for_request(spec, max(1, total_tokens))
+        return rows_needed + reserved_rows <= self.org.rows_per_bank()

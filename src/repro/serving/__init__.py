@@ -1,0 +1,68 @@
+"""Inference-serving substrate: requests, pool, paging, traces, scheduler."""
+
+from repro.serving.paging import (
+    OutOfMemoryError,
+    PagedKvAllocator,
+    PagedKvConfig,
+    max_batch_without_paging,
+)
+from repro.serving.pool import RequestPool
+from repro.serving.request import InferenceRequest, RequestStatus
+from repro.serving.scheduler import (
+    IterationRecord,
+    IterationScheduler,
+    ServingStats,
+)
+from repro.serving.trace import (
+    ALPACA,
+    DATASETS,
+    SHAREGPT,
+    DatasetTrace,
+    LengthDistribution,
+    get_dataset,
+    poisson_arrivals,
+    sample_batches,
+    warmed_batch,
+)
+
+from repro.serving.latency import (
+    LatencyReport,
+    LatencyTracker,
+    RequestLatency,
+    percentile,
+)
+
+from repro.serving.preemption import (
+    PreemptingAllocatorPool,
+    PreemptionCosts,
+    RestorePolicy,
+)
+
+__all__ = [
+    "OutOfMemoryError",
+    "PagedKvAllocator",
+    "PagedKvConfig",
+    "max_batch_without_paging",
+    "RequestPool",
+    "InferenceRequest",
+    "RequestStatus",
+    "IterationRecord",
+    "IterationScheduler",
+    "ServingStats",
+    "ALPACA",
+    "DATASETS",
+    "SHAREGPT",
+    "DatasetTrace",
+    "LengthDistribution",
+    "get_dataset",
+    "poisson_arrivals",
+    "sample_batches",
+    "warmed_batch",
+    "LatencyReport",
+    "LatencyTracker",
+    "RequestLatency",
+    "percentile",
+    "PreemptingAllocatorPool",
+    "PreemptionCosts",
+    "RestorePolicy",
+]

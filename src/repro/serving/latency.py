@@ -1,0 +1,190 @@
+"""Per-request latency accounting for inference serving.
+
+The paper's evaluation is throughput-centric, but its serving substrate
+(Orca-style iteration-level scheduling, §2.2) exists to bound *latency*:
+new requests join at iteration boundaries instead of waiting for a whole
+batch to finish.  This module tracks the standard serving metrics over a
+scheduler run — time-to-first-token (TTFT), time-per-output-token (TPOT),
+end-to-end latency — and evaluates SLO attainment, enabling the
+latency-oriented examples and tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from math import ceil
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.serving.scheduler import ServingStats
+
+
+@dataclass
+class RequestLatency:
+    """Latency decomposition of one completed request (in cycles)."""
+
+    request_id: int
+    arrival_time: float
+    first_token_time: float
+    completion_time: float
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.output_tokens <= 0:
+            raise ValueError("output_tokens must be positive")
+        if not (self.arrival_time <= self.first_token_time
+                <= self.completion_time):
+            raise ValueError("latency timestamps out of order")
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token."""
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def end_to_end(self) -> float:
+        return self.completion_time - self.arrival_time
+
+    @property
+    def tpot(self) -> float:
+        """Mean time per output token after the first."""
+        if self.output_tokens == 1:
+            return 0.0
+        return ((self.completion_time - self.first_token_time)
+                / (self.output_tokens - 1))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100])."""
+    if not values:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, ceil(p / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class LatencyReport:
+    """Aggregate latency statistics over completed requests."""
+
+    requests: List[RequestLatency] = field(default_factory=list)
+
+    def add(self, latency: RequestLatency) -> None:
+        """Record one completed request's latency."""
+        self.requests.append(latency)
+
+    def _values(self, metric: str) -> List[float]:
+        return [getattr(r, metric) for r in self.requests]
+
+    def summary(self, clock_hz: float = 1e9) -> Dict[str, float]:
+        """Mean / p50 / p99 for TTFT, TPOT and end-to-end, in milliseconds."""
+        if not self.requests:
+            return {}
+        scale = 1e3 / clock_hz  # cycles -> ms at the given clock
+        out: Dict[str, float] = {}
+        for metric in ("ttft", "tpot", "end_to_end"):
+            values = self._values(metric)
+            out[f"{metric}_mean_ms"] = sum(values) / len(values) * scale
+            out[f"{metric}_p50_ms"] = percentile(values, 50) * scale
+            out[f"{metric}_p99_ms"] = percentile(values, 99) * scale
+        return out
+
+    def slo_attainment(self, ttft_cycles: Optional[float] = None,
+                       tpot_cycles: Optional[float] = None) -> float:
+        """Fraction of requests meeting the given latency targets."""
+        if not self.requests:
+            return 1.0
+        met = 0
+        for request in self.requests:
+            ok = True
+            if ttft_cycles is not None and request.ttft > ttft_cycles:
+                ok = False
+            if tpot_cycles is not None and request.tpot > tpot_cycles:
+                ok = False
+            met += ok
+        return met / len(self.requests)
+
+
+class LatencyTracker:
+    """Reconstructs per-request latencies from a scheduler run.
+
+    Wraps a :class:`~repro.serving.scheduler.IterationScheduler` executor:
+    records, per request, the end time of its first generation iteration
+    and of its completing iteration.
+    """
+
+    def __init__(self) -> None:
+        self._first_token: Dict[int, float] = {}
+        self._completion: Dict[int, float] = {}
+        self._arrivals: Dict[int, float] = {}
+        self._outputs: Dict[int, int] = {}
+
+    def wrap(self, executor, clock_start: float = 0.0):
+        """Wrap a BatchExecutor, recording per-request progress."""
+        now = [clock_start]
+
+        def run(batch):
+            latency = executor(batch)
+            end = now[0] + latency
+            now[0] = end
+            for request in batch:
+                rid = request.request_id
+                self._arrivals.setdefault(rid, request.arrival_time)
+                self._outputs[rid] = request.output_len
+                self._first_token.setdefault(rid, end)
+                # generated advances after the executor returns; the last
+                # iteration a request appears in is its completion.
+                self._completion[rid] = end
+            return latency
+        return run
+
+    def report(self) -> LatencyReport:
+        """Build the latency report for all requests seen."""
+        report = LatencyReport()
+        for rid, first in sorted(self._first_token.items()):
+            report.add(RequestLatency(
+                request_id=rid,
+                arrival_time=self._arrivals.get(rid, 0.0),
+                first_token_time=first,
+                completion_time=self._completion[rid],
+                output_tokens=max(1, self._outputs.get(rid, 1)),
+            ))
+        return report
+
+
+def queueing_delay_curve(stats: ServingStats,
+                         arrival_times: Sequence[float]) -> List[float]:
+    """Per-arrival delay until the next iteration boundary (admission lag).
+
+    Quantifies the benefit of iteration-level scheduling: with per-batch
+    scheduling the lag would be the remaining *batch* time instead.
+    """
+    boundaries = [record.end_time for record in stats.iterations]
+    delays: List[float] = []
+    for arrival in arrival_times:
+        idx = bisect_right(boundaries, arrival)
+        if idx < len(boundaries):
+            delays.append(boundaries[idx] - arrival)
+        else:
+            delays.append(0.0)
+    return delays
+
+
+def iteration_latency_histogram(stats: ServingStats,
+                                bins: int = 10) -> Dict[str, int]:
+    """Histogram of iteration latencies (diagnostics for examples)."""
+    if not stats.iterations:
+        return {}
+    latencies = [record.latency for record in stats.iterations]
+    low, high = min(latencies), max(latencies)
+    if high == low:
+        return {f"{low:.0f}": len(latencies)}
+    width = (high - low) / bins
+    histogram: Dict[str, int] = {}
+    for value in latencies:
+        bucket = min(bins - 1, int((value - low) / width))
+        key = f"{low + bucket * width:.0f}"
+        histogram[key] = histogram.get(key, 0) + 1
+    return histogram

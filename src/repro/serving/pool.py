@@ -1,0 +1,95 @@
+"""Request pool table (paper Figure 7, component 3).
+
+The NeuPIMs scheduler keeps arriving requests in a pool table recording
+request id, input length, generated-token count, assigned channel and
+status.  At every iteration boundary the scheduler admits waiting requests
+into the running batch (iteration-level scheduling, per Orca) and retires
+finished ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.serving.request import InferenceRequest, RequestStatus
+
+
+class RequestPool:
+    """The request pool table."""
+
+    def __init__(self) -> None:
+        self._requests: Dict[int, InferenceRequest] = {}
+
+    def submit(self, request: InferenceRequest) -> None:
+        """Add a new request to the pool."""
+        if request.request_id in self._requests:
+            raise ValueError(f"duplicate request id {request.request_id}")
+        self._requests[request.request_id] = request
+
+    def submit_all(self, requests: Iterable[InferenceRequest]) -> None:
+        """Add several requests to the pool."""
+        for request in requests:
+            self.submit(request)
+
+    def get(self, request_id: int) -> InferenceRequest:
+        """Look up one request by id."""
+        return self._requests[request_id]
+
+    def waiting(self, now: float = float("inf")) -> List[InferenceRequest]:
+        """Waiting requests that have arrived by ``now``, FIFO by arrival."""
+        ready = [
+            r for r in self._requests.values()
+            if r.status is RequestStatus.WAITING and r.arrival_time <= now
+        ]
+        return sorted(ready, key=lambda r: (r.arrival_time, r.request_id))
+
+    def running(self) -> List[InferenceRequest]:
+        """Requests currently in the generation batch."""
+        return sorted(
+            (r for r in self._requests.values()
+             if r.status is RequestStatus.RUNNING),
+            key=lambda r: r.request_id,
+        )
+
+    def finished(self) -> List[InferenceRequest]:
+        """Completed requests still present in the pool."""
+        return sorted(
+            (r for r in self._requests.values()
+             if r.status is RequestStatus.DONE),
+            key=lambda r: r.request_id,
+        )
+
+    def retire_finished(self) -> List[InferenceRequest]:
+        """Remove and return finished requests (iteration boundary)."""
+        done = self.finished()
+        for request in done:
+            del self._requests[request.request_id]
+        return done
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __contains__(self, request_id: int) -> bool:
+        return request_id in self._requests
+
+    def channel_occupancy(self, num_channels: int) -> List[int]:
+        """Running-request count per channel (for the Figure 7 table view)."""
+        counts = [0] * num_channels
+        for request in self.running():
+            if request.channel is not None:
+                counts[request.channel] += 1
+        return counts
+
+    def format_table(self, limit: Optional[int] = None) -> str:
+        """Render the pool as the paper's table (for examples/debugging)."""
+        rows = ["ReqID  InLen  Gen  Chnl  Status"]
+        entries = sorted(self._requests.values(), key=lambda r: r.request_id)
+        if limit is not None:
+            entries = entries[:limit]
+        for r in entries:
+            chnl = "-" if r.channel is None else str(r.channel)
+            rows.append(
+                f"{r.request_id:>5}  {r.input_len:>5}  {r.generated:>3}  "
+                f"{chnl:>4}  {r.status.value}"
+            )
+        return "\n".join(rows)

@@ -1,0 +1,156 @@
+"""Synthetic dataset traces (ShareGPT / Alpaca sequence-length models).
+
+The paper samples input/output sequence lengths from the ShareGPT and
+Alpaca datasets; only the length distributions matter to the simulator.
+We model them as clipped log-normal distributions matched to the published
+means (ShareGPT: 80 in / 296 out; Alpaca: 12 in / 56 out) with the heavy
+right tail characteristic of conversational data — the tail is what makes
+channel load balancing (Algorithm 2) matter.
+
+The paper's workload methodology (§8.1) warms up an inference batch so it
+contains requests at random stages of their generation, then measures
+steady-state throughput over sampled batches; :func:`warmed_batch`
+implements that warm-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.serving.request import InferenceRequest, RequestStatus
+
+
+@dataclass(frozen=True)
+class LengthDistribution:
+    """A clipped log-normal over sequence lengths with a target mean."""
+
+    mean: float
+    sigma: float
+    min_len: int = 1
+    max_len: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0 or self.sigma <= 0:
+            raise ValueError("mean and sigma must be positive")
+        if not self.min_len <= self.max_len:
+            raise ValueError("min_len must not exceed max_len")
+
+    @property
+    def mu(self) -> float:
+        """Underlying normal's location for the target arithmetic mean."""
+        return float(np.log(self.mean) - 0.5 * self.sigma ** 2)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` integer lengths."""
+        raw = rng.lognormal(self.mu, self.sigma, size=n)
+        return np.clip(np.rint(raw), self.min_len, self.max_len).astype(int)
+
+
+@dataclass(frozen=True)
+class DatasetTrace:
+    """Input/output length model for one dataset."""
+
+    name: str
+    input_dist: LengthDistribution
+    output_dist: LengthDistribution
+
+    def sample_pairs(self, rng: np.random.Generator,
+                     n: int) -> List[Tuple[int, int]]:
+        """Draw ``n`` (input_len, output_len) pairs."""
+        inputs = self.input_dist.sample(rng, n)
+        outputs = self.output_dist.sample(rng, n)
+        return list(zip(inputs.tolist(), outputs.tolist()))
+
+
+#: ShareGPT: conversational, long outputs (mean input 80, output 296).
+SHAREGPT = DatasetTrace(
+    name="sharegpt",
+    input_dist=LengthDistribution(mean=80.0, sigma=0.9),
+    output_dist=LengthDistribution(mean=296.0, sigma=0.8),
+)
+
+#: Alpaca: instruction-following, short sequences (mean input 12, output 56).
+ALPACA = DatasetTrace(
+    name="alpaca",
+    input_dist=LengthDistribution(mean=12.0, sigma=0.7),
+    output_dist=LengthDistribution(mean=56.0, sigma=0.7),
+)
+
+DATASETS = {trace.name: trace for trace in (SHAREGPT, ALPACA)}
+
+
+def get_dataset(name: str) -> DatasetTrace:
+    """Look up a dataset trace by name."""
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+    return DATASETS[key]
+
+
+def warmed_batch(trace: DatasetTrace, batch_size: int, seed: int,
+                 start_id: int = 0) -> List[InferenceRequest]:
+    """Synthesize a warmed-up generation-phase batch (paper §8.1).
+
+    Each request draws its lengths from the trace and is placed at a
+    uniformly random point of its generation progress, approximating the
+    steady state of an iteration-level-scheduled serving system where
+    requests join and leave continuously.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    rng = np.random.default_rng(seed)
+    pairs = trace.sample_pairs(rng, batch_size)
+    requests: List[InferenceRequest] = []
+    for offset, (input_len, output_len) in enumerate(pairs):
+        progress = int(rng.integers(0, output_len))
+        request = InferenceRequest(
+            request_id=start_id + offset,
+            input_len=input_len,
+            output_len=output_len,
+            generated=min(progress, output_len - 1),
+            status=RequestStatus.RUNNING,
+        )
+        requests.append(request)
+    return requests
+
+
+def sample_batches(trace: DatasetTrace, batch_size: int, num_batches: int,
+                   seed: int = 0) -> List[List[InferenceRequest]]:
+    """The paper's "10 sampled batches" methodology."""
+    return [
+        warmed_batch(trace, batch_size, seed=seed * 1009 + i,
+                     start_id=i * batch_size)
+        for i in range(num_batches)
+    ]
+
+
+def poisson_arrivals(trace: DatasetTrace, rate_per_kcycle: float,
+                     horizon_cycles: float, seed: int = 0,
+                     start_id: int = 0) -> List[InferenceRequest]:
+    """Streaming arrivals for the serving-system examples.
+
+    Requests arrive as a Poisson process with ``rate_per_kcycle``
+    arrivals per 1000 cycles over ``horizon_cycles``.
+    """
+    if rate_per_kcycle <= 0 or horizon_cycles <= 0:
+        raise ValueError("rate and horizon must be positive")
+    rng = np.random.default_rng(seed)
+    requests: List[InferenceRequest] = []
+    t = 0.0
+    idx = 0
+    while True:
+        t += rng.exponential(1000.0 / rate_per_kcycle)
+        if t >= horizon_cycles:
+            break
+        input_len, output_len = trace.sample_pairs(rng, 1)[0]
+        requests.append(InferenceRequest(
+            request_id=start_id + idx,
+            input_len=input_len,
+            output_len=output_len,
+            arrival_time=t,
+        ))
+        idx += 1
+    return requests

@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel and statistics utilities."""
+
+from repro.sim.engine import EventEngine, Resource, SimulationError
+from repro.sim.stats import (
+    Counter,
+    StatsRegistry,
+    UtilizationReport,
+    busy_fraction,
+    histogram,
+    merge_intervals,
+    summarize,
+    weighted_mean,
+)
+
+__all__ = [
+    "EventEngine",
+    "Resource",
+    "SimulationError",
+    "Counter",
+    "StatsRegistry",
+    "UtilizationReport",
+    "busy_fraction",
+    "histogram",
+    "merge_intervals",
+    "summarize",
+    "weighted_mean",
+]

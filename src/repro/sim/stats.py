@@ -1,0 +1,132 @@
+"""Statistics and utilization accounting for the simulators.
+
+Provides counters, weighted averages and interval-union utilization used by
+both the command-level DRAM/PIM simulation and the device-level pipeline
+model.  Table 4 and Figure 6 of the paper report utilizations computed this
+way: busy-time of a unit divided by end-to-end execution time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+
+def merge_intervals(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union overlapping ``(start, end)`` intervals.
+
+    >>> merge_intervals([(0, 2), (1, 3), (5, 6)])
+    [(0, 3), (5, 6)]
+    """
+    ordered = sorted((s, e) for s, e in intervals if e > s)
+    merged: List[Tuple[float, float]] = []
+    for start, end in ordered:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def busy_fraction(intervals: Iterable[Tuple[float, float]], horizon: float) -> float:
+    """Fraction of ``[0, horizon]`` covered by the union of intervals."""
+    if horizon <= 0:
+        return 0.0
+    covered = sum(e - s for s, e in merge_intervals(intervals))
+    return min(1.0, covered / horizon)
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing counter."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the counter by ``amount`` (non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class StatsRegistry:
+    """Bag of counters keyed by name, shared by simulator components."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counter(name).add(amount)
+
+    def get(self, name: str) -> float:
+        """Current value of counter ``name`` (0.0 if absent)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """All counters as a name -> value mapping, sorted by name."""
+        return {name: counter.value for name, counter in sorted(self._counters.items())}
+
+
+@dataclass
+class UtilizationReport:
+    """Per-resource utilization over a common horizon.
+
+    ``busy`` maps resource name to accumulated busy time.  This mirrors the
+    paper's Table 4 (NPU / PIM compute and memory bandwidth utilization).
+    """
+
+    horizon: float
+    busy: Dict[str, float] = field(default_factory=dict)
+
+    def utilization(self, name: str) -> float:
+        """Busy fraction of resource ``name`` over the horizon."""
+        if self.horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy.get(name, 0.0) / self.horizon)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Utilization per resource, sorted by name."""
+        return {name: self.utilization(name) for name in sorted(self.busy)}
+
+
+def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Mean of ``(value, weight)`` pairs; 0.0 when weights sum to zero."""
+    total = 0.0
+    weight_sum = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        weight_sum += weight
+    return total / weight_sum if weight_sum > 0 else 0.0
+
+
+def histogram(values: Iterable[float], bin_width: float) -> Dict[float, int]:
+    """Histogram of values into bins of ``bin_width`` keyed by bin start."""
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    bins: Dict[float, int] = defaultdict(int)
+    for value in values:
+        bins[(value // bin_width) * bin_width] += 1
+    return dict(bins)
+
+
+def summarize(values: Iterable[float]) -> Mapping[str, float]:
+    """Min/mean/max/count summary used by the report formatting helpers."""
+    data = list(values)
+    if not data:
+        return {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "count": len(data),
+        "min": min(data),
+        "mean": sum(data) / len(data),
+        "max": max(data),
+    }

@@ -1,0 +1,109 @@
+"""Unit tests for the analysis package (metrics, area, reporting)."""
+
+import pytest
+
+from repro.analysis.area import BankAreaModel, dual_row_buffer_area_overhead
+from repro.analysis.metrics import (
+    build_standard_devices,
+    compare_systems,
+    iteration_throughput,
+    measure_device,
+)
+from repro.analysis.report import format_series, format_table, geomean, normalize
+from repro.core.config import NeuPimsConfig
+from repro.core.device import IterationResult, NeuPimsDevice
+from repro.model.spec import GPT3_7B
+from repro.serving.trace import SHAREGPT
+
+
+class TestArea:
+    def test_headline_overhead_near_paper(self):
+        """§8.2: CACTI reports ~3.11% for the dual row buffer."""
+        assert dual_row_buffer_area_overhead() == pytest.approx(0.0311,
+                                                                abs=0.005)
+
+    def test_overhead_scales_with_latch_factor(self):
+        model = BankAreaModel()
+        assert model.dual_row_buffer_overhead(1.0) > \
+            model.dual_row_buffer_overhead(0.0)
+
+    def test_invalid_shares_raise(self):
+        with pytest.raises(ValueError):
+            BankAreaModel(cell_mat_share=0.9, row_decoder_share=0.1,
+                          sense_amp_share=0.1, column_circuitry_share=0.1)
+
+    def test_negative_latch_factor_raises(self):
+        with pytest.raises(ValueError):
+            BankAreaModel().dual_row_buffer_overhead(-0.1)
+
+    def test_pim_logic_overhead(self):
+        assert BankAreaModel().pim_logic_overhead() == 0.03
+
+
+class TestMetrics:
+    def test_iteration_throughput(self):
+        result = IterationResult(latency=1000.0)
+        # 10 tokens / 1 us = 1e7 tokens/s.
+        assert iteration_throughput(result, 10) == pytest.approx(1e7)
+
+    def test_iteration_throughput_zero_latency(self):
+        assert iteration_throughput(IterationResult(latency=0.0), 10) == 0.0
+
+    def test_measure_device_returns_measurement(self):
+        device = NeuPimsDevice(GPT3_7B, tp=4, layers_resident=2)
+        m = measure_device("NeuPIMs", device.iteration, GPT3_7B, SHAREGPT,
+                           batch_size=16, num_batches=2,
+                           config=NeuPimsConfig())
+        assert m.tokens_per_second > 0
+        assert m.batch_size == 16
+        assert "bandwidth" in m.utilization
+
+    def test_build_standard_devices_has_four_systems(self):
+        devices = build_standard_devices(GPT3_7B, tp=4, layers_resident=2)
+        assert set(devices) == {"GPU-only", "NPU-only", "NPU+PIM", "NeuPIMs"}
+
+    def test_compare_systems_ordering(self):
+        """The Figure 12 ordering: NeuPIMs >= NPU+PIM >= NPU-only."""
+        results = compare_systems(GPT3_7B, SHAREGPT, batch_size=128, tp=4,
+                                  layers_resident=2, num_batches=2)
+        assert results["NeuPIMs"].tokens_per_second > \
+            results["NPU+PIM"].tokens_per_second
+        assert results["NPU+PIM"].tokens_per_second >= \
+            0.95 * results["NPU-only"].tokens_per_second
+
+    def test_speedup_over(self):
+        results = compare_systems(GPT3_7B, SHAREGPT, batch_size=64, tp=4,
+                                  layers_resident=2, num_batches=1)
+        speedup = results["NeuPIMs"].speedup_over(results["NPU-only"])
+        assert speedup > 1.0
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        table = format_table(["a", "bbbb"], [[1, 2.5], ["x", 10000.0]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert "10,000" in table
+
+    def test_format_table_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series("s", {64: 1.5, 128: 2.0}, unit="x")
+        assert "64 -> 1.500 x" in text
+
+    def test_normalize(self):
+        assert normalize({"a": 2.0, "b": 4.0}, "a") == {"a": 1.0, "b": 2.0}
+
+    def test_normalize_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0}, "a")
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0

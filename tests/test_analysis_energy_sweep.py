@@ -1,0 +1,123 @@
+"""Tests for the energy analysis and the sweep utilities."""
+
+import pytest
+
+from repro.analysis.energy import (
+    EnergyParams,
+    EnergyReport,
+    energy_comparison,
+    iteration_energy,
+)
+from repro.analysis.sweep import SweepAxis, pareto_front, run_sweep
+from repro.core.device import IterationResult
+
+
+def result(latency=1e6, npu_busy=0.5e6):
+    return IterationResult(latency=latency, busy={"npu": npu_busy})
+
+
+class TestEnergy:
+    def test_energy_per_token_positive(self):
+        report = iteration_energy(result(), tokens=100,
+                                  memory_power_mw_per_channel=500.0)
+        assert report.energy_per_token_mj > 0
+
+    def test_higher_utilization_draws_more_npu_power(self):
+        idle = iteration_energy(result(npu_busy=0.1e6), 10, 500.0)
+        busy = iteration_energy(result(npu_busy=0.9e6), 10, 500.0)
+        assert busy.npu_energy_j > idle.npu_energy_j
+
+    def test_average_power_bracketed(self):
+        params = EnergyParams()
+        report = iteration_energy(result(), 10, 500.0, params)
+        memory_w = 0.5 * params.channels
+        assert params.npu_idle_w + memory_w <= report.average_power_w \
+            <= params.npu_active_w + memory_w
+
+    def test_table5_style_energy_win(self):
+        """Faster iteration at higher power still wins on energy/token —
+        the Table 5 argument."""
+        naive = iteration_energy(result(latency=2.4e6, npu_busy=0.7e6),
+                                 tokens=256, memory_power_mw_per_channel=364.0)
+        neupims = iteration_energy(result(latency=1e6, npu_busy=0.65e6),
+                                   tokens=256,
+                                   memory_power_mw_per_channel=635.0)
+        assert neupims.average_power_w > naive.average_power_w
+        assert neupims.energy_per_token_mj < naive.energy_per_token_mj
+
+    def test_comparison_validates_inputs(self):
+        with pytest.raises(ValueError):
+            energy_comparison({"a": result()}, tokens={}, memory_power_mw={})
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            EnergyParams(npu_active_w=10.0, npu_idle_w=60.0)
+        with pytest.raises(ValueError):
+            iteration_energy(result(), 0, 500.0)
+
+    def test_report_zero_division_guards(self):
+        report = EnergyReport(iteration_cycles=0.0, tokens=0,
+                              npu_energy_j=0.0, memory_energy_j=0.0)
+        assert report.energy_per_token_mj == 0.0
+        assert report.average_power_w == 0.0
+
+
+class TestSweep:
+    def test_cartesian_product_evaluated(self):
+        axes = [SweepAxis("a", [1, 2]), SweepAxis("b", [10, 20, 30])]
+        result = run_sweep(axes, lambda a, b: {"sum": a + b})
+        assert len(result.records) == 6
+        assert result.filter(a=2, b=30).records[0]["sum"] == 32
+
+    def test_skip_filters_points(self):
+        axes = [SweepAxis("tp", [1, 2, 3])]
+        result = run_sweep(axes, lambda tp: {"v": tp},
+                           skip=lambda tp: tp == 2)
+        assert result.column("tp") == [1, 3]
+
+    def test_metric_shadowing_axis_raises(self):
+        with pytest.raises(ValueError):
+            run_sweep([SweepAxis("a", [1])], lambda a: {"a": 2})
+
+    def test_duplicate_axis_names_raise(self):
+        with pytest.raises(ValueError):
+            run_sweep([SweepAxis("a", [1]), SweepAxis("a", [2])],
+                      lambda **kw: {})
+
+    def test_empty_axis_raises(self):
+        with pytest.raises(ValueError):
+            SweepAxis("a", [])
+
+    def test_best_record(self):
+        result = run_sweep([SweepAxis("x", [1, 2, 3])],
+                           lambda x: {"score": -x})
+        assert result.best("score")["x"] == 1
+        assert result.best("score", maximize=False)["x"] == 3
+
+    def test_best_on_empty_raises(self):
+        result = run_sweep([SweepAxis("x", [1])], lambda x: {"v": x},
+                           skip=lambda x: True)
+        with pytest.raises(ValueError):
+            result.best("v")
+
+    def test_pareto_front(self):
+        result = run_sweep(
+            [SweepAxis("x", [1, 2, 3])],
+            lambda x: {"throughput": x, "power": x * x})
+        front = pareto_front(result, ["throughput", "power"],
+                             maximize=[True, False])
+        # All three are non-dominated (throughput and power trade off).
+        assert len(front) == 3
+
+    def test_pareto_front_dominated_point_removed(self):
+        result = run_sweep(
+            [SweepAxis("x", [1, 2])],
+            lambda x: {"throughput": x, "power": 5.0})
+        front = pareto_front(result, ["throughput", "power"],
+                             maximize=[True, False])
+        assert len(front) == 1
+        assert front[0]["x"] == 2
+
+    def test_as_rows(self):
+        result = run_sweep([SweepAxis("x", [1, 2])], lambda x: {"y": x * 10})
+        assert result.as_rows(["x", "y"]) == [[1, 10], [2, 20]]

@@ -1,0 +1,90 @@
+"""Tests for the calibration-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    DEFAULT_KNOBS,
+    KnobRange,
+    SensitivityPoint,
+    conclusion_robust,
+    measure_speedup,
+    sensitivity_sweep,
+    tornado_table,
+)
+from repro.core.config import NeuPimsConfig
+from repro.model.spec import GPT3_7B
+from repro.serving.trace import ALPACA, SHAREGPT
+
+
+class TestKnobs:
+    def test_default_knobs_cover_design_parameters(self):
+        names = {k.name for k in DEFAULT_KNOBS}
+        assert names == {"bus_bytes_per_cycle", "dotprod_cycles_per_chunk",
+                         "blocked_mode_overhead", "bandwidth_derate"}
+
+    def test_knob_application_produces_new_config(self):
+        base = NeuPimsConfig()
+        for knob in DEFAULT_KNOBS:
+            perturbed = knob.apply(base, 2.0)
+            assert isinstance(perturbed, NeuPimsConfig)
+            assert perturbed is not base
+
+    def test_unit_scale_is_identity_for_bus(self):
+        base = NeuPimsConfig()
+        knob = next(k for k in DEFAULT_KNOBS
+                    if k.name == "bus_bytes_per_cycle")
+        assert knob.apply(base, 1.0).org.bus_bytes_per_cycle == \
+            base.org.bus_bytes_per_cycle
+
+    def test_derate_clamped_to_valid_range(self):
+        base = NeuPimsConfig()
+        knob = next(k for k in DEFAULT_KNOBS if k.name == "bandwidth_derate")
+        assert knob.apply(base, 10.0).bandwidth_derate <= 1.0
+        assert knob.apply(base, 0.01).bandwidth_derate >= 0.1
+
+
+class TestSweep:
+    def test_speedup_positive_everywhere(self):
+        points = sensitivity_sweep(batch_size=64, layers=2,
+                                   knobs=DEFAULT_KNOBS[:2])
+        assert points
+        assert all(p.speedup_vs_naive > 0 for p in points)
+
+    def test_conclusion_robust_on_default_point(self):
+        points = sensitivity_sweep(batch_size=256, layers=2,
+                                   knobs=DEFAULT_KNOBS[:1])
+        assert conclusion_robust(points)
+
+    def test_measure_speedup_above_one_at_large_batch(self):
+        speedup = measure_speedup(NeuPimsConfig(), GPT3_7B, SHAREGPT,
+                                  batch_size=256, tp=4, layers=2)
+        assert speedup > 1.0
+
+    def test_sharegpt_speedup_exceeds_alpaca(self):
+        share = measure_speedup(NeuPimsConfig(), GPT3_7B, SHAREGPT,
+                                batch_size=256, tp=4, layers=2)
+        alpaca = measure_speedup(NeuPimsConfig(), GPT3_7B, ALPACA,
+                                 batch_size=256, tp=4, layers=2)
+        assert share > alpaca
+
+    def test_tornado_table_groups_by_knob(self):
+        points = [
+            SensitivityPoint("a", 0.5, 1.5),
+            SensitivityPoint("a", 2.0, 2.5),
+            SensitivityPoint("b", 1.0, 2.0),
+        ]
+        table = tornado_table(points)
+        assert table == {"a": {0.5: 1.5, 2.0: 2.5}, "b": {1.0: 2.0}}
+
+    def test_conclusion_not_robust_below_threshold(self):
+        points = [SensitivityPoint("a", 1.0, 0.9)]
+        assert not conclusion_robust(points)
+
+    def test_custom_knob(self):
+        knob = KnobRange(
+            "fine_grained_overhead",
+            lambda c, s: NeuPimsConfig(
+                fine_grained_overhead=c.fine_grained_overhead * s),
+            scales=(1.0, 3.0))
+        points = sensitivity_sweep(batch_size=64, layers=2, knobs=[knob])
+        assert len(points) == 2

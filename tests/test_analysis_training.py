@@ -1,0 +1,55 @@
+"""Tests for the training-efficiency analysis (paper §9)."""
+
+import pytest
+
+from repro.analysis.training import (
+    inference_vs_training_pim_value,
+    profile_training_step,
+)
+from repro.model.spec import GPT3_7B, GPT3_13B
+
+
+class TestTrainingProfile:
+    def test_training_has_no_gemv_work(self):
+        """§9: training entirely entails GEMMs."""
+        profile = profile_training_step(GPT3_7B, batch_size=8, seq_len=512)
+        assert profile.gemv_flops == 0.0
+        assert profile.gemv_fraction == 0.0
+
+    def test_speedup_ceiling_is_one(self):
+        """With nothing to offload, NeuPIMs cannot beat NPU-only."""
+        profile = profile_training_step(GPT3_7B, batch_size=8, seq_len=512)
+        assert profile.neupims_speedup_ceiling == pytest.approx(1.0)
+
+    def test_backward_multiplier_applied(self):
+        profile = profile_training_step(GPT3_7B, batch_size=2, seq_len=128)
+        from repro.model.layers import decoder_block_operators
+        forward = sum(op.flops for op in decoder_block_operators(
+            GPT3_7B, [128] * 2, phase="summarization")) * GPT3_7B.num_layers
+        assert profile.gemm_flops == pytest.approx(3.0 * forward)
+
+    def test_larger_model_more_cycles(self):
+        small = profile_training_step(GPT3_7B, 4, 256)
+        large = profile_training_step(GPT3_13B, 4, 256)
+        assert large.total_cycles_npu_only > small.total_cycles_npu_only
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            profile_training_step(GPT3_7B, 0, 128)
+        with pytest.raises(ValueError):
+            profile_training_step(GPT3_7B, 1, 0)
+
+
+class TestInferenceVsTraining:
+    def test_inference_has_large_pim_value_training_none(self):
+        contrast = inference_vs_training_pim_value(GPT3_7B, batch_size=64,
+                                                   seq_len=384)
+        assert contrast["inference_gemv_time_share"] > 0.3
+        assert contrast["training_gemv_time_share"] == 0.0
+        assert contrast["training_speedup_ceiling"] == pytest.approx(1.0)
+
+    def test_inference_share_grows_with_seq_len(self):
+        short = inference_vs_training_pim_value(GPT3_7B, 64, 64)
+        long = inference_vs_training_pim_value(GPT3_7B, 64, 1024)
+        assert long["inference_gemv_time_share"] > \
+            short["inference_gemv_time_share"]

@@ -1,0 +1,32 @@
+"""Tests for the claim-validation suite."""
+
+import pytest
+
+from repro.analysis.validate import CheckResult, validate, validate_all
+
+
+class TestValidate:
+    def test_all_claims_pass(self):
+        """The headline regression test: every reproduced claim holds."""
+        results = validate_all()
+        failed = [r.name for r in results if not r.passed]
+        assert not failed, f"failed claims: {failed}"
+
+    def test_results_cover_all_artifacts(self):
+        names = {r.name for r in validate_all()}
+        assert names == {"fig4", "fig9", "fig10", "fig12", "tab4",
+                         "fig13", "fig14", "fig15", "area"}
+
+    def test_single_check_by_name(self):
+        result = validate("fig9")
+        assert isinstance(result, CheckResult)
+        assert result.passed
+
+    def test_unknown_check_raises(self):
+        with pytest.raises(KeyError):
+            validate("fig99")
+
+    def test_measured_strings_populated(self):
+        for result in validate_all():
+            assert result.measured
+            assert result.claim

@@ -1,0 +1,192 @@
+"""Unit tests for the baseline device models."""
+
+import pytest
+
+from repro.baselines.gpu import (
+    A100_40GB,
+    RTX3090_24GB,
+    GpuModel,
+    GpuOnlyDevice,
+    gpu_cluster_utilization,
+)
+from repro.baselines.npu_only import NpuOnlyDevice
+from repro.baselines.npu_pim import ablation_device, naive_npu_pim_device
+from repro.baselines.transpim import TransPimDevice, TransPimModel
+from repro.core.config import NeuPimsConfig
+from repro.core.device import NeuPimsDevice
+from repro.model.spec import GPT3_7B, GPT_NEOX_20B, LLAMA2_13B
+from repro.serving.trace import ALPACA, SHAREGPT, warmed_batch
+
+
+def batch(n=32, seed=0, trace=SHAREGPT):
+    return warmed_batch(trace, n, seed=seed)
+
+
+class TestNpuOnly:
+    def test_iteration_latency_positive(self):
+        device = NpuOnlyDevice(GPT3_7B, layers_resident=2)
+        assert device.iteration(batch(8)).latency > 0
+
+    def test_mha_dominates_for_long_sequences(self):
+        """§3.1: bandwidth-bound MHA keeps the NPU idle most of the time."""
+        device = NpuOnlyDevice(GPT3_7B, tp=4, layers_resident=2)
+        result = device.iteration(batch(256))
+        assert result.utilization("npu") < 0.4
+
+    def test_no_pim_activity(self):
+        device = NpuOnlyDevice(GPT3_7B, layers_resident=2)
+        assert device.iteration(batch(8)).utilization("pim") == 0.0
+
+    def test_external_bytes_include_kv(self):
+        device = NpuOnlyDevice(GPT3_7B, layers_resident=1)
+        short = device.iteration(batch(8, trace=ALPACA)).external_bytes
+        long = device.iteration(batch(8, trace=SHAREGPT, seed=1)).external_bytes
+        assert long > short
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            NpuOnlyDevice(GPT3_7B).iteration([])
+
+    def test_executor(self):
+        device = NpuOnlyDevice(GPT3_7B, layers_resident=1)
+        reqs = batch(4)
+        assert device.executor()(reqs) == pytest.approx(
+            device.iteration(reqs).latency)
+
+
+class TestGpuOnly:
+    def test_iteration_latency_positive(self):
+        device = GpuOnlyDevice(GPT3_7B, layers_resident=2)
+        assert device.iteration(batch(8)).latency > 0
+
+    def test_gpu_marginally_below_npu_only(self):
+        """Figure 12: GPU-only and NPU-only are close, GPU slightly lower."""
+        gpu = GpuOnlyDevice(GPT3_7B, tp=4, layers_resident=4)
+        npu = NpuOnlyDevice(GPT3_7B, tp=4, layers_resident=4)
+        reqs = batch(128)
+        t_gpu = gpu.iteration(reqs).latency
+        t_npu = npu.iteration(list(reqs)).latency
+        assert 1.0 <= t_gpu / t_npu <= 3.0
+
+    def test_a100_faster_than_rtx3090(self):
+        reqs = batch(64)
+        fast = GpuOnlyDevice(GPT3_7B, A100_40GB, layers_resident=2)
+        slow = GpuOnlyDevice(GPT3_7B, RTX3090_24GB, layers_resident=2)
+        assert fast.iteration(reqs).latency < slow.iteration(reqs).latency
+
+    def test_invalid_gpu_model_raises(self):
+        with pytest.raises(ValueError):
+            GpuModel(roofline=A100_40GB.roofline, memory_bytes=0)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            GpuOnlyDevice(GPT3_7B).iteration([])
+
+
+class TestFigure5:
+    def test_capacity_utilization_near_one(self):
+        """Figure 5: GPU counts are capacity-determined, so capacity
+        utilization approaches 100%."""
+        for spec in (GPT_NEOX_20B, LLAMA2_13B):
+            util = gpu_cluster_utilization(spec, A100_40GB)
+            assert util["capacity"] > 0.6
+
+    def test_compute_utilization_under_40_percent(self):
+        """Figure 5: compute utilization stays below 40%."""
+        for spec in (GPT_NEOX_20B, LLAMA2_13B):
+            util = gpu_cluster_utilization(spec, A100_40GB)
+            assert util["compute"] < 0.4
+
+    def test_bandwidth_utilization_exceeds_compute(self):
+        util = gpu_cluster_utilization(GPT_NEOX_20B, A100_40GB)
+        assert util["bandwidth"] > util["compute"]
+
+    def test_gpu_count_scales_with_model(self):
+        small = gpu_cluster_utilization(LLAMA2_13B, A100_40GB)
+        large = gpu_cluster_utilization(GPT_NEOX_20B, A100_40GB)
+        assert large["num_gpus"] >= small["num_gpus"]
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            gpu_cluster_utilization(GPT3_7B, A100_40GB, batch_size=0)
+
+
+class TestNaiveNpuPim:
+    def test_all_features_disabled(self):
+        device = naive_npu_pim_device(GPT3_7B)
+        assert not device.config.dual_row_buffer
+        assert not device.config.composite_isa
+        assert not device.config.greedy_binpack
+        assert not device.config.sub_batch_interleaving
+
+    def test_hardware_overrides_preserved(self):
+        config = NeuPimsConfig(bandwidth_derate=0.5)
+        device = naive_npu_pim_device(GPT3_7B, config=config)
+        assert device.config.bandwidth_derate == 0.5
+        assert not device.config.dual_row_buffer
+
+    def test_ablation_stacking_improves_throughput(self):
+        """Figure 13: each added technique helps at large batch."""
+        reqs = batch(256, seed=2)
+        latencies = []
+        for flags in (
+            {},
+            {"dual_row_buffer": True},
+            {"dual_row_buffer": True, "greedy_binpack": True},
+            {"dual_row_buffer": True, "greedy_binpack": True,
+             "sub_batch_interleaving": True},
+        ):
+            device = ablation_device(GPT3_7B, tp=4, layers_resident=4, **flags)
+            fresh = batch(256, seed=2)
+            latencies.append(device.iteration(fresh).latency)
+        assert latencies[1] < latencies[0]          # DRB helps
+        assert latencies[2] <= latencies[1] * 1.001  # GMLBP never hurts
+        assert latencies[3] < latencies[2]          # SBI helps at B=256
+
+    def test_composite_isa_tied_to_drb(self):
+        device = ablation_device(GPT3_7B, dual_row_buffer=True)
+        assert device.config.composite_isa
+        device = ablation_device(GPT3_7B, dual_row_buffer=False)
+        assert not device.config.composite_isa
+
+
+class TestTransPim:
+    def test_single_request_token_cycles_positive(self):
+        device = TransPimDevice(GPT3_7B, layers_resident=2)
+        assert device.request_token_cycles(128) > 0
+
+    def test_no_batching_latency_linear_in_batch(self):
+        device = TransPimDevice(GPT3_7B, layers_resident=2)
+        one = device.iteration(batch(1)).latency
+        eight = device.iteration(batch(8, seed=1)).latency
+        assert eight > 5 * one
+
+    def test_neupims_speedup_grows_with_batch(self):
+        """Figure 15: the gap grows with batch size (it *is* the lost
+        batching)."""
+        speedups = []
+        for size in (16, 64):
+            reqs = batch(size, seed=3)
+            neupims = NeuPimsDevice(GPT3_7B, tp=1, layers_resident=2)
+            transpim = TransPimDevice(GPT3_7B, layers_resident=2)
+            t_n = neupims.iteration(reqs).latency
+            t_t = transpim.iteration(batch(size, seed=3)).latency
+            speedups.append(t_t / t_n)
+        assert speedups[1] > speedups[0] > 1.0
+
+    def test_speedup_order_of_magnitude_at_large_batch(self):
+        """Figure 15 reports 79x-431x; at batch 256 we expect >> 10x."""
+        reqs = batch(256, seed=4)
+        neupims = NeuPimsDevice(GPT3_7B, tp=1, layers_resident=2)
+        transpim = TransPimDevice(GPT3_7B, layers_resident=2)
+        speedup = (transpim.iteration(batch(256, seed=4)).latency
+                   / neupims.iteration(reqs).latency)
+        assert speedup > 30
+
+    def test_invalid_efficiency_raises(self):
+        with pytest.raises(ValueError):
+            TransPimModel(dataflow_efficiency=0.0)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            TransPimDevice(GPT3_7B).iteration([])

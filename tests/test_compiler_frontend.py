@@ -1,0 +1,122 @@
+"""Tests for the specification front-end."""
+
+import json
+
+import pytest
+
+from repro.compiler.frontend import (
+    CompilationInput,
+    SpecificationError,
+    dump_specification,
+    load_specification,
+    parse_model_spec,
+    parse_system_spec,
+)
+from repro.model.spec import GPT3_13B
+
+
+class TestModelSpecParsing:
+    def test_preset_lookup(self):
+        assert parse_model_spec({"preset": "GPT3-13B"}) is GPT3_13B
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(SpecificationError, match="unknown preset"):
+            parse_model_spec({"preset": "gpt5"})
+
+    def test_explicit_architecture(self):
+        spec = parse_model_spec({
+            "name": "tiny", "num_layers": 4, "num_heads": 8, "d_model": 512,
+        })
+        assert spec.head_dim == 64
+        assert spec.ffn_mult == 4
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(SpecificationError, match="missing fields"):
+            parse_model_spec({"name": "x", "num_layers": 4})
+
+    def test_invalid_architecture_raises(self):
+        with pytest.raises(SpecificationError):
+            parse_model_spec({"name": "bad", "num_layers": 4,
+                              "num_heads": 3, "d_model": 100})
+
+
+class TestSystemSpecParsing:
+    def test_defaults(self):
+        config, scheme = parse_system_spec({})
+        assert config.dual_row_buffer
+        assert scheme.tp == scheme.pp == 1
+
+    def test_feature_flags(self):
+        config, _ = parse_system_spec(
+            {"features": {"sub_batch_interleaving": False}})
+        assert not config.sub_batch_interleaving
+        assert config.dual_row_buffer  # untouched flags keep defaults
+
+    def test_unknown_flag_raises(self):
+        with pytest.raises(SpecificationError, match="unknown feature"):
+            parse_system_spec({"features": {"turbo": True}})
+
+    def test_hardware_overrides(self):
+        config, _ = parse_system_spec({"hbm": {"channels": 16}})
+        assert config.org.channels == 16
+
+    def test_bad_hardware_section_raises(self):
+        with pytest.raises(SpecificationError):
+            parse_system_spec({"hbm": {"warp_drives": 2}})
+        with pytest.raises(SpecificationError):
+            parse_system_spec({"timing": {"tRP": 0}})
+
+    def test_parallelism(self):
+        _, scheme = parse_system_spec({"parallelism": {"tp": 4, "pp": 2}})
+        assert (scheme.tp, scheme.pp) == (4, 2)
+
+
+class TestLoadSpecification:
+    def _document(self, tp=4):
+        return json.dumps({
+            "model": {"preset": "gpt3-13b"},
+            "system": {"parallelism": {"tp": tp, "pp": 1}},
+        })
+
+    def test_load_valid_document(self):
+        compilation = load_specification(self._document())
+        assert compilation.model is GPT3_13B
+        assert compilation.scheme.tp == 4
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(SpecificationError, match="invalid JSON"):
+            load_specification("{nope")
+
+    def test_missing_model_section_raises(self):
+        with pytest.raises(SpecificationError, match="model"):
+            load_specification("{}")
+
+    def test_cross_validation_tp_divisibility(self):
+        with pytest.raises(SpecificationError, match="divisible"):
+            load_specification(self._document(tp=7))
+
+    def test_pp_exceeding_layers_raises(self):
+        document = json.dumps({
+            "model": {"name": "tiny", "num_layers": 2, "num_heads": 4,
+                      "d_model": 256},
+            "system": {"parallelism": {"tp": 1, "pp": 8}},
+        })
+        with pytest.raises(SpecificationError, match="PP"):
+            load_specification(document)
+
+    def test_roundtrip(self):
+        compilation = load_specification(self._document())
+        dumped = dump_specification(compilation)
+        reloaded = load_specification(dumped)
+        assert reloaded.model.name.startswith("gpt3-13b")
+        assert reloaded.scheme == compilation.scheme
+        assert reloaded.config.dual_row_buffer == \
+            compilation.config.dual_row_buffer
+
+    def test_compilation_input_validate_direct(self):
+        from repro.core.system import ParallelismScheme
+        from repro.core.config import NeuPimsConfig
+        compilation = CompilationInput(GPT3_13B, NeuPimsConfig(),
+                                       ParallelismScheme(7, 1))
+        with pytest.raises(SpecificationError):
+            compilation.validate()

@@ -1,0 +1,78 @@
+"""Tests for instruction scheduling and binary serialization."""
+
+import pytest
+
+from repro.compiler.lower import emit_binary, lower_model
+from repro.compiler.schedule import (
+    balance_report,
+    deserialize,
+    roundtrip_equal,
+    schedule_binary,
+    serialize,
+)
+from repro.core.config import NeuPimsConfig
+from repro.model.spec import GPT3_7B
+
+
+@pytest.fixture
+def binary():
+    module = lower_model(GPT3_7B, [64, 128], num_layers=1)
+    return emit_binary(module, NeuPimsConfig())
+
+
+class TestSchedule:
+    def test_all_instructions_scheduled(self, binary):
+        queues = schedule_binary(binary)
+        assert queues.npu_instruction_count == len(binary.npu_instructions)
+        assert len(queues.pim) == len(binary.pim_commands)
+
+    def test_arrays_load_balanced(self, binary):
+        queues = schedule_binary(binary)
+        report = balance_report(queues)
+        assert report["arrays"] == 8
+        assert report["imbalance"] < 1.1
+
+    def test_makespan_matches_binary_estimate(self, binary):
+        queues = schedule_binary(binary)
+        assert queues.npu_makespan_cycles() == pytest.approx(
+            binary.npu_cycle_estimate)
+
+    def test_empty_binary(self):
+        from repro.compiler.lower import DeviceBinary
+        queues = schedule_binary(DeviceBinary(model_name="empty"))
+        assert queues.npu_makespan_cycles() == 0.0
+        assert balance_report(queues)["arrays"] == 0
+
+
+class TestSerialization:
+    def test_roundtrip(self, binary):
+        text = serialize(binary)
+        restored = deserialize(text)
+        assert roundtrip_equal(binary, restored)
+
+    def test_serialized_deterministic(self, binary):
+        assert serialize(binary) == serialize(binary)
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(ValueError, match="magic"):
+            deserialize("GARBAGE\nmodel x\n")
+
+    def test_missing_model_header_raises(self):
+        with pytest.raises(ValueError, match="model"):
+            deserialize("NEUPIMS-BIN v1\n")
+
+    def test_malformed_instruction_raises(self):
+        text = "NEUPIMS-BIN v1\nmodel m\nNPU 0 qkv\n"
+        with pytest.raises(ValueError, match="malformed"):
+            deserialize(text)
+
+    def test_unknown_record_raises(self):
+        text = "NEUPIMS-BIN v1\nmodel m\nGPU 0\n"
+        with pytest.raises(ValueError, match="unknown record"):
+            deserialize(text)
+
+    def test_pim_commands_preserved_exactly(self, binary):
+        restored = deserialize(serialize(binary))
+        originals = [c for c in binary.pim_commands if c.banks]
+        copies = [c for c in restored.pim_commands if c.banks]
+        assert originals == copies

@@ -1,0 +1,156 @@
+"""Extended command-level scenarios for the memory controller.
+
+Covers interaction patterns beyond the basic unit tests: sustained mixed
+workloads, refresh cadence under load, multi-GEMV pipelines, activation
+replay correctness, and C/A-bus accounting invariants.
+"""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.commands import Command, CommandType, ca_bus_cycles
+from repro.dram.controller import ControllerConfig, MemoryController
+
+
+def controller(dual=True, header_aware=True, refresh=True,
+               pim_priority=True):
+    channel = Channel(0, dual_row_buffer=dual)
+    return MemoryController(channel, ControllerConfig(
+        pim_priority=pim_priority, header_aware_refresh=header_aware,
+        refresh_enabled=refresh))
+
+
+def reads(bank, count, stride_rows=True):
+    commands = []
+    for i in range(count):
+        commands.append(Command(CommandType.ACT, bank=bank,
+                                row=i if stride_rows else 0))
+        commands.append(Command(CommandType.RD, bank=bank))
+        commands.append(Command(CommandType.PRE, bank=bank))
+    return commands
+
+
+def gemv(k=16, tag=""):
+    return [
+        Command(CommandType.PIM_HEADER, k=k, meta=tag),
+        Command(CommandType.PIM_GWRITE, bank=0, row=50_000, meta=tag),
+        Command(CommandType.PIM_GEMV, k=k, meta=tag),
+        Command(CommandType.PIM_PRECHARGE, meta=tag),
+    ]
+
+
+class TestSustainedMixedWorkload:
+    def test_long_run_stays_legal(self):
+        """Thousands of interleaved commands execute without hazards."""
+        ctrl = controller()
+        for wave in range(10):
+            ctrl.enqueue_pim(gemv(k=32, tag=f"g{wave}"))
+        for bank in range(8, 16):
+            ctrl.enqueue_mem(reads(bank, 40))
+        records = ctrl.drain()
+        assert len(records) >= 10 * 4 + 8 * 40 * 3
+
+    def test_multiple_gemvs_serialize_on_pim(self):
+        ctrl = controller(refresh=False)
+        ctrl.enqueue_pim(gemv(k=16, tag="a") + gemv(k=16, tag="b"))
+        records = ctrl.drain()
+        gemvs = [r for r in records
+                 if r.command.ctype is CommandType.PIM_GEMV]
+        assert len(gemvs) == 2
+        assert gemvs[1].issue_time >= gemvs[0].complete_time
+
+    def test_mem_throughput_preserved_alongside_pim(self):
+        """With dual row buffers, adding a PIM GEMV barely delays the
+        memory stream (the core §5.1 claim)."""
+        def last_read(with_pim):
+            ctrl = controller(refresh=False)
+            if with_pim:
+                ctrl.enqueue_pim(gemv(k=64))
+            ctrl.enqueue_mem(reads(8, 30))
+            records = ctrl.drain()
+            return max(r.complete_time for r in records
+                       if r.command.ctype is CommandType.RD)
+        assert last_read(True) < last_read(False) * 1.25
+
+    def test_bus_busy_equals_sum_of_command_cycles(self):
+        ctrl = controller(refresh=False)
+        ctrl.enqueue_pim(gemv(k=4))
+        ctrl.enqueue_mem(reads(8, 5))
+        records = ctrl.drain()
+        expected = sum(ca_bus_cycles(r.command.ctype) for r in records)
+        assert ctrl.channel.ca_busy_cycles == expected
+
+    def test_records_sorted_by_bus_slot(self):
+        ctrl = controller(refresh=False)
+        ctrl.enqueue_pim(gemv(k=8))
+        ctrl.enqueue_mem(reads(8, 10))
+        starts = [r.issue_time for r in ctrl.drain()]
+        assert starts == sorted(starts)
+
+
+class TestRefreshCadence:
+    def test_refresh_rate_tracks_trefi(self):
+        ctrl = controller()
+        ctrl.enqueue_mem(reads(0, 400))
+        ctrl.drain()
+        elapsed = ctrl.finish_time
+        expected = elapsed / ctrl.channel.timing.tREFI
+        issued = ctrl.stats.get("refresh.issued")
+        assert issued == pytest.approx(expected, abs=2)
+
+    def test_act_replay_restores_open_rows(self):
+        """Reads queued across a refresh still succeed (row replayed)."""
+        ctrl = controller()
+        commands = [Command(CommandType.ACT, bank=0, row=7)]
+        commands += [Command(CommandType.RD, bank=0) for _ in range(2000)]
+        commands.append(Command(CommandType.PRE, bank=0))
+        ctrl.enqueue_mem(commands)
+        records = ctrl.drain()
+        assert ctrl.stats.get("refresh.issued") >= 1
+        assert ctrl.stats.get("refresh.act_replays") >= 1
+        read_count = sum(1 for r in records
+                         if r.command.ctype is CommandType.RD)
+        assert read_count == 2000
+
+    def test_header_aware_mode_never_interrupts(self):
+        ctrl = controller(header_aware=True)
+        for i in range(20):
+            ctrl.enqueue_pim(gemv(k=150, tag=f"g{i}"))
+        ctrl.drain()
+        assert ctrl.stats.get("refresh.gemv_interrupted") == 0
+
+    def test_fine_grained_without_headers_still_progresses(self):
+        from repro.pim.gemv import GemvOp, fine_grained_stream
+        ctrl = controller(header_aware=False)
+        op = GemvOp(rows=32 * 40, cols=512)
+        ctrl.enqueue_pim(fine_grained_stream(op, ctrl.channel.org))
+        records = ctrl.drain()
+        dotprods = sum(1 for r in records
+                       if r.command.ctype is CommandType.PIM_DOTPRODUCT)
+        assert dotprods == op.waves(ctrl.channel.org)
+
+
+class TestPolicyEdgeCases:
+    def test_mem_priority_still_completes_pim(self):
+        ctrl = controller(pim_priority=False, refresh=False)
+        ctrl.enqueue_pim(gemv(k=8))
+        ctrl.enqueue_mem(reads(8, 5))
+        records = ctrl.drain()
+        assert any(r.command.ctype is CommandType.PIM_GEMV for r in records)
+
+    def test_blocked_mode_strictly_orders_flows(self):
+        ctrl = controller(dual=False, refresh=False)
+        ctrl.enqueue_mem(reads(4, 3))
+        ctrl.enqueue_pim(gemv(k=8))
+        records = ctrl.drain()
+        last_pim = max(r.complete_time for r in records if r.command.is_pim)
+        first_read = min(r.issue_time for r in records
+                         if r.command.ctype is CommandType.RD)
+        assert first_read >= last_pim - 1e-9
+
+    def test_drain_is_idempotent(self):
+        ctrl = controller(refresh=False)
+        ctrl.enqueue_pim(gemv(k=2))
+        first = len(ctrl.drain())
+        second = len(ctrl.drain())
+        assert second == first  # no new records

@@ -1,0 +1,85 @@
+"""Tests for the multi-node cluster layer."""
+
+import pytest
+
+from repro.core.cluster import NeuPimsCluster, RoutingPolicy
+from repro.core.system import ParallelismScheme
+from repro.model.spec import GPT3_7B
+from repro.serving.trace import SHAREGPT, warmed_batch
+
+from tests.conftest import make_request
+
+
+def cluster(nodes=2, policy=RoutingPolicy.JOIN_SHORTEST_QUEUE):
+    return NeuPimsCluster(GPT3_7B, num_nodes=nodes,
+                          scheme=ParallelismScheme(1, 1), policy=policy)
+
+
+class TestRouting:
+    def test_round_robin_cycles_nodes(self):
+        c = cluster(nodes=3, policy=RoutingPolicy.ROUND_ROBIN)
+        indices = [c.route(make_request(i)) for i in range(6)]
+        assert indices == [0, 1, 2, 0, 1, 2]
+
+    def test_jsq_prefers_empty_node(self):
+        c = cluster(nodes=2)
+        c.route(make_request(0, input_len=2000))
+        assert c.route(make_request(1, input_len=10)) == 1
+
+    def test_jsq_balances_better_than_round_robin_on_skew(self):
+        lengths = [4000, 3000, 2000, 1500, 100, 90, 80, 70]
+        jsq = cluster(nodes=4)
+        rr = cluster(nodes=4, policy=RoutingPolicy.ROUND_ROBIN)
+        jsq.route_all([make_request(i, input_len=n)
+                       for i, n in enumerate(lengths)])
+        rr.route_all([make_request(i, input_len=n)
+                      for i, n in enumerate(lengths)])
+        assert jsq.load_imbalance() <= rr.load_imbalance()
+
+    def test_route_all_covers_every_request(self):
+        c = cluster(nodes=2)
+        requests = [make_request(i) for i in range(5)]
+        assignment = c.route_all(requests)
+        assert set(assignment) == set(range(5))
+        assert sum(len(n.requests) for n in c.nodes) == 5
+
+    def test_invalid_node_count_raises(self):
+        with pytest.raises(ValueError):
+            NeuPimsCluster(GPT3_7B, num_nodes=0)
+
+
+class TestClusterExecution:
+    def test_device_count_aggregates(self):
+        c = NeuPimsCluster(GPT3_7B, num_nodes=3,
+                           scheme=ParallelismScheme(2, 2))
+        assert c.num_devices == 12
+
+    def test_iteration_latency_is_makespan(self):
+        c = cluster(nodes=2)
+        c.nodes[0].requests = warmed_batch(SHAREGPT, 32, seed=0)
+        c.nodes[1].requests = warmed_batch(SHAREGPT, 8, seed=1)
+        slow = c.nodes[0].system.iteration_latency(c.nodes[0].requests)
+        assert c.iteration_latency() == pytest.approx(slow, rel=0.01)
+
+    def test_empty_cluster_zero_latency(self):
+        assert cluster().iteration_latency() == 0.0
+
+    def test_throughput_scales_with_nodes(self):
+        def run(nodes):
+            c = cluster(nodes=nodes)
+            batch = warmed_batch(SHAREGPT, 32 * nodes, seed=2)
+            c.route_all(batch)
+            return c.throughput_tokens_per_second()
+        assert run(4) > 3 * run(1)
+
+    def test_remove_finished(self):
+        c = cluster(nodes=1)
+        done = make_request(0, output_len=4, generated=0)
+        done.generated = 4
+        alive = make_request(1)
+        c.nodes[0].requests = [done, alive]
+        assert c.remove_finished() == 1
+        assert [r.request_id for r in c.nodes[0].requests] == [1]
+
+    def test_load_imbalance_even_when_empty(self):
+        assert cluster().load_imbalance() == 1.0

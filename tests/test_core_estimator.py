@@ -1,0 +1,115 @@
+"""Unit tests for the MHA latency estimator (Algorithm 1)."""
+
+import pytest
+
+from repro.core.estimator import MhaLatencyEstimator, analytic_latencies
+from repro.dram.timing import HbmOrganization, PimTiming, TimingParams
+from repro.model.spec import GPT3_7B, GPT3_30B
+from repro.pim.engine import CalibratedLatencies
+
+
+@pytest.fixture
+def estimator():
+    return MhaLatencyEstimator(spec=GPT3_7B, org=HbmOrganization(),
+                               latencies=analytic_latencies())
+
+
+class TestAnalyticLatencies:
+    def test_l_tile_at_least_page_mac(self):
+        cal = analytic_latencies()
+        mac = PimTiming().dotprod_cycles_per_page(1024)
+        assert cal.l_tile >= mac
+
+    def test_l_gwrite_matches_timing(self):
+        assert analytic_latencies().l_gwrite == PimTiming().gwrite_cycles
+
+    def test_custom_timing_respected(self):
+        slow = PimTiming(gwrite_cycles=500)
+        assert analytic_latencies(pim_timing=slow).l_gwrite == 500
+
+
+class TestAlgorithm1:
+    def test_logit_latency_formula(self, estimator):
+        """Line 2-4: N_tiles = (seq/B_chnl)(E/P_DRAM), plus GWRITEs."""
+        seq = 256
+        cal = analytic_latencies()
+        embed_pages = 4096 / 512
+        expected = cal.l_gwrite * embed_pages \
+            + cal.l_tile * (seq / 32) * embed_pages
+        assert estimator.logit_latency(seq) == pytest.approx(expected)
+
+    def test_attend_latency_formula(self, estimator):
+        """Line 5-7: N_tiles = ((E/heads)/B)(seq/P)·heads, plus GWRITEs."""
+        seq = 512
+        cal = analytic_latencies()
+        expected = cal.l_gwrite * (seq / 512) * 32 \
+            + cal.l_tile * (128 / 32) * (seq / 512) * 32
+        assert estimator.attend_latency(seq) == pytest.approx(expected)
+
+    def test_estimate_is_logit_plus_attend(self, estimator):
+        seq = 300
+        assert estimator.estimate(seq) == pytest.approx(
+            estimator.logit_latency(seq) + estimator.attend_latency(seq))
+
+    def test_estimate_monotonic_in_seq(self, estimator):
+        values = [estimator.estimate(s) for s in (16, 64, 256, 1024)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_estimate_scales_linearly_for_long_seqs(self, estimator):
+        """Above the page/bank granularity, latency is linear in seq."""
+        ratio = estimator.estimate(4096) / estimator.estimate(2048)
+        assert ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_minimum_one_tile(self, estimator):
+        """Very short sequences still pay at least one wave per GEMV."""
+        cal = analytic_latencies()
+        assert estimator.estimate(1) >= 2 * cal.l_tile
+
+    def test_larger_model_higher_latency(self):
+        org = HbmOrganization()
+        cal = analytic_latencies()
+        small = MhaLatencyEstimator(GPT3_7B, org, cal)
+        large = MhaLatencyEstimator(GPT3_30B, org, cal)
+        assert large.estimate(256) > small.estimate(256)
+
+    def test_estimate_batch_sums(self, estimator):
+        seqs = [10, 20, 30]
+        assert estimator.estimate_batch(seqs) == pytest.approx(
+            sum(estimator.estimate(s) for s in seqs))
+
+    def test_invalid_seq_raises(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.estimate(0)
+
+    def test_more_banks_reduce_logit_latency(self):
+        cal = analytic_latencies()
+        few = MhaLatencyEstimator(
+            GPT3_7B, HbmOrganization(banks_per_channel=16,
+                                     banks_per_group=4), cal)
+        many = MhaLatencyEstimator(
+            GPT3_7B, HbmOrganization(banks_per_channel=32,
+                                     banks_per_group=4), cal)
+        assert few.logit_latency(1024) > many.logit_latency(1024)
+
+
+class TestCalibrationCrossCheck:
+    """The analytic constants agree with the command-level measurement —
+    the link between the two simulation granularities (DESIGN.md §5)."""
+
+    def test_measured_l_tile_close_to_analytic(self):
+        from repro.pim.engine import calibrate
+        measured = calibrate()
+        analytic = analytic_latencies()
+        assert measured.l_tile == pytest.approx(analytic.l_tile, rel=0.5)
+
+    def test_estimator_tracks_command_level_scaling(self):
+        """Doubling the GEMV rows roughly doubles both the estimate and
+        the measured command-level latency."""
+        from repro.pim.engine import measure_gemv_latency
+        from repro.pim.gemv import GemvOp
+        t1, _ = measure_gemv_latency(GemvOp(rows=32 * 8, cols=512),
+                                     refresh=False)
+        t2, _ = measure_gemv_latency(GemvOp(rows=32 * 16, cols=512),
+                                     refresh=False)
+        assert t2 / t1 == pytest.approx(2.0, rel=0.35)

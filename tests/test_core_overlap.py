@@ -1,0 +1,53 @@
+"""Tests for the Figure 10 head-granularity overlap model."""
+
+import pytest
+
+from repro.core.overlap import HeadPipelineModel, OverlapTimeline
+from repro.model.spec import GPT3_7B, GPT3_30B
+
+
+class TestHeadPipeline:
+    def test_dual_pipeline_faster_than_blocked(self):
+        model = HeadPipelineModel(GPT3_7B)
+        assert model.overlap_speedup(512) > 1.0
+
+    def test_dual_total_close_to_pim_busy(self):
+        """With softmax much cheaper than the GEMVs, the pipeline is
+        PIM-bound — validating the device model's max() approximation."""
+        model = HeadPipelineModel(GPT3_7B, dual_row_buffer=True)
+        timeline = model.run(512)
+        assert timeline.total_cycles < 1.3 * timeline.pim_busy
+
+    def test_blocked_pim_idles_during_softmax(self):
+        blocked = HeadPipelineModel(GPT3_7B, dual_row_buffer=False)
+        dual = HeadPipelineModel(GPT3_7B, dual_row_buffer=True)
+        assert blocked.run(512).pim_idle_fraction > \
+            dual.run(512).pim_idle_fraction
+
+    def test_vector_units_mostly_idle_either_way(self):
+        """Figure 10: the vector units are cheap relative to the GEMVs."""
+        model = HeadPipelineModel(GPT3_7B, dual_row_buffer=True)
+        assert model.run(512).vector_idle_fraction > 0.5
+
+    def test_speedup_grows_with_head_count(self):
+        small = HeadPipelineModel(GPT3_7B)     # 32 heads
+        large = HeadPipelineModel(GPT3_30B)    # 56 heads
+        assert large.overlap_speedup(256) >= small.overlap_speedup(256) * 0.9
+
+    def test_invalid_seq_raises(self):
+        with pytest.raises(ValueError):
+            HeadPipelineModel(GPT3_7B).run(0)
+
+    def test_negative_transfer_raises(self):
+        with pytest.raises(ValueError):
+            HeadPipelineModel(GPT3_7B, transfer_cycles=-1.0)
+
+    def test_timeline_idle_fractions_bounded(self):
+        timeline = OverlapTimeline(total_cycles=100.0, pim_busy=80.0,
+                                   vector_busy=10.0)
+        assert timeline.pim_idle_fraction == pytest.approx(0.2)
+        assert timeline.vector_idle_fraction == pytest.approx(0.9)
+
+    def test_zero_total_timeline(self):
+        timeline = OverlapTimeline(0.0, 0.0, 0.0)
+        assert timeline.pim_idle_fraction == 0.0

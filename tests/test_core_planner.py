@@ -1,0 +1,82 @@
+"""Tests for the deployment planner."""
+
+import pytest
+
+from repro.core.planner import (
+    DeploymentPlan,
+    kv_fits,
+    plan_deployment,
+    weights_fit,
+)
+from repro.core.system import ParallelismScheme
+from repro.model.spec import GPT3_7B, GPT3_175B
+from repro.serving.trace import ALPACA, SHAREGPT
+
+
+class TestFitChecks:
+    def test_7b_fits_single_device(self):
+        assert weights_fit(GPT3_7B, ParallelismScheme(1, 1))
+
+    def test_175b_does_not_fit_single_device(self):
+        assert not weights_fit(GPT3_175B, ParallelismScheme(1, 1))
+
+    def test_175b_fits_table3_scheme(self):
+        assert weights_fit(GPT3_175B, ParallelismScheme(8, 4))
+
+    def test_kv_fits_reasonable_batch(self):
+        assert kv_fits(GPT3_7B, ParallelismScheme(4, 1), batch_size=256,
+                       avg_seq_len=256)
+
+    def test_kv_rejects_absurd_batch(self):
+        assert not kv_fits(GPT3_7B, ParallelismScheme(1, 1),
+                           batch_size=100_000, avg_seq_len=2048)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            kv_fits(GPT3_7B, ParallelismScheme(1, 1), 0, 10)
+        with pytest.raises(ValueError):
+            weights_fit(GPT3_7B, ParallelismScheme(1, 1),
+                        weight_capacity_fraction=0.0)
+
+
+class TestPlanner:
+    def test_plan_returns_feasible_best(self):
+        plan = plan_deployment(GPT3_7B, ALPACA, max_devices=4,
+                               batch_sizes=[64, 256])
+        assert isinstance(plan, DeploymentPlan)
+        assert plan.best is not None
+        assert plan.best.feasible
+        assert plan.best.devices <= 4
+
+    def test_best_maximizes_throughput(self):
+        plan = plan_deployment(GPT3_7B, ALPACA, max_devices=4,
+                               batch_sizes=[64, 256])
+        feasible = [p for p in plan.points if p.feasible]
+        assert plan.best.throughput_tokens_per_second == pytest.approx(
+            max(p.throughput_tokens_per_second for p in feasible))
+
+    def test_latency_constraint_filters(self):
+        unconstrained = plan_deployment(GPT3_7B, SHAREGPT, max_devices=4,
+                                        batch_sizes=[64, 512])
+        tight = plan_deployment(
+            GPT3_7B, SHAREGPT, max_devices=4, batch_sizes=[64, 512],
+            max_iteration_latency_ms=unconstrained.best.iteration_latency_ms
+            * 0.5)
+        if tight.best is not None:
+            assert tight.best.iteration_latency_ms <= \
+                unconstrained.best.iteration_latency_ms * 0.5
+
+    def test_infeasible_model_has_no_best_at_one_device(self):
+        plan = plan_deployment(GPT3_175B, ALPACA, max_devices=1,
+                               batch_sizes=[64])
+        assert plan.best is None
+        assert all(not p.feasible for p in plan.points)
+
+    def test_device_budget_respected(self):
+        plan = plan_deployment(GPT3_7B, ALPACA, max_devices=2,
+                               batch_sizes=[64])
+        assert all(p.devices <= 2 for p in plan.points)
+
+    def test_invalid_budget_raises(self):
+        with pytest.raises(ValueError):
+            plan_deployment(GPT3_7B, ALPACA, max_devices=0)

@@ -1,0 +1,72 @@
+"""Tests for the summarization (prefill) phase model."""
+
+import pytest
+
+from repro.core.prefill import (
+    EndToEndResult,
+    StandaloneNpu,
+    end_to_end_request,
+)
+from repro.model.spec import GPT3_7B
+from repro.serving.request import InferenceRequest
+
+
+class TestStandaloneNpu:
+    def test_prefill_latency_positive(self):
+        npu = StandaloneNpu(GPT3_7B)
+        result = npu.prefill(128)
+        assert result.compute_cycles > 0
+        assert result.kv_transfer_cycles > 0
+
+    def test_prefill_scales_superlinearly_with_prompt(self):
+        """Summarization attention is quadratic in prompt length."""
+        npu = StandaloneNpu(GPT3_7B)
+        short = npu.prefill(256).compute_cycles
+        long = npu.prefill(1024).compute_cycles
+        assert long > 4 * short
+
+    def test_kv_transfer_linear_in_prompt(self):
+        npu = StandaloneNpu(GPT3_7B)
+        assert npu.prefill(200).kv_transfer_cycles == pytest.approx(
+            2 * npu.prefill(100).kv_transfer_cycles)
+
+    def test_tp_reduces_prefill_compute(self):
+        full = StandaloneNpu(GPT3_7B, tp=1).prefill(512)
+        shard = StandaloneNpu(GPT3_7B, tp=4).prefill(512)
+        assert shard.compute_cycles < full.compute_cycles
+
+    def test_batch_prefill_amortizes(self):
+        """Batched summarization is cheaper than serial prompts."""
+        npu = StandaloneNpu(GPT3_7B)
+        batched = npu.prefill_batch([128] * 8).compute_cycles
+        serial = 8 * npu.prefill(128).compute_cycles
+        assert batched < serial
+
+    def test_invalid_inputs_raise(self):
+        npu = StandaloneNpu(GPT3_7B)
+        with pytest.raises(ValueError):
+            npu.prefill(0)
+        with pytest.raises(ValueError):
+            npu.prefill_batch([])
+        with pytest.raises(ValueError):
+            StandaloneNpu(GPT3_7B, kv_link_bandwidth=0.0)
+
+
+class TestEndToEnd:
+    def test_lifecycle_combines_phases(self):
+        request = InferenceRequest(0, input_len=128, output_len=32)
+        result = end_to_end_request(GPT3_7B, request, batch_context=16)
+        assert result.total_cycles == pytest.approx(
+            result.prefill_cycles + result.generation_cycles)
+        assert result.ttft_cycles == result.prefill_cycles
+
+    def test_generation_dominates_long_outputs(self):
+        """For chat-style outputs, generation time >> prefill time."""
+        request = InferenceRequest(1, input_len=64, output_len=256)
+        result = end_to_end_request(GPT3_7B, request, batch_context=16)
+        assert result.generation_cycles > result.prefill_cycles
+
+    def test_result_dataclass_totals(self):
+        result = EndToEndResult(prefill_cycles=10.0, generation_cycles=90.0,
+                                output_tokens=9)
+        assert result.total_cycles == 100.0

@@ -1,0 +1,101 @@
+"""Unit tests for the multi-device system (TP/PP scaling, §7)."""
+
+import pytest
+
+from repro.core.config import NeuPimsConfig
+from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.model.spec import GPT3_7B, GPT3_30B
+from repro.serving.trace import SHAREGPT, warmed_batch
+
+
+def batch(n, seed=0):
+    return warmed_batch(SHAREGPT, n, seed=seed)
+
+
+class TestParallelismScheme:
+    def test_device_count(self):
+        assert ParallelismScheme(tp=4, pp=2).num_devices == 8
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            ParallelismScheme(tp=0, pp=1)
+
+    def test_str(self):
+        assert str(ParallelismScheme(2, 2)) == "(TP=2, PP=2)"
+
+
+class TestSystem:
+    def test_default_scheme_from_table3(self):
+        system = NeuPimsSystem(GPT3_30B)
+        assert system.scheme.tp == 4
+        assert system.scheme.pp == 2
+        assert system.layers_per_stage == 24
+
+    def test_micro_batches_split_by_pp(self):
+        system = NeuPimsSystem(GPT3_7B, ParallelismScheme(tp=1, pp=4))
+        micro = system.micro_batches(batch(32))
+        assert len(micro) == 4
+        assert all(len(m) == 8 for m in micro)
+
+    def test_iteration_latency_spans_pp_pitches(self):
+        system = NeuPimsSystem(GPT3_7B, ParallelismScheme(tp=1, pp=2))
+        reqs = batch(16)
+        pitch = system.pipeline_pitch(reqs)
+        assert system.iteration_latency(reqs) == pytest.approx(2 * pitch)
+
+    def test_empty_batch_raises(self):
+        system = NeuPimsSystem(GPT3_7B)
+        with pytest.raises(ValueError):
+            system.pipeline_pitch([])
+
+    def test_throughput_positive(self):
+        system = NeuPimsSystem(GPT3_7B)
+        assert system.throughput_tokens_per_second(batch(32)) > 0
+
+    def test_tp_allreduce_adds_latency(self):
+        no_comm = NeuPimsSystem(GPT3_7B, ParallelismScheme(tp=1, pp=1))
+        with_comm = NeuPimsSystem(GPT3_7B, ParallelismScheme(tp=1, pp=1))
+        # Force the comm term on a copy by comparing tp=1 vs tp=4 pitches
+        # normalized by per-device GEMM work (tp=4 shards compute 4x).
+        assert no_comm._allreduce_cycles(64) == 0.0
+        tp4 = NeuPimsSystem(GPT3_7B, ParallelismScheme(tp=4, pp=1))
+        assert tp4._allreduce_cycles(64) > 0.0
+
+    def test_sbi_halves_exposed_communication(self):
+        config_sbi = NeuPimsConfig()
+        config_ser = NeuPimsConfig(sub_batch_interleaving=False)
+        sbi = NeuPimsSystem(GPT3_7B, ParallelismScheme(tp=4, pp=1),
+                            config=config_sbi)
+        ser = NeuPimsSystem(GPT3_7B, ParallelismScheme(tp=4, pp=1),
+                            config=config_ser)
+        assert sbi._allreduce_cycles(64) == pytest.approx(
+            0.5 * ser._allreduce_cycles(64))
+
+    def test_invalid_interconnect_raises(self):
+        with pytest.raises(ValueError):
+            NeuPimsSystem(GPT3_7B, interconnect_bandwidth=0.0)
+
+
+class TestFigure14Shape:
+    """At fixed total requests, TP-heavy schemes beat PP-heavy ones."""
+
+    def _throughput(self, scheme, total_requests=256):
+        system = NeuPimsSystem(GPT3_7B, scheme)
+        reqs = batch(total_requests, seed=3)
+        return system.throughput_tokens_per_second(reqs)
+
+    def test_tp4_beats_pp_heavy_on_four_devices(self):
+        tp_heavy = self._throughput(ParallelismScheme(tp=4, pp=1))
+        pp_heavy = self._throughput(ParallelismScheme(tp=2, pp=2))
+        assert tp_heavy > pp_heavy
+
+    def test_tp8_beats_tp4pp2_on_eight_devices(self):
+        tp_heavy = self._throughput(ParallelismScheme(tp=8, pp=1))
+        pp_heavy = self._throughput(ParallelismScheme(tp=4, pp=2))
+        assert tp_heavy > pp_heavy
+
+    def test_executor_matches_iteration_latency(self):
+        system = NeuPimsSystem(GPT3_7B)
+        reqs = batch(16)
+        assert system.executor()(reqs) == pytest.approx(
+            system.iteration_latency(reqs))

@@ -1,0 +1,176 @@
+"""Behavioral sweeps of the device model: monotonicity and consistency.
+
+These tests pin down the qualitative surface of the latency model — the
+directions in which latency and utilization must move as batch size,
+sequence length, layer count, model size and feature flags vary.  They
+are the guard rails for any recalibration of the fidelity knobs.
+"""
+
+import pytest
+
+from repro.core.config import NeuPimsConfig
+from repro.core.device import NeuPimsDevice
+from repro.model.spec import GPT3_7B, GPT3_13B, GPT3_30B
+from repro.serving.request import InferenceRequest, RequestStatus
+
+from tests.conftest import make_request
+
+
+def uniform_batch(size, seq=256, start_id=0):
+    return [make_request(start_id + i, input_len=seq) for i in range(size)]
+
+
+def device(config=None, spec=GPT3_7B, tp=4, layers=4, **kwargs):
+    return NeuPimsDevice(spec, config or NeuPimsConfig(), tp=tp,
+                         layers_resident=layers, **kwargs)
+
+
+class TestLatencyMonotonicity:
+    @pytest.mark.parametrize("config_name,config", [
+        ("neupims", NeuPimsConfig()),
+        ("naive", NeuPimsConfig.naive_npu_pim()),
+        ("serialized", NeuPimsConfig(sub_batch_interleaving=False)),
+    ])
+    def test_latency_nondecreasing_in_batch_size(self, config_name, config):
+        latencies = [
+            device(config).iteration(uniform_batch(size)).latency
+            for size in (8, 32, 128, 512)
+        ]
+        for a, b in zip(latencies, latencies[1:]):
+            assert b >= a * 0.999, config_name
+
+    @pytest.mark.parametrize("seq", [64, 256, 1024])
+    def test_latency_nondecreasing_in_seq_len(self, seq):
+        base = device().iteration(uniform_batch(64, seq=seq)).latency
+        longer = device().iteration(uniform_batch(64, seq=seq * 2)).latency
+        assert longer >= base * 0.999
+
+    def test_latency_linear_in_layers(self):
+        one = device(layers=1).iteration(uniform_batch(64)).latency
+        eight = device(layers=8).iteration(uniform_batch(64)).latency
+        assert eight == pytest.approx(8 * one, rel=0.15)
+
+    def test_latency_increases_with_model_size(self):
+        values = []
+        for spec in (GPT3_7B, GPT3_13B, GPT3_30B):
+            values.append(device(spec=spec).iteration(
+                uniform_batch(64)).latency)
+        assert values == sorted(values)
+
+    def test_throughput_improves_with_batch_size(self):
+        """Tokens/s grows with batch even as latency grows."""
+        def throughput(size):
+            result = device().iteration(uniform_batch(size))
+            return size / result.latency
+        assert throughput(512) > throughput(64) > throughput(8)
+
+
+class TestFeatureFlagDirections:
+    def test_each_feature_never_hurts_at_large_batch(self):
+        batch = uniform_batch(256)
+        naive = device(NeuPimsConfig.naive_npu_pim()).iteration(batch).latency
+        for flag in ("dual_row_buffer", "greedy_binpack",
+                     "sub_batch_interleaving"):
+            config = NeuPimsConfig.naive_npu_pim().with_features(**{flag: True})
+            improved = device(config).iteration(
+                uniform_batch(256, start_id=1000)).latency
+            assert improved <= naive * 1.001, flag
+
+    def test_full_stack_beats_any_single_feature(self):
+        batch = uniform_batch(256)
+        full = device(NeuPimsConfig()).iteration(batch).latency
+        for flag in ("dual_row_buffer", "greedy_binpack"):
+            config = NeuPimsConfig.naive_npu_pim().with_features(**{flag: True})
+            single = device(config).iteration(
+                uniform_batch(256, start_id=2000)).latency
+            assert full < single, flag
+
+    def test_blocked_overhead_scales_mha_only(self):
+        """Blocked mode must not change the GEMM stage timing."""
+        dual = device(NeuPimsConfig(sub_batch_interleaving=False))
+        blocked = device(NeuPimsConfig.naive_npu_pim())
+        assert dual.gemm_stage_cycles(64).total_cycles == pytest.approx(
+            blocked.gemm_stage_cycles(64).total_cycles)
+
+    def test_composite_isa_only_affects_pim_path(self):
+        with_isa = device(NeuPimsConfig(composite_isa=True,
+                                        sub_batch_interleaving=False))
+        without = device(NeuPimsConfig(composite_isa=False,
+                                       sub_batch_interleaving=False))
+        batch_a = uniform_batch(64)
+        batch_b = uniform_batch(64, start_id=500)
+        t_with = with_isa.iteration(batch_a).latency
+        t_without = without.iteration(batch_b).latency
+        assert t_without > t_with
+        # GEMM stages identical.
+        assert with_isa.gemm_stage_cycles(64).total_cycles == \
+            without.gemm_stage_cycles(64).total_cycles
+
+
+class TestUtilizationConsistency:
+    def test_busy_never_exceeds_latency(self):
+        for size in (8, 64, 256):
+            result = device().iteration(uniform_batch(size))
+            for name, busy in result.busy.items():
+                assert busy <= result.latency * 1.0001, name
+
+    def test_interleaved_npu_busier_than_serialized(self):
+        batch = uniform_batch(256)
+        sbi = device(NeuPimsConfig(adaptive_sbi=False)).iteration(batch)
+        serial = device(NeuPimsConfig(sub_batch_interleaving=False)) \
+            .iteration(uniform_batch(256, start_id=3000))
+        assert sbi.utilization("npu") > serial.utilization("npu")
+
+    def test_bytes_accounting_positive_and_scaled(self):
+        small = device(layers=1).iteration(uniform_batch(32))
+        large = device(layers=4).iteration(uniform_batch(32, start_id=100))
+        assert large.external_bytes == pytest.approx(
+            4 * small.external_bytes, rel=0.01)
+        assert large.internal_pim_bytes == pytest.approx(
+            4 * small.internal_pim_bytes, rel=0.01)
+
+
+class TestChannelPoolBehaviour:
+    def test_larger_pool_reduces_mha_time(self):
+        narrow = device(channel_pool=32)
+        wide = device(channel_pool=128)
+        batch_a = uniform_batch(256)
+        batch_b = uniform_batch(256, start_id=4000)
+        mha_narrow = narrow.mha_stage(
+            [r for r in batch_a if narrow._ensure_assigned(batch_a) is None])
+        mha_wide = wide.mha_stage(
+            [r for r in batch_b if wide._ensure_assigned(batch_b) is None])
+        assert mha_wide.pim_cycles < mha_narrow.pim_cycles
+
+    def test_rehoming_out_of_range_channels(self):
+        narrow = device(channel_pool=8)
+        request = make_request(0, channel=100)
+        narrow.iteration([request])
+        assert request.channel is not None
+        assert request.channel < 8
+
+    def test_invalid_pool_raises(self):
+        with pytest.raises(ValueError):
+            device(channel_pool=0)
+
+
+class TestRequestStateInvariance:
+    def test_iteration_does_not_mutate_progress(self):
+        batch = uniform_batch(16)
+        before = [(r.generated, r.status) for r in batch]
+        device().iteration(batch)
+        after = [(r.generated, r.status) for r in batch]
+        assert before == after
+
+    def test_iteration_idempotent_given_assignment(self):
+        batch = uniform_batch(32)
+        d = device()
+        first = d.iteration(batch).latency
+        second = d.iteration(batch).latency
+        assert first == pytest.approx(second)
+
+    def test_mixed_status_requests_accepted(self):
+        batch = uniform_batch(4)
+        batch[0].status = RequestStatus.RUNNING
+        result = device().iteration(batch)
+        assert result.latency > 0

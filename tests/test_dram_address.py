@@ -1,0 +1,103 @@
+"""Tests for the physical address mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import (
+    AddressMapper,
+    BankInterleaved,
+    ChannelInterleaved,
+    Coordinates,
+)
+from repro.dram.timing import HbmOrganization
+
+
+class TestChannelInterleaved:
+    def test_consecutive_lines_rotate_channels(self):
+        mapper = ChannelInterleaved()
+        a = mapper.decode(0)
+        b = mapper.decode(64)
+        assert a.channel == 0
+        assert b.channel == 1
+
+    def test_within_line_same_location(self):
+        mapper = ChannelInterleaved()
+        a = mapper.decode(0)
+        b = mapper.decode(63)
+        assert (a.channel, a.bank, a.row) == (b.channel, b.bank, b.row)
+
+    def test_roundtrip_selected_addresses(self):
+        mapper = ChannelInterleaved()
+        for address in (0, 64, 4096, 123456, mapper.total_bytes - 1):
+            coords = mapper.decode(address)
+            assert mapper.encode(coords) == address
+
+    @given(address=st.integers(min_value=0, max_value=32 * (1 << 30) - 1))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, address):
+        mapper = ChannelInterleaved()
+        assert mapper.encode(mapper.decode(address)) == address
+
+    def test_out_of_range_raises(self):
+        mapper = ChannelInterleaved()
+        with pytest.raises(ValueError):
+            mapper.decode(mapper.total_bytes)
+
+    def test_bank_group_derived(self):
+        assert Coordinates(channel=0, bank=7, row=0, column=0).bank_group == 1
+
+    def test_invalid_line_size_raises(self):
+        with pytest.raises(ValueError):
+            ChannelInterleaved(line_bytes=0)
+        with pytest.raises(ValueError):
+            AddressMapper(HbmOrganization(page_bytes=1024), line_bytes=48)
+
+
+class TestBankInterleaved:
+    def test_consecutive_pages_rotate_banks(self):
+        mapper = BankInterleaved(channel=3)
+        a = mapper.decode(0)
+        b = mapper.decode(1024)
+        assert a.bank == 0 and b.bank == 1
+        assert a.channel == b.channel == 3
+
+    def test_row_advances_after_full_bank_round(self):
+        org = HbmOrganization()
+        mapper = BankInterleaved(channel=0, org=org)
+        coords = mapper.decode(org.banks_per_channel * org.page_bytes)
+        assert coords.bank == 0
+        assert coords.row == 1
+
+    def test_base_row_offset(self):
+        mapper = BankInterleaved(channel=0, base_row=100)
+        assert mapper.decode(0).row == 100
+
+    @given(address=st.integers(min_value=0, max_value=1 << 24))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, address):
+        mapper = BankInterleaved(channel=5)
+        assert mapper.encode(mapper.decode(address)) == address
+
+    def test_encode_foreign_channel_raises(self):
+        mapper = BankInterleaved(channel=0)
+        with pytest.raises(ValueError):
+            mapper.encode(Coordinates(channel=1, bank=0, row=0, column=0))
+
+    def test_invalid_channel_raises(self):
+        with pytest.raises(ValueError):
+            BankInterleaved(channel=99)
+
+    def test_matrix_rows_land_on_cyclic_banks(self):
+        """The §6.3 KV layout: row i of a (page-sized-row) matrix lands on
+        bank i mod banks — what Algorithm 1's wave count assumes."""
+        org = HbmOrganization()
+        mapper = BankInterleaved(channel=0, org=org)
+        for row_index in (0, 1, 31, 32, 65):
+            coords = mapper.matrix_row_location(row_index, row_bytes=1024)
+            assert coords.bank == row_index % org.banks_per_channel
+
+    def test_capacity_respects_base_row(self):
+        full = BankInterleaved(channel=0)
+        offset = BankInterleaved(channel=0, base_row=1000)
+        assert offset.total_bytes < full.total_bytes

@@ -1,0 +1,168 @@
+"""Unit tests for the channel model (C/A bus, tFAW, PIM commands)."""
+
+import pytest
+
+from repro.dram.bank import StructuralHazard
+from repro.dram.channel import Channel
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import HbmOrganization, TimingParams
+
+
+@pytest.fixture
+def channel():
+    return Channel(0)
+
+
+def gwrite():
+    return Command(CommandType.PIM_GWRITE, bank=0, row=100)
+
+
+class TestRegularFlow:
+    def test_act_then_read_then_precharge(self, channel):
+        rec_act = channel.issue(Command(CommandType.ACT, bank=0, row=1))
+        rec_rd = channel.issue(Command(CommandType.RD, bank=0))
+        rec_pre = channel.issue(Command(CommandType.PRE, bank=0))
+        assert rec_rd.issue_time >= rec_act.issue_time + channel.timing.tRCD
+        assert rec_pre.issue_time >= rec_act.issue_time + channel.timing.tRAS
+
+    def test_read_without_open_row_raises(self, channel):
+        with pytest.raises(StructuralHazard):
+            channel.issue(Command(CommandType.RD, bank=0))
+
+    def test_reads_to_different_banks_interleave_on_bus(self, channel):
+        channel.issue(Command(CommandType.ACT, bank=0, row=1))
+        channel.issue(Command(CommandType.ACT, bank=1, row=1))
+        r0 = channel.issue(Command(CommandType.RD, bank=0))
+        r1 = channel.issue(Command(CommandType.RD, bank=1))
+        # Bus serializes issue but both complete close together.
+        assert r1.issue_time > r0.issue_time
+        assert r1.complete_time - r0.complete_time <= channel.timing.tBL + 1
+
+    def test_ca_busy_accumulates(self, channel):
+        before = channel.ca_busy_cycles
+        channel.issue(Command(CommandType.ACT, bank=0, row=1))
+        assert channel.ca_busy_cycles == before + 1
+
+    def test_refresh_blocks_banks_for_trfc(self, channel):
+        rec = channel.issue(Command(CommandType.REF))
+        act = channel.issue(Command(CommandType.ACT, bank=0, row=1))
+        assert act.issue_time >= rec.issue_time + channel.timing.tRFC
+
+
+class TestTfaw:
+    def test_fifth_activate_waits_for_window(self, channel):
+        records = [
+            channel.issue(Command(CommandType.ACT, bank=b, row=1))
+            for b in range(5)
+        ]
+        first, fifth = records[0], records[4]
+        assert fifth.issue_time >= first.issue_time + channel.timing.tFAW
+
+    def test_grouped_pim_activation_counts_as_four(self, channel):
+        channel.issue(gwrite())
+        rec4 = channel.issue(Command(CommandType.PIM_ACTIVATION,
+                                     banks=(0, 1, 2, 3), row=2))
+        act = channel.issue(Command(CommandType.ACT, bank=10, row=1))
+        assert act.issue_time >= rec4.issue_time + channel.timing.tFAW
+
+    def test_activation_group_limited_to_four(self, channel):
+        with pytest.raises(ValueError):
+            channel.issue(Command(CommandType.PIM_ACTIVATION,
+                                  banks=tuple(range(5)), row=2))
+
+
+class TestPimFlow:
+    def test_gwrite_fills_global_buffer(self, channel):
+        assert channel.global_vector_row is None
+        channel.issue(gwrite())
+        assert channel.global_vector_row == (0, 100)
+
+    def test_dotproduct_requires_global_vector(self, channel):
+        channel.issue(Command(CommandType.PIM_ACTIVATION, banks=(0, 1, 2, 3),
+                              row=2))
+        with pytest.raises(StructuralHazard):
+            channel.issue(Command(CommandType.PIM_DOTPRODUCT))
+
+    def test_dotproduct_requires_activated_rows(self, channel):
+        channel.issue(gwrite())
+        with pytest.raises(StructuralHazard):
+            channel.issue(Command(CommandType.PIM_DOTPRODUCT))
+
+    def test_dotproduct_duration_covers_page(self, channel):
+        channel.issue(gwrite())
+        act = channel.issue(Command(CommandType.PIM_ACTIVATION,
+                                    banks=(0, 1, 2, 3), row=2))
+        rec = channel.issue(Command(CommandType.PIM_DOTPRODUCT),
+                            earliest=act.complete_time)
+        expected = channel.pim_timing.dotprod_cycles_per_page(
+            channel.org.page_bytes)
+        assert rec.complete_time - rec.issue_time == expected
+
+    def test_gemv_requires_global_vector(self, channel):
+        with pytest.raises(StructuralHazard):
+            channel.issue(Command(CommandType.PIM_GEMV, k=4))
+
+    def test_gemv_duration_scales_with_wave_pitch(self, channel):
+        channel.issue(gwrite())
+        rec1 = channel.issue(Command(CommandType.PIM_GEMV, k=1))
+        chan2 = Channel(1)
+        chan2.issue(gwrite())
+        rec8 = chan2.issue(Command(CommandType.PIM_GEMV, k=8))
+        dur1 = rec1.complete_time - rec1.issue_time
+        dur8 = rec8.complete_time - rec8.issue_time
+        pitch = max(channel.pim_timing.dotprod_cycles_per_page(
+            channel.org.page_bytes), channel.timing.row_cycle // 2)
+        assert dur8 - dur1 == pytest.approx(7 * pitch)
+
+    def test_pim_precharge_closes_pim_rows(self, channel):
+        channel.issue(gwrite())
+        channel.issue(Command(CommandType.PIM_ACTIVATION, banks=(0, 1, 2, 3),
+                              row=2))
+        channel.issue(Command(CommandType.PIM_DOTPRODUCT))
+        channel.issue(Command(CommandType.PIM_PRECHARGE))
+        from repro.dram.commands import BufferTarget
+        assert channel.banks[0].open_row(BufferTarget.PIM) is None
+
+    def test_header_has_no_bank_effect(self, channel):
+        rec = channel.issue(Command(CommandType.PIM_HEADER, k=8))
+        from repro.dram.commands import BufferTarget
+        assert all(b.open_row(BufferTarget.MEM) is None for b in channel.banks)
+        assert rec.bus_release > rec.issue_time
+
+
+class TestDualVsBlockedConcurrency:
+    def _mha_with_reads(self, dual: bool):
+        """Issue a GEMV followed by reads; return read completion time."""
+        channel = Channel(0, dual_row_buffer=dual)
+        channel.issue(gwrite())
+        gemv = channel.issue(Command(CommandType.PIM_GEMV, k=16))
+        channel.issue(Command(CommandType.ACT, bank=5, row=7),
+                      earliest=gemv.bus_release)
+        rd = channel.issue(Command(CommandType.RD, bank=5),
+                           earliest=gemv.bus_release)
+        return gemv, rd
+
+    def test_dual_row_buffer_reads_overlap_gemv(self):
+        gemv, rd = self._mha_with_reads(dual=True)
+        assert rd.complete_time < gemv.complete_time
+
+    def test_blocked_mode_reads_wait_for_gemv(self):
+        gemv, rd = self._mha_with_reads(dual=False)
+        assert rd.complete_time >= gemv.complete_time
+
+    def test_stats_count_commands(self, channel):
+        channel.issue(gwrite())
+        channel.issue(Command(CommandType.PIM_GEMV, k=2))
+        assert channel.stats.get("cmd.PIM_GWRITE") == 1
+        assert channel.stats.get("cmd.PIM_GEMV") == 1
+        assert channel.stats.get("pim.gemv_waves") == 2
+
+
+class TestGemvWaveDuration:
+    def test_wave_duration_positive_and_bounded(self, channel):
+        wave = channel.gemv_wave_duration(32)
+        assert wave > channel.pim_timing.dotprod_cycles_per_page(1024)
+        assert wave < 10 * channel.timing.row_cycle
+
+    def test_more_banks_longer_activation_spread(self, channel):
+        assert channel.gemv_wave_duration(32) > channel.gemv_wave_duration(4)

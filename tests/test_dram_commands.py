@@ -1,0 +1,95 @@
+"""Unit tests for DRAM/PIM command definitions."""
+
+import pytest
+
+from repro.dram.commands import (
+    COMPOSITE_COMMANDS,
+    PIM_COMMANDS,
+    BufferTarget,
+    Command,
+    CommandType,
+    buffer_target,
+    ca_bus_cycles,
+)
+
+
+class TestCommandSets:
+    def test_composite_is_subset_of_pim(self):
+        assert COMPOSITE_COMMANDS <= PIM_COMMANDS
+
+    def test_neupims_isa_additions(self):
+        """Table 1: PIM_HEADER, PIM_GEMV, PIM_PRECHARGE."""
+        assert COMPOSITE_COMMANDS == {
+            CommandType.PIM_HEADER,
+            CommandType.PIM_GEMV,
+            CommandType.PIM_PRECHARGE,
+        }
+
+    def test_regular_commands_not_pim(self):
+        for ctype in (CommandType.ACT, CommandType.PRE, CommandType.RD,
+                      CommandType.WR, CommandType.REF):
+            assert ctype not in PIM_COMMANDS
+
+
+class TestBufferTargets:
+    def test_mem_commands_target_mem_buffer(self):
+        for ctype in (CommandType.ACT, CommandType.PRE, CommandType.RD,
+                      CommandType.WR):
+            assert buffer_target(ctype) is BufferTarget.MEM
+
+    def test_pim_execution_commands_target_pim_buffer(self):
+        for ctype in (CommandType.PIM_ACTIVATION, CommandType.PIM_DOTPRODUCT,
+                      CommandType.PIM_GEMV, CommandType.PIM_PRECHARGE):
+            assert buffer_target(ctype) is BufferTarget.PIM
+
+    def test_header_and_refresh_target_none(self):
+        assert buffer_target(CommandType.PIM_HEADER) is BufferTarget.NONE
+        assert buffer_target(CommandType.REF) is BufferTarget.NONE
+
+
+class TestCommandValidation:
+    def test_activation_requires_bank_group(self):
+        with pytest.raises(ValueError):
+            Command(CommandType.PIM_ACTIVATION, row=0)
+
+    def test_gemv_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            Command(CommandType.PIM_GEMV)
+
+    def test_act_requires_bank_and_row(self):
+        with pytest.raises(ValueError):
+            Command(CommandType.ACT, bank=0)
+        with pytest.raises(ValueError):
+            Command(CommandType.ACT, row=0)
+
+    def test_rd_requires_bank(self):
+        with pytest.raises(ValueError):
+            Command(CommandType.RD)
+
+    def test_is_pim_flag(self):
+        assert Command(CommandType.PIM_HEADER).is_pim
+        assert not Command(CommandType.RD, bank=0).is_pim
+
+    def test_is_composite_flag(self):
+        assert Command(CommandType.PIM_GEMV, k=2).is_composite
+        assert not Command(CommandType.PIM_DOTPRODUCT).is_composite
+
+    def test_target_property(self):
+        assert Command(CommandType.PRE, bank=1).target is BufferTarget.MEM
+
+
+class TestBusCycles:
+    def test_regular_commands_take_one_cycle(self):
+        for ctype in (CommandType.ACT, CommandType.PRE, CommandType.RD,
+                      CommandType.WR, CommandType.REF):
+            assert ca_bus_cycles(ctype) == 1
+
+    def test_pim_commands_cost_more_bus_cycles(self):
+        """The paper's premise for PIM-priority scheduling: PIM commands
+        have larger issuing delay than memory commands."""
+        for ctype in PIM_COMMANDS:
+            assert ca_bus_cycles(ctype) > 1
+
+    def test_composite_commands_carry_payload(self):
+        assert ca_bus_cycles(CommandType.PIM_GEMV) >= \
+            ca_bus_cycles(CommandType.PIM_DOTPRODUCT)

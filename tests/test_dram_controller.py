@@ -1,0 +1,163 @@
+"""Unit tests for the memory controller (MEM/PIM interleaving, refresh)."""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.commands import Command, CommandType
+from repro.dram.controller import ControllerConfig, MemoryController
+
+
+def make_controller(dual=True, pim_priority=True, header_aware=True,
+                    refresh=True):
+    channel = Channel(0, dual_row_buffer=dual)
+    config = ControllerConfig(pim_priority=pim_priority,
+                              header_aware_refresh=header_aware,
+                              refresh_enabled=refresh)
+    return MemoryController(channel, config)
+
+
+def mem_stream(bank, rows):
+    commands = []
+    for row in rows:
+        commands.append(Command(CommandType.ACT, bank=bank, row=row))
+        commands.append(Command(CommandType.RD, bank=bank))
+        commands.append(Command(CommandType.PRE, bank=bank))
+    return commands
+
+
+def gemv_stream(k=8):
+    return [
+        Command(CommandType.PIM_HEADER, k=k),
+        Command(CommandType.PIM_GWRITE, bank=0, row=9999),
+        Command(CommandType.PIM_GEMV, k=k),
+        Command(CommandType.PIM_PRECHARGE),
+    ]
+
+
+class TestDrain:
+    def test_drain_issues_everything(self):
+        controller = make_controller()
+        controller.enqueue_mem(mem_stream(0, [1, 2]))
+        controller.enqueue_pim(gemv_stream())
+        records = controller.drain()
+        non_ref = [r for r in records if r.command.ctype is not CommandType.REF]
+        assert len(non_ref) == 6 + 4
+
+    def test_finish_time_positive(self):
+        controller = make_controller()
+        controller.enqueue_pim(gemv_stream())
+        controller.drain()
+        assert controller.finish_time > 0
+
+    def test_empty_drain_is_noop(self):
+        controller = make_controller()
+        assert controller.drain() == []
+        assert controller.finish_time == 0.0
+
+    def test_step_returns_none_when_drained(self):
+        controller = make_controller()
+        assert controller.step() is None
+
+
+class TestPimDependencyChain:
+    def test_pim_commands_serialize_on_completion_frontier(self):
+        controller = make_controller(refresh=False)
+        controller.enqueue_pim(gemv_stream(k=4))
+        records = controller.drain()
+        gwrite = next(r for r in records
+                      if r.command.ctype is CommandType.PIM_GWRITE)
+        gemv = next(r for r in records
+                    if r.command.ctype is CommandType.PIM_GEMV)
+        assert gemv.issue_time >= gwrite.complete_time
+
+    def test_mem_interleaves_during_gemv(self):
+        """With dual row buffers, memory reads complete inside the GEMV
+        window — the concurrency the dual-row-buffer bank enables."""
+        controller = make_controller(dual=True, refresh=False)
+        controller.enqueue_pim(gemv_stream(k=64))
+        controller.enqueue_mem(mem_stream(8, range(10)))
+        records = controller.drain()
+        gemv = next(r for r in records
+                    if r.command.ctype is CommandType.PIM_GEMV)
+        reads = [r for r in records if r.command.ctype is CommandType.RD]
+        inside = [r for r in reads
+                  if gemv.issue_time < r.complete_time < gemv.complete_time]
+        assert inside, "no memory reads overlapped the GEMV window"
+
+    def test_blocked_mode_serializes_reads_after_gemv(self):
+        controller = make_controller(dual=False, refresh=False)
+        controller.enqueue_pim(gemv_stream(k=64))
+        controller.enqueue_mem(mem_stream(8, range(10)))
+        records = controller.drain()
+        gemv = next(r for r in records
+                    if r.command.ctype is CommandType.PIM_GEMV)
+        reads = [r for r in records if r.command.ctype is CommandType.RD]
+        assert all(r.complete_time >= gemv.complete_time for r in reads)
+
+    def test_blocked_mode_finishes_later_than_dual(self):
+        def total(dual):
+            controller = make_controller(dual=dual, refresh=False)
+            controller.enqueue_pim(gemv_stream(k=64))
+            controller.enqueue_mem(mem_stream(8, range(20)))
+            controller.drain()
+            return controller.finish_time
+        assert total(dual=False) > total(dual=True)
+
+
+class TestRefresh:
+    def test_refresh_fires_on_deadline(self):
+        controller = make_controller()
+        # Enough memory traffic to cross tREFI.
+        controller.enqueue_mem(mem_stream(0, range(100)))
+        controller.drain()
+        assert controller.stats.get("refresh.issued") >= 1
+
+    def test_refresh_disabled(self):
+        controller = make_controller(refresh=False)
+        controller.enqueue_mem(mem_stream(0, range(100)))
+        records = controller.drain()
+        assert all(r.command.ctype is not CommandType.REF for r in records)
+
+    def test_header_aware_refresh_hoists_before_long_gemv(self):
+        controller = make_controller(header_aware=True)
+        # Push the clock close to the refresh deadline with memory traffic,
+        # then a long GEMV announced by a header.
+        controller.enqueue_mem(mem_stream(0, range(60)))
+        controller.drain()
+        controller.enqueue_pim(gemv_stream(k=200))
+        controller.drain()
+        gemv = next(r for r in controller.records
+                    if r.command.ctype is CommandType.PIM_GEMV)
+        refreshes = [r for r in controller.records
+                     if r.command.ctype is CommandType.REF]
+        assert not any(
+            gemv.issue_time < r.issue_time < gemv.complete_time
+            for r in refreshes
+        ), "refresh landed inside a header-announced GEMV"
+
+    def test_non_header_aware_gemv_pays_interruption_penalty(self):
+        aware = make_controller(header_aware=True)
+        naive = make_controller(header_aware=False)
+        for controller in (aware, naive):
+            controller.enqueue_mem(mem_stream(0, range(60)))
+            controller.drain()
+            controller.enqueue_pim(gemv_stream(k=200))
+            controller.drain()
+        assert naive.stats.get("refresh.gemv_interrupted") >= 1
+        assert aware.stats.get("refresh.gemv_interrupted") == 0
+
+
+class TestPolicy:
+    def test_pim_priority_issues_pim_first_on_tie(self):
+        controller = make_controller(pim_priority=True, refresh=False)
+        controller.enqueue_mem(mem_stream(0, [1]))
+        controller.enqueue_pim(gemv_stream(k=1))
+        record = controller.step()
+        assert record.command.is_pim
+
+    def test_mem_priority_issues_mem_first(self):
+        controller = make_controller(pim_priority=False, refresh=False)
+        controller.enqueue_mem(mem_stream(0, [1]))
+        controller.enqueue_pim(gemv_stream(k=1))
+        record = controller.step()
+        assert not record.command.is_pim

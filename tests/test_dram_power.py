@@ -1,0 +1,138 @@
+"""Unit tests for the DRAM power model (Table 5 methodology)."""
+
+import pytest
+
+from repro.dram.channel import Channel, IssueRecord
+from repro.dram.commands import Command, CommandType
+from repro.dram.power import PowerModel, PowerParams, PowerReport
+
+
+def record(ctype, k=0, banks=(), complete=1000.0):
+    kwargs = {}
+    if ctype in (CommandType.ACT,):
+        kwargs = {"bank": 0, "row": 0}
+    elif ctype in (CommandType.RD, CommandType.WR, CommandType.PRE):
+        kwargs = {"bank": 0}
+    elif ctype is CommandType.PIM_ACTIVATION:
+        kwargs = {"banks": banks or (0, 1, 2, 3), "row": 0}
+    elif ctype is CommandType.PIM_GEMV:
+        kwargs = {"k": k or 1}
+    elif ctype is CommandType.PIM_GWRITE:
+        kwargs = {"bank": 0, "row": 0}
+    cmd = Command(ctype, **kwargs)
+    return IssueRecord(cmd, 0.0, 1.0, complete)
+
+
+class TestCommandEnergy:
+    def test_pim_wave_is_4x_read_power(self):
+        """The paper's assumption: all-bank compute = 4x read command."""
+        params = PowerParams()
+        model = PowerModel(params, banks_per_channel=8)
+        wave = model.command_energy_nj(record(CommandType.PIM_DOTPRODUCT))
+        read = model.command_energy_nj(record(CommandType.RD))
+        assert wave == pytest.approx(4.0 * read)
+
+    def test_gemv_energy_scales_with_waves(self):
+        model = PowerModel()
+        e1 = model.command_energy_nj(record(CommandType.PIM_GEMV, k=1))
+        e10 = model.command_energy_nj(record(CommandType.PIM_GEMV, k=10))
+        assert e10 > 9 * e1 / 2
+
+    def test_write_costs_more_than_read(self):
+        model = PowerModel()
+        assert model.command_energy_nj(record(CommandType.WR)) > \
+            model.command_energy_nj(record(CommandType.RD))
+
+    def test_header_and_precharge_free(self):
+        model = PowerModel()
+        assert model.command_energy_nj(record(CommandType.PIM_HEADER)) == 0.0
+        assert model.command_energy_nj(record(CommandType.PRE)) == 0.0
+
+    def test_activation_energy_per_bank(self):
+        model = PowerModel()
+        e = model.command_energy_nj(record(CommandType.PIM_ACTIVATION))
+        assert e == pytest.approx(4 * PowerParams().act_pre_nj)
+
+
+class TestPowerReport:
+    def test_background_power_dominates_idle(self):
+        model = PowerModel(dual_row_buffer=False)
+        report = model.report([], elapsed_cycles=1_000_000)
+        assert report.average_power_mw == pytest.approx(
+            PowerParams().background_mw)
+
+    def test_dual_row_buffer_raises_background(self):
+        single = PowerModel(dual_row_buffer=False).report([], 1_000_000)
+        dual = PowerModel(dual_row_buffer=True).report([], 1_000_000)
+        assert dual.average_power_mw > single.average_power_mw
+
+    def test_average_power_includes_events(self):
+        model = PowerModel()
+        records = [record(CommandType.RD, complete=1000.0)] * 100
+        report = model.report(records, elapsed_cycles=1000.0)
+        assert report.average_power_mw > report.background_mw
+
+    def test_elapsed_defaults_to_last_completion(self):
+        model = PowerModel()
+        report = model.report([record(CommandType.RD, complete=500.0)])
+        assert report.elapsed_cycles == 500.0
+
+    def test_energy_consistency(self):
+        report = PowerReport(elapsed_cycles=1000.0, background_mw=100.0,
+                             event_energy_nj=50.0)
+        assert report.total_energy_nj == pytest.approx(
+            report.background_energy_nj + 50.0)
+
+
+class TestTable5Workload:
+    """The Table 5 comparison: non-PIM HBM vs dual-row-buffer PIM."""
+
+    @staticmethod
+    def _pim_power() -> float:
+        """NeuPIMs: concurrent PIM GEMVs + memory reads."""
+        channel = Channel(0, dual_row_buffer=True)
+        channel.issue(Command(CommandType.PIM_GWRITE, bank=0, row=1))
+        last = 0.0
+        for _ in range(20):
+            rec = channel.issue(Command(CommandType.PIM_GEMV, k=32),
+                                earliest=last)
+            last = rec.complete_time
+        for i in range(200):
+            bank = 8 + (i % 8)
+            channel.issue(Command(CommandType.ACT, bank=bank, row=i))
+            channel.issue(Command(CommandType.RD, bank=bank))
+            channel.issue(Command(CommandType.PRE, bank=bank))
+        model = PowerModel(dual_row_buffer=True,
+                           banks_per_channel=channel.org.banks_per_channel)
+        return model.report(channel.issued,
+                            elapsed_cycles=last).average_power_mw
+
+    @staticmethod
+    def _hbm_power() -> float:
+        """NPU-only: plain memory traffic on a vanilla HBM channel."""
+        channel = Channel(0, dual_row_buffer=False)
+        banks = range(8)
+        for round_index in range(25):
+            for bank in banks:
+                channel.issue(Command(CommandType.ACT, bank=bank,
+                                      row=round_index))
+            for bank in banks:
+                channel.issue(Command(CommandType.RD, bank=bank))
+            for bank in banks:
+                channel.issue(Command(CommandType.PRE, bank=bank))
+        model = PowerModel(dual_row_buffer=False,
+                           banks_per_channel=channel.org.banks_per_channel)
+        return model.report(channel.issued).average_power_mw
+
+    def test_pim_power_in_table5_regime(self):
+        # Table 5: dual-row-buffer PIM averages 634.8 mW per channel.
+        assert 300.0 < self._pim_power() < 1200.0
+
+    def test_hbm_power_in_table5_regime(self):
+        # Table 5: non-PIM HBM averages 364.1 mW per channel.
+        assert 150.0 < self._hbm_power() < 700.0
+
+    def test_pim_vs_hbm_ratio_near_paper(self):
+        """The paper reports a ~1.8x average power increase."""
+        ratio = self._pim_power() / self._hbm_power()
+        assert 1.3 < ratio < 2.5

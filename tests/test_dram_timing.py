@@ -1,0 +1,94 @@
+"""Unit tests for DRAM timing and organization parameters (Table 2)."""
+
+import pytest
+
+from repro.dram.timing import (
+    DEFAULT_ORGANIZATION,
+    DEFAULT_PIM_TIMING,
+    DEFAULT_TIMING,
+    HbmOrganization,
+    PimTiming,
+    TimingParams,
+)
+
+
+class TestTable2Timing:
+    def test_table2_values(self):
+        t = DEFAULT_TIMING
+        assert (t.tRP, t.tRCD, t.tRAS) == (14, 14, 34)
+        assert (t.tRRD_L, t.tWR) == (6, 16)
+        assert (t.tCCD_S, t.tCCD_L) == (1, 2)
+        assert (t.tREFI, t.tRFC, t.tFAW) == (3900, 260, 30)
+
+    def test_row_cycle(self):
+        assert DEFAULT_TIMING.row_cycle == 48
+
+    def test_refresh_overhead_fraction(self):
+        assert DEFAULT_TIMING.refresh_overhead == pytest.approx(260 / 3900)
+
+    def test_nonpositive_parameter_raises(self):
+        with pytest.raises(ValueError):
+            TimingParams(tRP=0)
+
+    def test_tras_less_than_trcd_raises(self):
+        with pytest.raises(ValueError):
+            TimingParams(tRAS=5, tRCD=14)
+
+    def test_tfaw_less_than_trrd_raises(self):
+        with pytest.raises(ValueError):
+            TimingParams(tFAW=3, tRRD_L=6)
+
+
+class TestOrganization:
+    def test_table2_organization(self):
+        org = DEFAULT_ORGANIZATION
+        assert org.channels == 32
+        assert org.banks_per_channel == 32
+        assert org.banks_per_group == 4
+        assert org.capacity_per_channel == 1 << 30
+        assert org.page_bytes == 1024
+
+    def test_bank_groups(self):
+        assert DEFAULT_ORGANIZATION.bank_groups == 8
+
+    def test_total_capacity_is_32gb(self):
+        assert DEFAULT_ORGANIZATION.total_capacity == 32 * (1 << 30)
+
+    def test_bandwidth_aggregates_over_channels(self):
+        org = DEFAULT_ORGANIZATION
+        assert org.total_bandwidth == org.channel_bandwidth * 32
+
+    def test_rows_per_bank(self):
+        org = DEFAULT_ORGANIZATION
+        assert org.rows_per_bank() == (1 << 30) // 32 // 1024
+
+    def test_elements_per_page_fp16(self):
+        assert DEFAULT_ORGANIZATION.elements_per_page(2) == 512
+
+    def test_elements_per_page_invalid_dtype(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ORGANIZATION.elements_per_page(0)
+
+    def test_bank_group_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            HbmOrganization(banks_per_channel=30, banks_per_group=4)
+
+    def test_nonpositive_field_raises(self):
+        with pytest.raises(ValueError):
+            HbmOrganization(channels=0)
+
+
+class TestPimTiming:
+    def test_dotprod_cycles_per_page(self):
+        pim = DEFAULT_PIM_TIMING
+        chunks = 1024 // pim.chunk_bytes
+        assert pim.dotprod_cycles_per_page(1024) == \
+            chunks * pim.dotprod_cycles_per_chunk
+
+    def test_dotprod_rounds_up_partial_chunk(self):
+        pim = PimTiming(chunk_bytes=32, dotprod_cycles_per_chunk=2)
+        assert pim.dotprod_cycles_per_page(33) == 4
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            PimTiming(gwrite_cycles=0)

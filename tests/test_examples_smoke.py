@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; these tests execute the
+fast ones as subprocesses so refactors cannot silently break them.  The
+slowest examples (full sweeps) are exercised by the benchmark suite
+through the same code paths instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "pim_microbench.py",
+    "compile_model.py",
+    "serving_simulation.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True,
+        timeout=300)
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_have_docstrings_and_main():
+    for script in EXAMPLES_DIR.glob("*.py"):
+        source = script.read_text()
+        assert source.lstrip().startswith(('#!/usr/bin/env python3', '"""')), \
+            f"{script.name}: missing shebang/docstring"
+        assert '__name__ == "__main__"' in source, \
+            f"{script.name}: missing main guard"
+        assert "Run:" in source, f"{script.name}: missing run instructions"
+
+
+def test_example_inventory_complete():
+    """The README-promised example set exists (>= 3 runnable scripts)."""
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3

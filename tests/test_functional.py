@@ -1,0 +1,148 @@
+"""Tests for the functional (numerical) PIM and NPU simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.timing import HbmOrganization
+from repro.npu.functional import (
+    FunctionalSystolicArray,
+    functional_decoder_block,
+    reference_gemm,
+)
+from repro.npu.systolic import SystolicConfig
+from repro.pim.functional import (
+    FunctionalPimChannel,
+    pim_attention,
+    reference_attention,
+)
+
+
+class TestFunctionalPimGemv:
+    def test_gemv_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((100, 300))
+        vector = rng.standard_normal(300)
+        channel = FunctionalPimChannel()
+        result = channel.gemv(matrix, vector)
+        expected = matrix.astype(np.float16).astype(np.float32) \
+            @ vector.astype(np.float16).astype(np.float32)
+        np.testing.assert_allclose(result, expected, rtol=2e-3, atol=1e-2)
+
+    def test_rows_interleave_across_banks(self):
+        channel = FunctionalPimChannel()
+        matrix = np.arange(64 * 4, dtype=np.float32).reshape(64, 4)
+        channel.load_matrix(matrix)
+        # Row 0 and row 32 land on bank 0 (32 banks).
+        bank0_rows = [idx for idx, _ in channel.banks[0].rows]
+        assert bank0_rows == [0, 32]
+
+    def test_wave_count_matches_timing_model(self):
+        """The functional dataflow uses exactly the wave count the latency
+        models charge (waves = row_rounds x col_pages)."""
+        from repro.pim.gemv import GemvOp
+        org = HbmOrganization()
+        rng = np.random.default_rng(1)
+        rows, cols = 70, 1000
+        matrix = rng.standard_normal((rows, cols))
+        vector = rng.standard_normal(cols)
+        channel = FunctionalPimChannel(org)
+        channel.gemv(matrix, vector)
+        expected = GemvOp(rows=rows, cols=cols).waves(org)
+        assert channel.wave_count == expected
+
+    def test_shape_mismatch_raises(self):
+        channel = FunctionalPimChannel()
+        with pytest.raises(ValueError):
+            channel.gemv(np.zeros((4, 5)), np.zeros(6))
+
+    def test_gwrite_counts_pages(self):
+        channel = FunctionalPimChannel()
+        # 1000 fp16 elements over 512-element pages -> 2 GWRITEs.
+        assert channel.gwrite(np.zeros(1000)) == 2
+
+    @given(rows=st.integers(1, 80), cols=st.integers(1, 600))
+    @settings(max_examples=20, deadline=None)
+    def test_gemv_property_random_shapes(self, rows, cols):
+        rng = np.random.default_rng(rows * 1000 + cols)
+        matrix = rng.uniform(-1, 1, (rows, cols))
+        vector = rng.uniform(-1, 1, cols)
+        result = FunctionalPimChannel().gemv(matrix, vector)
+        expected = matrix.astype(np.float16).astype(np.float32) \
+            @ vector.astype(np.float16).astype(np.float32)
+        np.testing.assert_allclose(result, expected, rtol=5e-3, atol=5e-2)
+
+
+class TestFunctionalAttention:
+    def test_pim_attention_matches_reference(self):
+        rng = np.random.default_rng(2)
+        seq, head_dim = 96, 128
+        keys = rng.standard_normal((seq, head_dim))
+        values = rng.standard_normal((seq, head_dim))
+        query = rng.standard_normal(head_dim)
+        result = pim_attention(keys, values, query)
+        expected = reference_attention(
+            keys.astype(np.float16).astype(np.float32),
+            values.astype(np.float16).astype(np.float32),
+            query.astype(np.float16).astype(np.float32))
+        np.testing.assert_allclose(result, expected, rtol=1e-2, atol=5e-2)
+
+    def test_attention_probabilities_normalized_inside(self):
+        """Attend output is a convex combination of value rows."""
+        rng = np.random.default_rng(3)
+        seq, head_dim = 40, 64
+        keys = rng.standard_normal((seq, head_dim))
+        values = np.ones((seq, head_dim))
+        query = rng.standard_normal(head_dim)
+        result = pim_attention(keys, values, query)
+        np.testing.assert_allclose(result, np.ones(head_dim), rtol=2e-2)
+
+
+class TestFunctionalSystolic:
+    def test_gemm_matches_reference(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((37, 300))
+        w = rng.standard_normal((300, 260))
+        array = FunctionalSystolicArray()
+        np.testing.assert_allclose(array.gemm(a, w), reference_gemm(a, w),
+                                   rtol=1e-3, atol=1e-2)
+
+    def test_tile_count_matches_schedule(self):
+        from repro.model.layers import GemmShape
+        from repro.npu.systolic import schedule_gemm
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((10, 300))
+        w = rng.standard_normal((300, 500))
+        array = FunctionalSystolicArray()
+        array.gemm(a, w)
+        schedule = schedule_gemm(GemmShape(10, 300, 500), SystolicConfig(), 1)
+        assert array.tiles_executed == schedule.total_tiles
+
+    def test_contraction_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FunctionalSystolicArray().gemm(np.zeros((2, 3)), np.zeros((4, 2)))
+
+    @given(m=st.integers(1, 40), k=st.integers(1, 300), n=st.integers(1, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_gemm_property_random_shapes(self, m, k, n):
+        rng = np.random.default_rng(m * 7 + k * 3 + n)
+        a = rng.uniform(-1, 1, (m, k))
+        w = rng.uniform(-1, 1, (k, n))
+        result = FunctionalSystolicArray().gemm(a, w)
+        np.testing.assert_allclose(result, reference_gemm(a, w),
+                                   rtol=5e-3, atol=5e-2)
+
+    def test_decoder_block_chain_shapes(self):
+        rng = np.random.default_rng(6)
+        d = 64
+        hidden = rng.standard_normal((4, d)) * 0.1
+        out = functional_decoder_block(
+            hidden,
+            rng.standard_normal((d, 3 * d)) * 0.1,
+            rng.standard_normal((d, d)) * 0.1,
+            rng.standard_normal((d, 4 * d)) * 0.1,
+            rng.standard_normal((4 * d, d)) * 0.1,
+        )
+        assert out.shape == (4, d)
+        assert np.isfinite(out).all()

@@ -1,0 +1,120 @@
+"""Integration tests: full serving runs and cross-module consistency."""
+
+import pytest
+
+from repro.analysis.metrics import compare_systems
+from repro.baselines.npu_pim import naive_npu_pim_device
+from repro.core.config import NeuPimsConfig
+from repro.core.device import NeuPimsDevice
+from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.model.spec import GPT3_7B, GPT3_13B
+from repro.serving.paging import PagedKvAllocator, PagedKvConfig
+from repro.serving.pool import RequestPool
+from repro.serving.scheduler import IterationScheduler
+from repro.serving.trace import ALPACA, SHAREGPT, poisson_arrivals, warmed_batch
+
+
+class TestEndToEndServing:
+    """Drive the full serving stack with the NeuPIMs device as executor."""
+
+    def _build_scheduler(self, device, requests, max_batch=32):
+        pool = RequestPool()
+        pool.submit_all(requests)
+        allocators = [
+            PagedKvAllocator(PagedKvConfig(capacity_bytes=1 << 28), GPT3_7B,
+                             layers_resident=device.layers)
+            for _ in range(device.channel_pool)
+        ]
+        return IterationScheduler(
+            pool, device.executor(), max_batch_size=max_batch,
+            allocators=allocators, assign_channels=device.assign_channels)
+
+    def test_batch_drains_to_completion(self):
+        device = NeuPimsDevice(GPT3_7B, tp=4, layers_resident=2)
+        requests = list(warmed_batch(ALPACA, 16, seed=0))
+        for r in requests:
+            r.status = r.status.WAITING
+            r.channel = None
+        remaining = sum(r.output_len - r.generated for r in requests)
+        scheduler = self._build_scheduler(device, requests)
+        stats = scheduler.run()
+        assert stats.total_tokens == remaining
+        assert len(scheduler.pool) == 0
+
+    def test_streaming_arrivals_served(self):
+        device = NeuPimsDevice(GPT3_7B, tp=4, layers_resident=2)
+        arrivals = poisson_arrivals(ALPACA, rate_per_kcycle=0.01,
+                                    horizon_cycles=5e7, seed=1)[:24]
+        scheduler = self._build_scheduler(device, arrivals, max_batch=8)
+        stats = scheduler.run(max_iterations=100_000)
+        assert stats.total_tokens == sum(r.output_len for r in arrivals)
+
+    def test_throughput_decreases_with_model_size(self):
+        def run(spec):
+            device = NeuPimsDevice(spec, tp=4, layers_resident=4)
+            batch = warmed_batch(SHAREGPT, 64, seed=2)
+            result = device.iteration(batch)
+            return 64 / result.latency
+        assert run(GPT3_7B) > run(GPT3_13B)
+
+
+class TestCrossSystemConsistency:
+    def test_neupims_config_flags_reachable_from_naive(self):
+        naive = naive_npu_pim_device(GPT3_7B)
+        full = NeuPimsConfig.neupims()
+        upgraded = naive.config.with_features(
+            dual_row_buffer=True, composite_isa=True, greedy_binpack=True,
+            sub_batch_interleaving=True)
+        assert upgraded.dual_row_buffer == full.dual_row_buffer
+        assert upgraded.composite_isa == full.composite_isa
+
+    def test_figure12_full_ordering_both_datasets(self):
+        for trace in (ALPACA, SHAREGPT):
+            results = compare_systems(GPT3_7B, trace, batch_size=256, tp=4,
+                                      layers_resident=2, num_batches=2)
+            neupims = results["NeuPIMs"].tokens_per_second
+            naive = results["NPU+PIM"].tokens_per_second
+            npu = results["NPU-only"].tokens_per_second
+            assert neupims > naive
+            assert neupims > npu
+
+    def test_sharegpt_gains_exceed_alpaca(self):
+        """Figure 12: longer sequences give PIM more to accelerate."""
+        def gain(trace):
+            results = compare_systems(GPT3_7B, trace, batch_size=256, tp=4,
+                                      layers_resident=2, num_batches=2)
+            return (results["NeuPIMs"].tokens_per_second
+                    / results["NPU-only"].tokens_per_second)
+        assert gain(SHAREGPT) > gain(ALPACA)
+
+    def test_gains_grow_with_batch_size(self):
+        def gain(batch_size):
+            results = compare_systems(GPT3_7B, SHAREGPT,
+                                      batch_size=batch_size, tp=4,
+                                      layers_resident=2, num_batches=2)
+            return (results["NeuPIMs"].tokens_per_second
+                    / results["NPU+PIM"].tokens_per_second)
+        assert gain(512) > gain(64)
+
+    def test_system_iteration_consistent_with_device(self):
+        """A (TP=1, PP=1) system reduces to the bare device."""
+        system = NeuPimsSystem(GPT3_7B, ParallelismScheme(tp=1, pp=1))
+        batch = warmed_batch(SHAREGPT, 16, seed=4)
+        system_latency = system.iteration_latency(batch)
+        device = NeuPimsDevice(GPT3_7B, layers_resident=GPT3_7B.num_layers)
+        fresh = warmed_batch(SHAREGPT, 16, seed=4)
+        device_latency = device.iteration(fresh).latency
+        assert system_latency == pytest.approx(device_latency, rel=0.01)
+
+
+class TestCommandLevelLink:
+    """The device-level MHA estimate tracks the command-level simulation."""
+
+    def test_estimator_vs_command_level_within_factor_two(self):
+        from repro.pim.engine import PimChannelEngine
+        device = NeuPimsDevice(GPT3_7B)
+        engine = PimChannelEngine(GPT3_7B)
+        seq = 512
+        estimated = device.estimator.estimate(seq)
+        measured, _ = engine.run_requests([seq])
+        assert 0.4 <= estimated / measured <= 2.5

@@ -1,0 +1,102 @@
+"""Unit tests for the operator dependency graph."""
+
+import pytest
+
+from repro.model.graph import OperatorGraph, build_decoder_graph
+from repro.model.layers import Operator, OpKind
+from repro.model.spec import GPT3_7B
+
+
+def _op(name: str) -> Operator:
+    return Operator(name, OpKind.GEMM, flops=1, bytes_moved=1)
+
+
+class TestOperatorGraph:
+    def test_add_and_ready(self):
+        graph = OperatorGraph()
+        a = graph.add(_op("a"), layer=0)
+        b = graph.add(_op("b"), layer=0, deps=[a])
+        assert graph.ready(set()) == [a]
+        assert graph.ready({a}) == [b]
+
+    def test_unknown_dependency_raises(self):
+        graph = OperatorGraph()
+        with pytest.raises(KeyError):
+            graph.add(_op("x"), layer=0, deps=[99])
+
+    def test_topological_order_is_valid(self):
+        graph = OperatorGraph()
+        a = graph.add(_op("a"), layer=0)
+        b = graph.add(_op("b"), layer=0, deps=[a])
+        c = graph.add(_op("c"), layer=0, deps=[a])
+        d = graph.add(_op("d"), layer=0, deps=[b, c])
+        order = graph.topological_order()
+        assert order.index(a) < order.index(b) < order.index(d)
+        assert order.index(a) < order.index(c) < order.index(d)
+
+    def test_len_counts_nodes(self):
+        graph = OperatorGraph()
+        graph.add(_op("a"), layer=0)
+        assert len(graph) == 1
+
+
+class TestDecoderGraph:
+    def test_single_layer_structure(self):
+        graph = build_decoder_graph(GPT3_7B, [10, 20], num_layers=1)
+        # qkv + 2*(logit, softmax, attend) + projection + ffn1 + ffn2
+        assert len(graph) == 1 + 6 + 3
+
+    def test_layers_chain_through_ffn2(self):
+        graph = build_decoder_graph(GPT3_7B, [10], num_layers=2)
+        order = graph.topological_order()
+        by_layer0 = [nid for nid in order if graph.nodes[nid].layer == 0]
+        by_layer1 = [nid for nid in order if graph.nodes[nid].layer == 1]
+        assert max(order.index(n) for n in by_layer0) < min(
+            order.index(n) for n in by_layer1)
+
+    def test_mha_depends_on_qkv(self):
+        graph = build_decoder_graph(GPT3_7B, [10], num_layers=1)
+        logit = next(nid for nid, n in graph.nodes.items()
+                     if n.op.name.startswith("logit"))
+        qkv = next(nid for nid, n in graph.nodes.items()
+                   if n.op.name == "qkv_generation")
+        assert qkv in graph.nodes[logit].predecessors
+
+    def test_projection_depends_on_all_attends(self):
+        graph = build_decoder_graph(GPT3_7B, [10, 20, 30], num_layers=1)
+        proj = next(nid for nid, n in graph.nodes.items()
+                    if n.op.name == "projection")
+        attends = {nid for nid, n in graph.nodes.items()
+                   if n.op.name.startswith("attend")}
+        assert attends <= graph.nodes[proj].predecessors
+
+    def test_softmax_between_logit_and_attend(self):
+        graph = build_decoder_graph(GPT3_7B, [10], num_layers=1)
+        order = graph.topological_order()
+        names = [graph.nodes[nid].op.name for nid in order]
+        assert names.index("logit[0]") < names.index("softmax[0]") \
+            < names.index("attend[0]")
+
+    def test_per_request_chains_are_independent(self):
+        """Different requests' MHA ops have no cross dependencies — the
+        head/request parallelism sub-batch interleaving exploits."""
+        graph = build_decoder_graph(GPT3_7B, [10, 20], num_layers=1)
+        logit0 = next(nid for nid, n in graph.nodes.items()
+                      if n.op.name == "logit[0]")
+        attend1 = next(nid for nid, n in graph.nodes.items()
+                       if n.op.name == "attend[1]")
+        assert logit0 not in graph.nodes[attend1].predecessors
+
+    def test_summarization_graph_builds(self):
+        graph = build_decoder_graph(GPT3_7B, [10, 20], num_layers=1,
+                                    phase="summarization")
+        assert len(graph) == 1 + 2 + 3
+
+    def test_default_layer_count_is_spec(self):
+        graph = build_decoder_graph(GPT3_7B, [4], num_layers=None)
+        layers = {n.layer for n in graph.nodes.values()}
+        assert len(layers) == GPT3_7B.num_layers
+
+    def test_invalid_layer_count_raises(self):
+        with pytest.raises(ValueError):
+            build_decoder_graph(GPT3_7B, [4], num_layers=0)

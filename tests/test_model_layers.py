@@ -1,0 +1,163 @@
+"""Unit tests for decoder-block operator accounting."""
+
+import pytest
+
+from repro.model.layers import (
+    GemmShape,
+    GemvShape,
+    OpKind,
+    attend_gemv,
+    decoder_block_operators,
+    ffn_gemms,
+    logit_gemv,
+    projection_gemm,
+    qkv_generation_gemm,
+    softmax_flops,
+    total_bytes,
+    total_flops,
+)
+from repro.model.spec import GPT3_7B
+
+
+class TestShapes:
+    def test_gemm_flops(self):
+        gemm = GemmShape(m=2, k=3, n=4)
+        assert gemm.flops == 2 * 2 * 3 * 4
+
+    def test_gemm_bytes_include_weights(self):
+        gemm = GemmShape(m=2, k=3, n=4)
+        expected = (2 * 3 + 2 * 4 + 3 * 4) * 2
+        assert gemm.bytes_moved(2) == expected
+
+    def test_gemm_weight_resident_drops_weight_bytes(self):
+        gemm = GemmShape(m=2, k=3, n=4)
+        assert gemm.bytes_moved(2, weight_resident=True) == (2 * 3 + 2 * 4) * 2
+
+    def test_gemm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GemmShape(m=0, k=1, n=1)
+
+    def test_gemv_flops(self):
+        assert GemvShape(rows=8, cols=4).flops == 64
+
+    def test_gemv_bytes_dominated_by_matrix(self):
+        gemv = GemvShape(rows=100, cols=100)
+        assert gemv.bytes_moved(2) == (100 * 100 + 200) * 2
+
+    def test_gemv_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GemvShape(rows=1, cols=0)
+
+
+class TestOperatorBuilders:
+    def test_qkv_shape(self):
+        gemm = qkv_generation_gemm(GPT3_7B, batch_tokens=16)
+        assert (gemm.m, gemm.k, gemm.n) == (16, 4096, 3 * 4096)
+
+    def test_qkv_tp_shards_output(self):
+        gemm = qkv_generation_gemm(GPT3_7B, batch_tokens=16, tp=4)
+        assert gemm.n == 3 * 4096 // 4
+
+    def test_projection_shape(self):
+        gemm = projection_gemm(GPT3_7B, batch_tokens=8)
+        assert (gemm.m, gemm.k, gemm.n) == (8, 4096, 4096)
+
+    def test_projection_tp_shards_input(self):
+        gemm = projection_gemm(GPT3_7B, batch_tokens=8, tp=4)
+        assert gemm.k == 1024
+
+    def test_ffn_shapes(self):
+        ffn1, ffn2 = ffn_gemms(GPT3_7B, batch_tokens=4)
+        assert (ffn1.k, ffn1.n) == (4096, 16384)
+        assert (ffn2.k, ffn2.n) == (16384, 4096)
+
+    def test_ffn_tp_shards_inner(self):
+        ffn1, ffn2 = ffn_gemms(GPT3_7B, batch_tokens=4, tp=4)
+        assert ffn1.n == 4096
+        assert ffn2.k == 4096
+
+    def test_logit_gemv_rows_scale_with_seq_and_heads(self):
+        gemv = logit_gemv(GPT3_7B, seq_len=100)
+        assert gemv.rows == 100 * 32
+        assert gemv.cols == 128
+
+    def test_attend_gemv_cols_scale_with_seq(self):
+        gemv = attend_gemv(GPT3_7B, seq_len=100)
+        assert gemv.rows == 128 * 32
+        assert gemv.cols == 100
+
+    def test_softmax_flops_positive(self):
+        assert softmax_flops(GPT3_7B, 100) == 5 * 32 * 100
+
+
+class TestDecoderBlock:
+    def test_generation_operator_set(self):
+        ops = decoder_block_operators(GPT3_7B, [10, 20])
+        names = [op.name for op in ops]
+        assert names[0] == "qkv_generation"
+        assert "logit[0]" in names and "attend[1]" in names
+        assert "softmax[0]" in names
+        assert names[-2:] == ["ffn1", "ffn2"]
+
+    def test_generation_has_one_gemv_pair_per_request(self):
+        ops = decoder_block_operators(GPT3_7B, [10] * 5)
+        gemvs = [op for op in ops if op.kind is OpKind.GEMV]
+        assert len(gemvs) == 10  # logit + attend per request
+
+    def test_summarization_uses_gemm_attention(self):
+        ops = decoder_block_operators(GPT3_7B, [10, 20],
+                                      phase="summarization")
+        assert all(op.kind is not OpKind.GEMV for op in ops)
+
+    def test_summarization_batch_tokens_sum(self):
+        ops = decoder_block_operators(GPT3_7B, [10, 20],
+                                      phase="summarization")
+        qkv = ops[0]
+        # m = 30 tokens: flops = 2 * 30 * E * 3E
+        assert qkv.flops == 2 * 30 * 4096 * 3 * 4096
+
+    def test_gemv_flops_scale_linearly_with_seq(self):
+        short = decoder_block_operators(GPT3_7B, [64])
+        long = decoder_block_operators(GPT3_7B, [128])
+        logit_s = next(op for op in short if op.name == "logit[0]")
+        logit_l = next(op for op in long if op.name == "logit[0]")
+        assert logit_l.flops == 2 * logit_s.flops
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            decoder_block_operators(GPT3_7B, [])
+
+    def test_nonpositive_seq_raises(self):
+        with pytest.raises(ValueError):
+            decoder_block_operators(GPT3_7B, [0])
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(ValueError):
+            decoder_block_operators(GPT3_7B, [1], phase="training")
+
+    def test_arithmetic_intensity_gemm_exceeds_gemv(self):
+        """The core Figure 4 observation: batched GEMMs have much higher
+        arithmetic intensity than the MHA GEMVs."""
+        ops = decoder_block_operators(GPT3_7B, [256] * 64)
+        qkv = next(op for op in ops if op.name == "qkv_generation")
+        logit = next(op for op in ops if op.name == "logit[0]")
+        assert qkv.arithmetic_intensity > 10 * logit.arithmetic_intensity
+
+    def test_gemv_intensity_near_one(self):
+        """GEMVs read every matrix byte once: intensity ~ 1 FLOP/byte."""
+        ops = decoder_block_operators(GPT3_7B, [512])
+        logit = next(op for op in ops if op.name == "logit[0]")
+        assert 0.5 < logit.arithmetic_intensity < 2.0
+
+    def test_totals_sum_over_ops(self):
+        ops = decoder_block_operators(GPT3_7B, [10])
+        assert total_flops(ops) == sum(op.flops for op in ops)
+        assert total_bytes(ops) == sum(op.bytes_moved for op in ops)
+
+    def test_request_index_set_only_for_per_request_ops(self):
+        ops = decoder_block_operators(GPT3_7B, [10, 10])
+        for op in ops:
+            if op.name in ("qkv_generation", "projection", "ffn1", "ffn2"):
+                assert op.request_index is None
+            else:
+                assert op.request_index in (0, 1)

@@ -1,0 +1,99 @@
+"""Unit tests for the roofline analysis (Figure 4)."""
+
+import pytest
+
+from repro.model.roofline import (
+    A100_ROOFLINE,
+    RTX3090_ROOFLINE,
+    DeviceRoofline,
+    is_memory_bound,
+    phase_intensity,
+    roofline_points,
+)
+from repro.model.spec import GPT3_13B, GPT3_175B
+
+
+class TestDeviceRoofline:
+    def test_ridge_intensity(self):
+        device = DeviceRoofline("d", peak_flops=100.0, peak_bandwidth=10.0)
+        assert device.ridge_intensity == 10.0
+
+    def test_attainable_below_ridge_is_bandwidth_limited(self):
+        device = DeviceRoofline("d", peak_flops=100.0, peak_bandwidth=10.0)
+        assert device.attainable(5.0) == 50.0
+
+    def test_attainable_above_ridge_is_peak(self):
+        device = DeviceRoofline("d", peak_flops=100.0, peak_bandwidth=10.0)
+        assert device.attainable(50.0) == 100.0
+
+    def test_attainable_zero_intensity(self):
+        assert A100_ROOFLINE.attainable(0.0) == 0.0
+
+    def test_time_for_takes_max(self):
+        device = DeviceRoofline("d", peak_flops=100.0, peak_bandwidth=10.0)
+        assert device.time_for(flops=100.0, bytes_moved=100.0) == 10.0
+
+    def test_invalid_peaks_raise(self):
+        with pytest.raises(ValueError):
+            DeviceRoofline("d", peak_flops=0.0, peak_bandwidth=1.0)
+
+
+class TestFigure4:
+    """Reproduces the Figure 4 observations."""
+
+    @pytest.mark.parametrize("spec", [GPT3_13B, GPT3_175B])
+    def test_generation_mha_is_memory_bound(self, spec):
+        points = roofline_points(spec, batch_size=32, avg_seq_len=256)
+        gen_mha = next(p for p in points
+                       if p.phase == "generation" and "Logit" in p.label)
+        assert gen_mha.bound == "memory"
+        assert gen_mha.arithmetic_intensity < 5.0
+
+    @pytest.mark.parametrize("spec", [GPT3_13B, GPT3_175B])
+    def test_summarization_is_compute_bound(self, spec):
+        points = roofline_points(spec, batch_size=32, avg_seq_len=256)
+        sum_gemm = next(p for p in points
+                        if p.phase == "summarization" and "QKV" in p.label)
+        assert sum_gemm.bound == "compute"
+
+    def test_batched_qkv_generation_intensity_scales_with_batch(self):
+        small = roofline_points(GPT3_13B, batch_size=4, avg_seq_len=256)
+        large = roofline_points(GPT3_13B, batch_size=256, avg_seq_len=256)
+        qkv_s = next(p for p in small
+                     if p.phase == "generation" and "QKV" in p.label)
+        qkv_l = next(p for p in large
+                     if p.phase == "generation" and "QKV" in p.label)
+        assert qkv_l.arithmetic_intensity > 10 * qkv_s.arithmetic_intensity
+
+    def test_mha_intensity_does_not_scale_with_batch(self):
+        """Batching cannot raise MHA intensity — the paper's core claim."""
+        small = roofline_points(GPT3_13B, batch_size=4, avg_seq_len=256)
+        large = roofline_points(GPT3_13B, batch_size=256, avg_seq_len=256)
+        mha_s = next(p for p in small
+                     if p.phase == "generation" and "Logit" in p.label)
+        mha_l = next(p for p in large
+                     if p.phase == "generation" and "Logit" in p.label)
+        assert mha_l.arithmetic_intensity == pytest.approx(
+            mha_s.arithmetic_intensity, rel=0.01)
+
+    def test_generation_phase_memory_bound_end_to_end(self):
+        assert is_memory_bound(GPT3_13B, 1, [256], "generation")
+
+    def test_summarization_phase_compute_bound_with_long_prompt(self):
+        assert not is_memory_bound(GPT3_13B, 8, [512] * 8, "summarization")
+
+    def test_phase_intensity_validates_lengths(self):
+        with pytest.raises(ValueError):
+            phase_intensity(GPT3_13B, 2, [10], "generation")
+
+    def test_invalid_batch_raises(self):
+        with pytest.raises(ValueError):
+            roofline_points(GPT3_13B, batch_size=0, avg_seq_len=10)
+
+    def test_rtx3090_has_lower_ridge_than_a100(self):
+        assert RTX3090_ROOFLINE.ridge_intensity < A100_ROOFLINE.ridge_intensity
+
+    def test_points_cover_both_phases_and_groups(self):
+        points = roofline_points(GPT3_13B, batch_size=16, avg_seq_len=128)
+        combos = {(p.phase, p.label) for p in points}
+        assert len(combos) == 4

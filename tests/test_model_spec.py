@@ -1,0 +1,97 @@
+"""Unit tests for model specifications (Table 3)."""
+
+import pytest
+
+from repro.model.spec import (
+    GPT3_7B,
+    GPT3_13B,
+    GPT3_30B,
+    GPT3_175B,
+    MODEL_REGISTRY,
+    ModelSpec,
+    get_model,
+)
+
+
+class TestTable3:
+    """The four GPT-3 variants match Table 3 of the paper."""
+
+    @pytest.mark.parametrize("spec,layers,heads,d_model,tp,pp", [
+        (GPT3_7B, 32, 32, 4096, 4, 1),
+        (GPT3_13B, 40, 40, 5120, 4, 1),
+        (GPT3_30B, 48, 56, 7168, 4, 2),
+        (GPT3_175B, 96, 96, 12288, 8, 4),
+    ])
+    def test_table3_configuration(self, spec, layers, heads, d_model, tp, pp):
+        assert spec.num_layers == layers
+        assert spec.num_heads == heads
+        assert spec.d_model == d_model
+        assert spec.tensor_parallel == tp
+        assert spec.pipeline_parallel == pp
+
+    def test_parameter_counts_match_names(self):
+        # Decoder-stack parameters should be within ~20% of the nominal
+        # size (embeddings excluded).
+        assert 5.5e9 < GPT3_7B.num_parameters < 8e9
+        assert 11e9 < GPT3_13B.num_parameters < 15e9
+        assert 27e9 < GPT3_30B.num_parameters < 33e9
+        assert 160e9 < GPT3_175B.num_parameters < 185e9
+
+
+class TestModelSpec:
+    def test_head_dim(self):
+        assert GPT3_7B.head_dim == 128
+
+    def test_d_ffn_is_four_x(self):
+        assert GPT3_7B.d_ffn == 4 * 4096
+
+    def test_weight_bytes_fp16(self):
+        assert GPT3_7B.weight_bytes == GPT3_7B.num_parameters * 2
+
+    def test_kv_bytes_per_token(self):
+        expected = 2 * 4096 * 2 * 32
+        assert GPT3_7B.kv_bytes_per_token() == expected
+
+    def test_invalid_head_divisibility_raises(self):
+        with pytest.raises(ValueError):
+            ModelSpec("bad", num_layers=2, num_heads=3, d_model=100)
+
+    def test_nonpositive_field_raises(self):
+        with pytest.raises(ValueError):
+            ModelSpec("bad", num_layers=0, num_heads=2, d_model=128)
+
+    def test_heads_per_shard(self):
+        assert GPT3_7B.heads_per_shard(4) == 8
+
+    def test_heads_per_shard_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            GPT3_7B.heads_per_shard(5)
+
+    def test_heads_per_shard_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            GPT3_7B.heads_per_shard(0)
+
+    def test_layers_per_stage_rounds_up(self):
+        assert GPT3_30B.layers_per_stage(2) == 24
+        assert GPT3_7B.layers_per_stage(3) == 11
+
+    def test_layers_per_stage_invalid(self):
+        with pytest.raises(ValueError):
+            GPT3_7B.layers_per_stage(0)
+
+
+class TestRegistry:
+    def test_lookup_is_case_insensitive(self):
+        assert get_model("GPT3-13B") is GPT3_13B
+
+    def test_unknown_model_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="gpt3-7b"):
+            get_model("nonexistent")
+
+    def test_registry_covers_figure5_models(self):
+        for name in ("gpt-neox-20b", "llama2-13b", "opt-30b", "mpt-30b"):
+            assert name in MODEL_REGISTRY
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(Exception):
+            GPT3_7B.num_layers = 1  # type: ignore[misc]

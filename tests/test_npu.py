@@ -1,0 +1,145 @@
+"""Unit tests for the NPU substrate (systolic arrays, vector units, chip)."""
+
+import pytest
+
+from repro.dram.timing import HbmOrganization
+from repro.model.layers import GemmShape, GemvShape
+from repro.npu.chip import NpuChip, NpuConfig
+from repro.npu.systolic import (
+    SystolicConfig,
+    gemm_compute_cycles,
+    gemm_efficiency,
+    schedule_gemm,
+)
+from repro.npu.vector import (
+    VectorConfig,
+    activation_cycles,
+    elementwise_cycles,
+    layernorm_cycles,
+    softmax_cycles,
+)
+
+
+class TestSystolic:
+    def test_peak_flops(self):
+        config = SystolicConfig()
+        assert config.peak_flops == 2 * 128 * 128 * 1e9
+
+    def test_tile_counts(self):
+        schedule = schedule_gemm(GemmShape(m=10, k=256, n=384),
+                                 SystolicConfig(), num_arrays=1)
+        assert schedule.tiles_k == 2
+        assert schedule.tiles_n == 3
+        assert schedule.total_tiles == 6
+
+    def test_small_m_pays_pipeline_depth(self):
+        """Sub-batch interleaving's penalty at small batch: the tile pitch
+        cannot drop below the array depth."""
+        config = SystolicConfig()
+        small = schedule_gemm(GemmShape(m=8, k=128, n=128), config, 1)
+        assert small.cycles_per_tile == 128
+
+    def test_large_m_streams_at_m_cycles(self):
+        config = SystolicConfig()
+        schedule = schedule_gemm(GemmShape(m=512, k=128, n=128), config, 1)
+        assert schedule.cycles_per_tile == 512
+
+    def test_arrays_divide_tiles(self):
+        gemm = GemmShape(m=256, k=1024, n=1024)
+        one = gemm_compute_cycles(gemm, SystolicConfig(), num_arrays=1)
+        eight = gemm_compute_cycles(gemm, SystolicConfig(), num_arrays=8)
+        assert one > 7 * eight
+
+    def test_efficiency_high_for_large_m(self):
+        gemm = GemmShape(m=1024, k=4096, n=4096)
+        assert gemm_efficiency(gemm, SystolicConfig(), 8) > 0.9
+
+    def test_efficiency_low_for_tiny_m(self):
+        gemm = GemmShape(m=4, k=4096, n=4096)
+        assert gemm_efficiency(gemm, SystolicConfig(), 8) < 0.1
+
+    def test_invalid_arrays_raise(self):
+        with pytest.raises(ValueError):
+            schedule_gemm(GemmShape(m=1, k=1, n=1), SystolicConfig(), 0)
+
+
+class TestVector:
+    def test_elementwise_scales_with_elements(self):
+        config = VectorConfig()
+        assert elementwise_cycles(12800, config) > \
+            elementwise_cycles(1280, config)
+
+    def test_zero_elements_zero_cycles(self):
+        assert elementwise_cycles(0, VectorConfig()) == 0.0
+
+    def test_launch_overhead_floor(self):
+        config = VectorConfig(launch_overhead=16)
+        assert elementwise_cycles(1, config) == 17
+
+    def test_softmax_scales_with_heads_and_seq(self):
+        config = VectorConfig()
+        base = softmax_cycles(128, 8, config)
+        assert softmax_cycles(256, 8, config) > base
+        assert softmax_cycles(128, 16, config) > base
+
+    def test_softmax_invalid_raises(self):
+        with pytest.raises(ValueError):
+            softmax_cycles(0, 8, VectorConfig())
+
+    def test_layernorm_and_activation_positive(self):
+        config = VectorConfig()
+        assert layernorm_cycles(16, 4096, config) > 0
+        assert activation_cycles(16, 16384, config) > 0
+
+    def test_negative_elements_raise(self):
+        with pytest.raises(ValueError):
+            elementwise_cycles(-1, VectorConfig())
+
+
+class TestNpuChip:
+    def test_peak_flops_table2(self):
+        """8 x 128x128 arrays at 1 GHz = 262 TFLOPS."""
+        assert NpuConfig().peak_flops == pytest.approx(262.144e12)
+
+    def test_gemm_cycles_roofline_max(self):
+        chip = NpuChip()
+        gemm = GemmShape(m=256, k=4096, n=4096)
+        cycles = chip.gemm_cycles(gemm)
+        compute = gemm_compute_cycles(gemm, chip.config.systolic, 8)
+        memory = chip._bytes_cycles(gemm.bytes_moved(2))
+        assert cycles == pytest.approx(max(compute, memory))
+
+    def test_small_batch_gemm_memory_bound(self):
+        """At tiny M, weight streaming dominates — the GPU/NPU generation
+        bottleneck of §2.1."""
+        chip = NpuChip()
+        gemm = GemmShape(m=4, k=4096, n=4096)
+        compute = gemm_compute_cycles(gemm, chip.config.systolic, 8)
+        assert chip.gemm_cycles(gemm) > compute
+
+    def test_gemv_bandwidth_bound(self):
+        chip = NpuChip()
+        gemv = GemvShape(rows=4096, cols=4096)
+        expected = chip._bytes_cycles(gemv.bytes_moved(2))
+        assert chip.gemv_cycles(gemv) == pytest.approx(expected)
+
+    def test_gemm_utilization_increases_with_batch(self):
+        chip = NpuChip()
+        util_small = chip.gemm_compute_utilization(GemmShape(4, 4096, 4096))
+        util_large = chip.gemm_compute_utilization(GemmShape(512, 4096, 4096))
+        assert util_large > 3 * util_small
+
+    def test_softmax_parallel_over_vector_units(self):
+        chip = NpuChip()
+        one_head = chip.softmax_latency(1024, 1)
+        many_heads = chip.softmax_latency(1024, 8)
+        assert many_heads < 8 * one_head
+
+    def test_invalid_derate_raises(self):
+        with pytest.raises(ValueError):
+            NpuChip(bandwidth_derate=0.0)
+
+    def test_effective_bandwidth_derated(self):
+        chip = NpuChip(org=HbmOrganization(), bandwidth_derate=0.5)
+        assert chip.effective_bandwidth == \
+            pytest.approx(0.5 * HbmOrganization().total_bandwidth)

@@ -1,0 +1,82 @@
+"""Tests for the scratchpad memory model."""
+
+import pytest
+
+from repro.model.layers import GemmShape
+from repro.model.spec import GPT3_7B, GPT3_175B
+from repro.npu.spm import (
+    Scratchpad,
+    SpmCapacityError,
+    SpmConfig,
+    layer_weights_fit,
+    max_streaming_batch,
+    tile_pipeline_fits,
+    tile_working_set_bytes,
+)
+from repro.npu.systolic import SystolicConfig
+
+
+class TestScratchpad:
+    def test_allocate_and_release(self):
+        spm = Scratchpad(SpmConfig(capacity_bytes=1000))
+        spm.allocate("weights", 600)
+        assert spm.free_bytes == 400
+        assert spm.release("weights") == 600
+        assert spm.free_bytes == 1000
+
+    def test_over_allocation_raises(self):
+        spm = Scratchpad(SpmConfig(capacity_bytes=100))
+        with pytest.raises(SpmCapacityError):
+            spm.allocate("big", 200)
+
+    def test_duplicate_region_raises(self):
+        spm = Scratchpad(SpmConfig(capacity_bytes=100))
+        spm.allocate("a", 10)
+        with pytest.raises(ValueError):
+            spm.allocate("a", 10)
+
+    def test_release_unknown_returns_zero(self):
+        assert Scratchpad().release("ghost") == 0
+
+    def test_fits_query(self):
+        spm = Scratchpad(SpmConfig(capacity_bytes=100))
+        assert spm.fits(100)
+        assert not spm.fits(101)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            SpmConfig(capacity_bytes=0)
+
+
+class TestWorkingSets:
+    def test_tile_working_set_scales_with_m(self):
+        systolic = SystolicConfig()
+        small = tile_working_set_bytes(GemmShape(16, 4096, 4096), systolic)
+        large = tile_working_set_bytes(GemmShape(512, 4096, 4096), systolic)
+        assert large > small
+
+    def test_double_buffering_roughly_doubles_inputs(self):
+        systolic = SystolicConfig()
+        gemm = GemmShape(128, 4096, 4096)
+        single = tile_working_set_bytes(gemm, systolic,
+                                        double_buffered=False)
+        double = tile_working_set_bytes(gemm, systolic, double_buffered=True)
+        assert single < double < 2 * single
+
+    def test_tile_pipeline_fits_for_evaluated_batches(self):
+        """Batches up to 512 keep the tile pipeline inside a 32 MiB SPM —
+        the premise of the double-buffered systolic timing model."""
+        for m in (64, 256, 512):
+            assert tile_pipeline_fits(GemmShape(m, 12288, 12288))
+
+    def test_layer_weights_never_fit(self):
+        """No evaluated model keeps a block's weights resident, so
+        sub-batch interleaving must re-stream them (DESIGN.md §6)."""
+        for spec, tp in ((GPT3_7B, 1), (GPT3_7B, 4), (GPT3_175B, 8)):
+            assert not layer_weights_fit(spec, tp=tp)
+
+    def test_max_streaming_batch_consistent_with_fits(self):
+        m_max = max_streaming_batch()
+        assert tile_pipeline_fits(GemmShape(max(1, m_max), 128, 128))
+        assert not tile_pipeline_fits(
+            GemmShape(m_max + 1024, 128, 128))

@@ -1,0 +1,93 @@
+"""Unit tests for the PIM execution engine and calibration."""
+
+import pytest
+
+from repro.dram.timing import HbmOrganization
+from repro.model.spec import GPT3_7B
+from repro.pim.engine import (
+    CalibratedLatencies,
+    PimChannelEngine,
+    calibrate,
+    measure_gemv_latency,
+)
+from repro.pim.gemv import GemvOp
+
+
+class TestMeasureGemv:
+    def test_latency_positive(self):
+        latency, _ = measure_gemv_latency(GemvOp(rows=64, cols=512))
+        assert latency > 0
+
+    def test_latency_scales_with_rows(self):
+        small, _ = measure_gemv_latency(GemvOp(rows=32, cols=512),
+                                        refresh=False)
+        large, _ = measure_gemv_latency(GemvOp(rows=320, cols=512),
+                                        refresh=False)
+        assert large > small
+
+    def test_composite_not_slower_than_fine_grained(self):
+        op = GemvOp(rows=320, cols=1024)
+        composite, _ = measure_gemv_latency(op, composite=True, refresh=False)
+        fine, _ = measure_gemv_latency(op, composite=False, refresh=False)
+        assert composite <= fine
+
+    def test_controller_returned_for_inspection(self):
+        op = GemvOp(rows=32, cols=512)
+        _, controller = measure_gemv_latency(op)
+        assert controller.records
+
+
+class TestCalibration:
+    def test_calibrated_latencies_positive(self):
+        cal = calibrate()
+        assert cal.l_tile > 0
+        assert cal.l_gwrite > 0
+
+    def test_l_tile_near_wave_pitch(self):
+        """The measured per-wave cost should sit near the page MAC time."""
+        org = HbmOrganization()
+        cal = calibrate(org=org)
+        from repro.dram.timing import PimTiming, TimingParams
+        mac = PimTiming().dotprod_cycles_per_page(org.page_bytes)
+        pitch = max(mac, TimingParams().row_cycle // 2)
+        assert 0.5 * pitch <= cal.l_tile <= 2.0 * pitch
+
+    def test_invalid_latencies_rejected(self):
+        with pytest.raises(ValueError):
+            CalibratedLatencies(l_tile=0.0, l_gwrite=1.0)
+
+
+class TestPimChannelEngine:
+    def test_run_requests_returns_per_request_timings(self):
+        engine = PimChannelEngine(GPT3_7B)
+        total, executions = engine.run_requests([64, 128])
+        assert total > 0
+        assert len(executions) == 2
+        assert all(e.total_cycles > 0 for e in executions)
+
+    def test_longer_sequence_takes_longer(self):
+        engine = PimChannelEngine(GPT3_7B)
+        _, executions = engine.run_requests([64, 512])
+        assert executions[1].total_cycles > executions[0].total_cycles
+
+    def test_requests_serialize_on_channel(self):
+        engine = PimChannelEngine(GPT3_7B)
+        single, _ = engine.run_requests([128])
+        double, _ = engine.run_requests([128, 128])
+        assert double > 1.5 * single
+
+    def test_mha_ops_shapes(self):
+        engine = PimChannelEngine(GPT3_7B)
+        logit, attend = engine.mha_ops(seq_len=100)
+        assert logit.rows == 100 * 32
+        assert logit.cols == 128
+        assert attend.rows == 128 * 32
+        assert attend.cols == 100
+
+    def test_blocked_engine_slower_than_dual(self):
+        dual = PimChannelEngine(GPT3_7B, dual_row_buffer=True, composite=True)
+        blocked = PimChannelEngine(GPT3_7B, dual_row_buffer=False,
+                                   composite=False)
+        t_dual, _ = dual.run_requests([256])
+        t_blocked, _ = blocked.run_requests([256])
+        assert t_blocked >= t_dual

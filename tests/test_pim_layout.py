@@ -1,0 +1,82 @@
+"""Unit tests for the KV-cache PIM layout (paper §6.3)."""
+
+import pytest
+
+from repro.dram.timing import HbmOrganization
+from repro.model.spec import GPT3_7B, GPT3_30B
+from repro.pim.layout import KvLayout
+
+
+@pytest.fixture
+def layout():
+    return KvLayout(HbmOrganization(), dtype_bytes=2)
+
+
+class TestLayoutParameters:
+    def test_elements_per_page_is_p_dram(self, layout):
+        assert layout.elements_per_page == 512
+
+    def test_banks_is_b_chnl(self, layout):
+        assert layout.banks == 32
+
+
+class TestKeyTiles:
+    def test_key_tiles_formula(self, layout):
+        # seq 64 over 32 banks = 2 rounds; E 4096 / 512 = 8 pages.
+        assert layout.key_tiles(GPT3_7B, 64) == 16
+
+    def test_key_tiles_round_up_partial_bank_round(self, layout):
+        assert layout.key_tiles(GPT3_7B, 33) == 2 * 8
+
+    def test_key_tiles_monotonic_in_seq(self, layout):
+        tiles = [layout.key_tiles(GPT3_7B, s) for s in (32, 64, 128, 256)]
+        assert tiles == sorted(tiles)
+        assert tiles[-1] > tiles[0]
+
+    def test_key_gwrites_cover_embedding(self, layout):
+        assert layout.key_gwrites(GPT3_7B) == 8
+        assert layout.key_gwrites(GPT3_30B) == 14
+
+    def test_invalid_seq_raises(self, layout):
+        with pytest.raises(ValueError):
+            layout.key_tiles(GPT3_7B, 0)
+
+
+class TestValueTiles:
+    def test_value_tiles_formula(self, layout):
+        # head_dim 128 / 32 banks = 4 rounds; seq 512 = 1 page; 32 heads.
+        assert layout.value_tiles(GPT3_7B, 512) == 4 * 1 * 32
+
+    def test_value_tiles_scale_with_heads(self, layout):
+        assert layout.value_tiles(GPT3_30B, 512) == 4 * 1 * 56
+
+    def test_value_gwrites_per_head(self, layout):
+        assert layout.value_gwrites(GPT3_7B, 512) == 32
+        assert layout.value_gwrites(GPT3_7B, 1024) == 64
+
+    def test_invalid_seq_raises(self, layout):
+        with pytest.raises(ValueError):
+            layout.value_tiles(GPT3_7B, -1)
+
+
+class TestCapacity:
+    def test_kv_rows_scale_with_seq(self, layout):
+        assert layout.kv_rows_for_request(GPT3_7B, 256) > \
+            layout.kv_rows_for_request(GPT3_7B, 64)
+
+    def test_kv_rows_formula(self, layout):
+        # 2 * 64 * 4096 * 2 bytes over 32 banks, 1KB pages.
+        expected = (2 * 64 * 4096 * 2 // 32) // 1024
+        assert layout.kv_rows_for_request(GPT3_7B, 64) == expected
+
+    def test_reasonable_batch_fits_channel(self, layout):
+        # A 1GB channel holds tens of thousands of tokens of 7B KV cache.
+        assert layout.fits(GPT3_7B, total_tokens=20_000)
+
+    def test_absurd_context_does_not_fit(self, layout):
+        assert not layout.fits(GPT3_7B, total_tokens=50_000_000)
+
+    def test_reserved_rows_reduce_capacity(self, layout):
+        rows = layout.org.rows_per_bank()
+        assert not layout.fits(GPT3_7B, total_tokens=20_000,
+                               reserved_rows=rows)

@@ -1,0 +1,145 @@
+"""Tests for the latency accounting layer."""
+
+import pytest
+
+from repro.core.device import NeuPimsDevice
+from repro.model.spec import GPT3_7B
+from repro.serving.latency import (
+    LatencyReport,
+    LatencyTracker,
+    RequestLatency,
+    iteration_latency_histogram,
+    percentile,
+    queueing_delay_curve,
+)
+from repro.serving.pool import RequestPool
+from repro.serving.request import InferenceRequest
+from repro.serving.scheduler import IterationScheduler
+
+
+def latency(rid=0, arrival=0.0, first=10.0, done=100.0, tokens=10):
+    return RequestLatency(rid, arrival, first, done, tokens)
+
+
+class TestRequestLatency:
+    def test_ttft(self):
+        assert latency(arrival=5.0, first=25.0).ttft == 20.0
+
+    def test_end_to_end(self):
+        assert latency(arrival=5.0, done=105.0).end_to_end == 100.0
+
+    def test_tpot_excludes_first_token(self):
+        lat = latency(first=10.0, done=100.0, tokens=10)
+        assert lat.tpot == pytest.approx(10.0)
+
+    def test_tpot_single_token_zero(self):
+        assert latency(tokens=1).tpot == 0.0
+
+    def test_out_of_order_timestamps_raise(self):
+        with pytest.raises(ValueError):
+            latency(arrival=50.0, first=10.0)
+
+    def test_nonpositive_tokens_raise(self):
+        with pytest.raises(ValueError):
+            latency(tokens=0)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_p99_near_max(self):
+        values = list(range(100))
+        assert percentile(values, 99) == 98
+
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+
+class TestLatencyReport:
+    def test_summary_scales_to_ms(self):
+        report = LatencyReport()
+        report.add(latency(first=1e6, done=2e6, tokens=11))
+        summary = report.summary()
+        assert summary["ttft_mean_ms"] == pytest.approx(1.0)
+        assert summary["tpot_mean_ms"] == pytest.approx(0.1)
+
+    def test_empty_summary(self):
+        assert LatencyReport().summary() == {}
+
+    def test_slo_attainment(self):
+        report = LatencyReport()
+        report.add(latency(rid=0, first=10.0))
+        report.add(latency(rid=1, first=1000.0, done=2000.0))
+        assert report.slo_attainment(ttft_cycles=100.0) == 0.5
+
+    def test_slo_attainment_no_targets(self):
+        report = LatencyReport()
+        report.add(latency())
+        assert report.slo_attainment() == 1.0
+
+
+class TestLatencyTracker:
+    def test_tracks_scheduler_run(self):
+        device = NeuPimsDevice(GPT3_7B, tp=4, layers_resident=2)
+        pool = RequestPool()
+        requests = [InferenceRequest(i, input_len=16, output_len=3)
+                    for i in range(4)]
+        pool.submit_all(requests)
+        tracker = LatencyTracker()
+        scheduler = IterationScheduler(
+            pool, tracker.wrap(device.executor()), max_batch_size=8,
+            assign_channels=device.assign_channels)
+        stats = scheduler.run()
+        report = tracker.report()
+        assert len(report.requests) == 4
+        for lat in report.requests:
+            assert lat.ttft > 0
+            assert lat.completion_time == pytest.approx(stats.total_time)
+
+    def test_late_arrival_has_longer_ttft(self):
+        device = NeuPimsDevice(GPT3_7B, tp=4, layers_resident=2)
+        pool = RequestPool()
+        early = InferenceRequest(0, input_len=16, output_len=6)
+        late = InferenceRequest(1, input_len=16, output_len=2,
+                                arrival_time=1.0)
+        pool.submit_all([early, late])
+        tracker = LatencyTracker()
+        scheduler = IterationScheduler(
+            pool, tracker.wrap(device.executor()), max_batch_size=8,
+            assign_channels=device.assign_channels)
+        scheduler.run()
+        report = tracker.report()
+        by_id = {r.request_id: r for r in report.requests}
+        assert by_id[1].first_token_time >= by_id[0].first_token_time
+
+
+class TestStatsHelpers:
+    def _stats(self):
+        device = NeuPimsDevice(GPT3_7B, tp=4, layers_resident=2)
+        pool = RequestPool()
+        pool.submit_all(InferenceRequest(i, input_len=16, output_len=4)
+                        for i in range(8))
+        scheduler = IterationScheduler(
+            pool, device.executor(), max_batch_size=8,
+            assign_channels=device.assign_channels)
+        return scheduler.run()
+
+    def test_queueing_delay_curve(self):
+        stats = self._stats()
+        delays = queueing_delay_curve(stats, [0.0, stats.total_time + 1])
+        assert delays[0] > 0          # waits for iteration 1 to end
+        assert delays[1] == 0.0       # after the run: no boundary ahead
+
+    def test_iteration_histogram_counts_all(self):
+        stats = self._stats()
+        histogram = iteration_latency_histogram(stats, bins=4)
+        assert sum(histogram.values()) == len(stats.iterations)
+
+    def test_histogram_empty_stats(self):
+        from repro.serving.scheduler import ServingStats
+        assert iteration_latency_histogram(ServingStats()) == {}

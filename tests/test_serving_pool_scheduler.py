@@ -1,0 +1,174 @@
+"""Unit tests for the request pool and the iteration-level scheduler."""
+
+import pytest
+
+from repro.serving.paging import PagedKvAllocator, PagedKvConfig
+from repro.serving.pool import RequestPool
+from repro.serving.request import InferenceRequest, RequestStatus
+from repro.serving.scheduler import IterationScheduler
+from repro.model.spec import GPT3_7B
+
+
+def req(request_id, input_len=8, output_len=4, arrival=0.0):
+    return InferenceRequest(request_id, input_len=input_len,
+                            output_len=output_len, arrival_time=arrival)
+
+
+class TestRequestPool:
+    def test_submit_and_get(self):
+        pool = RequestPool()
+        pool.submit(req(1))
+        assert pool.get(1).request_id == 1
+        assert 1 in pool
+        assert len(pool) == 1
+
+    def test_duplicate_id_raises(self):
+        pool = RequestPool()
+        pool.submit(req(1))
+        with pytest.raises(ValueError):
+            pool.submit(req(1))
+
+    def test_waiting_respects_arrival_time(self):
+        pool = RequestPool()
+        pool.submit(req(1, arrival=100.0))
+        pool.submit(req(2, arrival=5.0))
+        assert [r.request_id for r in pool.waiting(now=10.0)] == [2]
+
+    def test_waiting_sorted_by_arrival(self):
+        pool = RequestPool()
+        pool.submit(req(1, arrival=50.0))
+        pool.submit(req(2, arrival=10.0))
+        assert [r.request_id for r in pool.waiting()] == [2, 1]
+
+    def test_retire_finished_removes_done(self):
+        pool = RequestPool()
+        request = req(1, output_len=1)
+        pool.submit(request)
+        request.begin_generation(0)
+        request.advance()
+        done = pool.retire_finished()
+        assert [r.request_id for r in done] == [1]
+        assert len(pool) == 0
+
+    def test_channel_occupancy(self):
+        pool = RequestPool()
+        for i, channel in enumerate((0, 0, 1)):
+            request = req(i)
+            pool.submit(request)
+            request.begin_generation(channel)
+        assert pool.channel_occupancy(2) == [2, 1]
+
+    def test_format_table_renders_rows(self):
+        pool = RequestPool()
+        pool.submit(req(7))
+        table = pool.format_table()
+        assert "ReqID" in table and "7" in table
+
+
+class TestIterationScheduler:
+    def _executor(self, latency=100.0):
+        calls = []
+
+        def run(batch):
+            calls.append([r.request_id for r in batch])
+            return latency
+        run.calls = calls  # type: ignore[attr-defined]
+        return run
+
+    def test_runs_until_pool_drains(self):
+        pool = RequestPool()
+        pool.submit_all(req(i, output_len=3) for i in range(4))
+        scheduler = IterationScheduler(pool, self._executor(), max_batch_size=8)
+        stats = scheduler.run()
+        assert stats.total_tokens == 12
+        assert len(pool) == 0
+
+    def test_iteration_boundary_admission(self):
+        """Orca's iteration-level scheduling: a late request joins at the
+        next iteration boundary, not after the whole batch finishes."""
+        pool = RequestPool()
+        pool.submit(req(1, output_len=5))
+        pool.submit(req(2, output_len=2, arrival=150.0))
+        executor = self._executor(latency=100.0)
+        scheduler = IterationScheduler(pool, executor, max_batch_size=8)
+        scheduler.run()
+        # Request 2 arrives at 150 and must appear from iteration 2 on.
+        assert executor.calls[0] == [1]
+        assert executor.calls[2] == [1, 2]
+
+    def test_batch_size_cap_respected(self):
+        pool = RequestPool()
+        pool.submit_all(req(i, output_len=1) for i in range(10))
+        executor = self._executor()
+        scheduler = IterationScheduler(pool, executor, max_batch_size=4)
+        scheduler.run()
+        assert all(len(call) <= 4 for call in executor.calls)
+
+    def test_finished_requests_leave_batch(self):
+        pool = RequestPool()
+        pool.submit(req(1, output_len=1))
+        pool.submit(req(2, output_len=3))
+        executor = self._executor()
+        scheduler = IterationScheduler(pool, executor, max_batch_size=8)
+        scheduler.run()
+        assert executor.calls[0] == [1, 2]
+        assert executor.calls[1] == [2]
+
+    def test_throughput_computation(self):
+        pool = RequestPool()
+        pool.submit(req(1, output_len=10))
+        scheduler = IterationScheduler(pool, self._executor(latency=1000.0),
+                                       max_batch_size=1)
+        stats = scheduler.run()
+        # 10 tokens in 10,000 cycles at 1 GHz = 1e6 tokens/s.
+        assert stats.throughput_tokens_per_second() == pytest.approx(1e6)
+
+    def test_kv_allocation_grows_and_frees(self):
+        pool = RequestPool()
+        request = req(1, input_len=64, output_len=4)
+        pool.submit(request)
+        allocator = PagedKvAllocator(PagedKvConfig(), GPT3_7B)
+
+        def assign(new):
+            for r in new:
+                r.channel = 0
+
+        scheduler = IterationScheduler(pool, self._executor(),
+                                       max_batch_size=4,
+                                       allocators=[allocator],
+                                       assign_channels=assign)
+        scheduler.run()
+        assert allocator.free_blocks == allocator.total_blocks
+
+    def test_admission_blocked_without_capacity(self):
+        pool = RequestPool()
+        # Tiny allocator: one block only.
+        config = PagedKvConfig(block_tokens=16,
+                               capacity_bytes=2 * 4096 * 2 * 32 * 16)
+        allocator = PagedKvAllocator(config, GPT3_7B)
+        pool.submit(req(1, input_len=8, output_len=1))
+        pool.submit(req(2, input_len=8, output_len=1))
+
+        def assign(new):
+            for r in new:
+                r.channel = 0
+
+        scheduler = IterationScheduler(pool, self._executor(),
+                                       max_batch_size=4,
+                                       allocators=[allocator],
+                                       assign_channels=assign)
+        record = scheduler.run_iteration()
+        assert record.batch_size == 1  # second request did not fit
+
+    def test_invalid_executor_latency_raises(self):
+        pool = RequestPool()
+        pool.submit(req(1))
+        scheduler = IterationScheduler(pool, lambda batch: 0.0,
+                                       max_batch_size=1)
+        with pytest.raises(ValueError):
+            scheduler.run_iteration()
+
+    def test_empty_pool_returns_none(self):
+        scheduler = IterationScheduler(RequestPool(), self._executor(),
+                                       max_batch_size=1)
+        assert scheduler.run_iteration() is None

@@ -1,0 +1,144 @@
+"""Unit tests for the synthetic dataset traces."""
+
+import numpy as np
+import pytest
+
+from repro.serving.request import RequestStatus
+from repro.serving.trace import (
+    ALPACA,
+    SHAREGPT,
+    DatasetTrace,
+    LengthDistribution,
+    get_dataset,
+    poisson_arrivals,
+    sample_batches,
+    warmed_batch,
+)
+
+
+class TestLengthDistribution:
+    def test_mean_matches_target(self):
+        dist = LengthDistribution(mean=100.0, sigma=0.8, max_len=100_000)
+        rng = np.random.default_rng(0)
+        samples = dist.sample(rng, 200_000)
+        assert samples.mean() == pytest.approx(100.0, rel=0.05)
+
+    def test_samples_clipped_to_range(self):
+        dist = LengthDistribution(mean=50.0, sigma=1.5, min_len=10,
+                                  max_len=100)
+        rng = np.random.default_rng(1)
+        samples = dist.sample(rng, 10_000)
+        assert samples.min() >= 10
+        assert samples.max() <= 100
+
+    def test_samples_are_integers(self):
+        rng = np.random.default_rng(2)
+        samples = LengthDistribution(mean=20.0, sigma=0.5).sample(rng, 100)
+        assert samples.dtype.kind == "i"
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            LengthDistribution(mean=0.0, sigma=1.0)
+        with pytest.raises(ValueError):
+            LengthDistribution(mean=1.0, sigma=1.0, min_len=10, max_len=5)
+
+    def test_heavy_tail_present(self):
+        """The load-balancing experiments depend on length skew."""
+        rng = np.random.default_rng(3)
+        samples = SHAREGPT.output_dist.sample(rng, 50_000)
+        assert samples.max() > 4 * samples.mean()
+
+
+class TestPaperMeans:
+    def test_sharegpt_means(self):
+        """Paper §8.1: ShareGPT averages 80 in / 296 out."""
+        rng = np.random.default_rng(0)
+        pairs = SHAREGPT.sample_pairs(rng, 100_000)
+        inputs = np.array([p[0] for p in pairs])
+        outputs = np.array([p[1] for p in pairs])
+        assert inputs.mean() == pytest.approx(80, rel=0.1)
+        assert outputs.mean() == pytest.approx(296, rel=0.1)
+
+    def test_alpaca_means(self):
+        """Paper §8.1: Alpaca averages 12 in / 56 out."""
+        rng = np.random.default_rng(0)
+        pairs = ALPACA.sample_pairs(rng, 100_000)
+        inputs = np.array([p[0] for p in pairs])
+        outputs = np.array([p[1] for p in pairs])
+        assert inputs.mean() == pytest.approx(12, rel=0.1)
+        assert outputs.mean() == pytest.approx(56, rel=0.1)
+
+    def test_sharegpt_longer_than_alpaca(self):
+        rng = np.random.default_rng(0)
+        share = SHAREGPT.sample_pairs(rng, 10_000)
+        alpaca = ALPACA.sample_pairs(np.random.default_rng(0), 10_000)
+        assert np.mean([sum(p) for p in share]) > \
+            3 * np.mean([sum(p) for p in alpaca])
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_dataset("ShareGPT") is SHAREGPT
+        assert get_dataset("alpaca") is ALPACA
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("pile")
+
+
+class TestWarmedBatch:
+    def test_batch_size_respected(self):
+        batch = warmed_batch(SHAREGPT, 64, seed=0)
+        assert len(batch) == 64
+
+    def test_requests_running_with_progress(self):
+        batch = warmed_batch(SHAREGPT, 64, seed=0)
+        assert all(r.status is RequestStatus.RUNNING for r in batch)
+        assert all(0 <= r.generated < r.output_len for r in batch)
+
+    def test_deterministic_given_seed(self):
+        a = warmed_batch(SHAREGPT, 16, seed=5)
+        b = warmed_batch(SHAREGPT, 16, seed=5)
+        assert [(r.input_len, r.generated) for r in a] == \
+            [(r.input_len, r.generated) for r in b]
+
+    def test_different_seeds_differ(self):
+        a = warmed_batch(SHAREGPT, 16, seed=5)
+        b = warmed_batch(SHAREGPT, 16, seed=6)
+        assert [(r.input_len, r.generated) for r in a] != \
+            [(r.input_len, r.generated) for r in b]
+
+    def test_request_ids_offset_by_start_id(self):
+        batch = warmed_batch(SHAREGPT, 4, seed=0, start_id=100)
+        assert [r.request_id for r in batch] == [100, 101, 102, 103]
+
+    def test_invalid_batch_size_raises(self):
+        with pytest.raises(ValueError):
+            warmed_batch(SHAREGPT, 0, seed=0)
+
+    def test_sample_batches_unique_ids(self):
+        batches = sample_batches(ALPACA, 8, num_batches=3, seed=1)
+        ids = [r.request_id for batch in batches for r in batch]
+        assert len(ids) == len(set(ids))
+
+
+class TestPoissonArrivals:
+    def test_arrivals_within_horizon(self):
+        arrivals = poisson_arrivals(ALPACA, rate_per_kcycle=1.0,
+                                    horizon_cycles=100_000, seed=0)
+        assert arrivals
+        assert all(0 < r.arrival_time < 100_000 for r in arrivals)
+
+    def test_arrival_times_sorted(self):
+        arrivals = poisson_arrivals(ALPACA, 1.0, 100_000, seed=0)
+        times = [r.arrival_time for r in arrivals]
+        assert times == sorted(times)
+
+    def test_rate_scales_count(self):
+        low = poisson_arrivals(ALPACA, 0.5, 200_000, seed=0)
+        high = poisson_arrivals(ALPACA, 2.0, 200_000, seed=0)
+        assert len(high) > 2 * len(low)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(ALPACA, 0.0, 100.0)

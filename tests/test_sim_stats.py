@@ -1,0 +1,118 @@
+"""Unit tests for statistics helpers."""
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    StatsRegistry,
+    UtilizationReport,
+    busy_fraction,
+    histogram,
+    merge_intervals,
+    summarize,
+    weighted_mean,
+)
+
+
+class TestMergeIntervals:
+    def test_disjoint_intervals_preserved(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlapping_intervals_merge(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_touching_intervals_merge(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_unordered_input_is_sorted(self):
+        assert merge_intervals([(5, 6), (0, 2)]) == [(0, 2), (5, 6)]
+
+    def test_empty_and_degenerate_intervals_dropped(self):
+        assert merge_intervals([(3, 3), (5, 4)]) == []
+
+    def test_nested_intervals_collapse(self):
+        assert merge_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+
+class TestBusyFraction:
+    def test_half_busy(self):
+        assert busy_fraction([(0, 50)], 100) == 0.5
+
+    def test_overlap_not_double_counted(self):
+        assert busy_fraction([(0, 50), (25, 50)], 100) == 0.5
+
+    def test_zero_horizon(self):
+        assert busy_fraction([(0, 10)], 0) == 0.0
+
+    def test_clamped_to_one(self):
+        assert busy_fraction([(0, 200)], 100) == 1.0
+
+
+class TestCounterRegistry:
+    def test_counter_accumulates(self):
+        counter = Counter("x")
+        counter.add(2)
+        counter.add()
+        assert counter.value == 3
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_registry_reuses_counters(self):
+        registry = StatsRegistry()
+        registry.add("a", 1)
+        registry.add("a", 2)
+        assert registry.get("a") == 3
+
+    def test_registry_missing_counter_is_zero(self):
+        assert StatsRegistry().get("nope") == 0.0
+
+    def test_as_dict_sorted(self):
+        registry = StatsRegistry()
+        registry.add("b")
+        registry.add("a")
+        assert list(registry.as_dict()) == ["a", "b"]
+
+
+class TestUtilizationReport:
+    def test_utilization_ratio(self):
+        report = UtilizationReport(horizon=100.0, busy={"npu": 30.0})
+        assert report.utilization("npu") == 0.3
+
+    def test_unknown_resource_is_zero(self):
+        report = UtilizationReport(horizon=100.0)
+        assert report.utilization("pim") == 0.0
+
+    def test_zero_horizon(self):
+        report = UtilizationReport(horizon=0.0, busy={"npu": 5.0})
+        assert report.utilization("npu") == 0.0
+
+    def test_as_dict(self):
+        report = UtilizationReport(horizon=10.0, busy={"a": 5.0, "b": 20.0})
+        assert report.as_dict() == {"a": 0.5, "b": 1.0}
+
+
+class TestScalarHelpers:
+    def test_weighted_mean(self):
+        assert weighted_mean([(1.0, 1.0), (3.0, 3.0)]) == 2.5
+
+    def test_weighted_mean_empty(self):
+        assert weighted_mean([]) == 0.0
+
+    def test_histogram_bins(self):
+        assert histogram([1, 2, 11], 10) == {0.0: 2, 10.0: 1}
+
+    def test_histogram_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            histogram([1], 0)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_summarize_empty(self):
+        assert summarize([])["count"] == 0

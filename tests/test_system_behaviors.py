@@ -1,0 +1,88 @@
+"""Behavioral sweeps of the multi-device system model (TP/PP surface)."""
+
+import pytest
+
+from repro.core.config import NeuPimsConfig
+from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.model.spec import GPT3_7B, GPT3_30B
+from repro.serving.trace import SHAREGPT, warmed_batch
+
+
+def batch(n, seed=0):
+    return warmed_batch(SHAREGPT, n, seed=seed)
+
+
+class TestScalingSurface:
+    def test_more_tp_devices_never_slower(self):
+        """At a fixed batch, growing TP monotonically improves throughput
+        (GEMMs shard and the channel pool grows)."""
+        values = []
+        for tp in (1, 2, 4, 8):
+            system = NeuPimsSystem(GPT3_7B, ParallelismScheme(tp, 1))
+            values.append(system.throughput_tokens_per_second(batch(256)))
+        for a, b in zip(values, values[1:]):
+            assert b >= a * 0.98
+
+    def test_pp_reduces_per_device_layers(self):
+        pp1 = NeuPimsSystem(GPT3_7B, ParallelismScheme(1, 1))
+        pp4 = NeuPimsSystem(GPT3_7B, ParallelismScheme(1, 4))
+        assert pp1.layers_per_stage == 32
+        assert pp4.layers_per_stage == 8
+
+    def test_pp_pitch_shorter_than_full_iteration(self):
+        system = NeuPimsSystem(GPT3_7B, ParallelismScheme(1, 4))
+        requests = batch(64)
+        assert system.pipeline_pitch(requests) < \
+            system.iteration_latency(requests)
+
+    def test_scaling_efficiency_decreases(self):
+        """Figure 14: throughput per device falls as the cluster grows
+        (per-device batch shrinks)."""
+        def per_device(tp, pp):
+            system = NeuPimsSystem(GPT3_7B, ParallelismScheme(tp, pp))
+            thpt = system.throughput_tokens_per_second(batch(256, seed=4))
+            return thpt / (tp * pp)
+        assert per_device(2, 1) <= per_device(1, 1) * 1.05
+        assert per_device(8, 2) < per_device(2, 1)
+
+    def test_communication_grows_with_tp(self):
+        small = NeuPimsSystem(GPT3_7B, ParallelismScheme(2, 1))
+        large = NeuPimsSystem(GPT3_7B, ParallelismScheme(8, 1))
+        assert large._allreduce_cycles(128) > small._allreduce_cycles(128)
+
+    def test_slow_interconnect_hurts_tp(self):
+        fast = NeuPimsSystem(GPT3_7B, ParallelismScheme(8, 1),
+                             interconnect_bandwidth=400e9)
+        slow = NeuPimsSystem(GPT3_7B, ParallelismScheme(8, 1),
+                             interconnect_bandwidth=10e9)
+        requests = batch(256, seed=5)
+        assert slow.iteration_latency(requests) > \
+            fast.iteration_latency(list(requests))
+
+
+class TestConfigPropagation:
+    def test_feature_flags_reach_the_device(self):
+        config = NeuPimsConfig.naive_npu_pim()
+        system = NeuPimsSystem(GPT3_30B, config=config)
+        assert not system.device.config.dual_row_buffer
+        assert not system.device.config.sub_batch_interleaving
+
+    def test_channel_pool_scales_with_tp(self):
+        system = NeuPimsSystem(GPT3_7B, ParallelismScheme(4, 1))
+        assert system.device.channel_pool == 4 * 32
+
+    def test_naive_system_slower_than_neupims_system(self):
+        requests = batch(256, seed=6)
+        neupims = NeuPimsSystem(GPT3_7B, ParallelismScheme(4, 1))
+        naive = NeuPimsSystem(GPT3_7B, ParallelismScheme(4, 1),
+                              config=NeuPimsConfig.naive_npu_pim())
+        t_n = neupims.throughput_tokens_per_second(requests)
+        t_naive = naive.throughput_tokens_per_second(batch(256, seed=6))
+        assert t_n > t_naive
+
+    def test_micro_batches_cover_all_requests(self):
+        system = NeuPimsSystem(GPT3_7B, ParallelismScheme(1, 3))
+        requests = batch(32, seed=7)
+        micro = system.micro_batches(requests)
+        flattened = [r.request_id for m in micro for r in m]
+        assert sorted(flattened) == sorted(r.request_id for r in requests)

@@ -1,0 +1,100 @@
+"""Property-based timing invariants of the command-level simulation.
+
+Hypothesis drives random command sequences through the channel model and
+checks the DRAM protocol invariants hold regardless of order: activates
+respect tFAW, column accesses respect tRCD/tCCD, busy intervals on the
+C/A bus never overlap, and controller drains always terminate with
+non-decreasing bus slots.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.channel import Channel
+from repro.dram.commands import Command, CommandType, ca_bus_cycles
+from repro.dram.controller import ControllerConfig, MemoryController
+
+
+def random_mem_program(bank_rows):
+    """Build a legal per-bank ACT/RD.../PRE program from draw data."""
+    commands = []
+    for bank, (row, read_count) in enumerate(bank_rows):
+        commands.append(Command(CommandType.ACT, bank=bank, row=row))
+        for _ in range(read_count):
+            commands.append(Command(CommandType.RD, bank=bank))
+        commands.append(Command(CommandType.PRE, bank=bank))
+    return commands
+
+
+bank_programs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1000),
+              st.integers(min_value=1, max_value=6)),
+    min_size=1, max_size=8)
+
+
+class TestChannelInvariants:
+    @given(programs=bank_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_tfaw_never_violated(self, programs):
+        channel = Channel(0)
+        for cmd in random_mem_program(programs):
+            channel.issue(cmd)
+        acts = sorted(r.issue_time for r in channel.issued
+                      if r.command.ctype is CommandType.ACT)
+        for i in range(len(acts) - 4):
+            window = acts[i + 4] - acts[i]
+            assert window >= channel.timing.tFAW - 1e-9
+
+    @given(programs=bank_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_trcd_between_act_and_read(self, programs):
+        channel = Channel(0)
+        for cmd in random_mem_program(programs):
+            channel.issue(cmd)
+        last_act = {}
+        for record in channel.issued:
+            if record.command.ctype is CommandType.ACT:
+                last_act[record.command.bank] = record.issue_time
+            elif record.command.ctype is CommandType.RD:
+                act = last_act[record.command.bank]
+                assert record.issue_time >= act + channel.timing.tRCD - 1e-9
+
+    @given(programs=bank_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_ca_bus_slots_never_overlap(self, programs):
+        channel = Channel(0)
+        for cmd in random_mem_program(programs):
+            channel.issue(cmd)
+        slots = sorted(
+            (r.issue_time, r.issue_time + ca_bus_cycles(r.command.ctype))
+            for r in channel.issued)
+        for (s1, e1), (s2, e2) in zip(slots, slots[1:]):
+            assert e1 <= s2 + 1e-9
+
+    @given(programs=bank_programs,
+           k=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=30, deadline=None)
+    def test_controller_drain_terminates_and_is_ordered(self, programs, k):
+        controller = MemoryController(Channel(0), ControllerConfig())
+        controller.enqueue_pim([
+            Command(CommandType.PIM_HEADER, k=k),
+            Command(CommandType.PIM_GWRITE, bank=0, row=5000),
+            Command(CommandType.PIM_GEMV, k=k),
+            Command(CommandType.PIM_PRECHARGE),
+        ])
+        controller.enqueue_mem(random_mem_program(programs))
+        records = controller.drain()
+        assert records
+        starts = [r.issue_time for r in records]
+        assert starts == sorted(starts)
+        assert controller.finish_time >= max(starts)
+
+    @given(programs=bank_programs)
+    @settings(max_examples=30, deadline=None)
+    def test_completion_never_before_issue(self, programs):
+        channel = Channel(0)
+        for cmd in random_mem_program(programs):
+            channel.issue(cmd)
+        for record in channel.issued:
+            assert record.complete_time >= record.issue_time
+            assert record.bus_release >= record.issue_time
