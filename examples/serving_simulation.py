@@ -35,9 +35,15 @@ def main() -> None:
                          layers_resident=device.layers)
         for _ in range(device.channel_pool)
     ]
+    # Live per-channel load tracking: admission bin-packing starts from
+    # the resident set's current loads (Algorithm 2's initial loads)
+    # instead of assuming idle channels — placements and serving numbers
+    # differ from the untracked wiring.
+    tracker = device.attach_load_tracker()
     scheduler = IterationScheduler(
         pool, device.executor(), max_batch_size=16,
-        allocators=allocators, assign_channels=device.assign_channels)
+        allocators=allocators, assign_channels=device.assign_channels,
+        load_tracker=tracker)
 
     # Peek at the pool table mid-run (Figure 7's request pool view).
     for _ in range(4):

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import (Any, Callable, Dict, Iterable, List, Mapping,
+                    Optional, Sequence)
 
 
 @dataclass(frozen=True)
@@ -58,7 +59,7 @@ class SweepResult:
 
 def run_sweep(axes: Iterable[SweepAxis],
               evaluate: Callable[..., Mapping[str, Any]],
-              skip: Callable[..., bool] = None  # type: ignore[assignment]
+              skip: Optional[Callable[..., bool]] = None
               ) -> SweepResult:
     """Evaluate ``evaluate(**point)`` over the cartesian product of axes.
 
@@ -86,7 +87,7 @@ def run_sweep(axes: Iterable[SweepAxis],
 
 
 def pareto_front(result: SweepResult, objectives: Sequence[str],
-                 maximize: Sequence[bool] = None  # type: ignore[assignment]
+                 maximize: Optional[Sequence[bool]] = None
                  ) -> List[Dict[str, Any]]:
     """Non-dominated records under the given objectives."""
     if maximize is None:

@@ -10,7 +10,7 @@ specification).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.compiler.ir import IrModule, IrOp, IrOpKind, TensorShape
 from repro.core.config import NeuPimsConfig
@@ -22,7 +22,7 @@ from repro.pim.gemv import GemvOp, composite_stream, fine_grained_stream
 
 
 def lower_model(spec: ModelSpec, seq_lens: Sequence[int], tp: int = 1,
-                num_layers: int = None  # type: ignore[assignment]
+                num_layers: Optional[int] = None
                 ) -> IrModule:
     """Front-end: build the generation-phase IR for one batch."""
     if not seq_lens:
@@ -123,8 +123,8 @@ class DeviceBinary:
         return max(per_array)
 
 
-def emit_binary(module: IrModule, config: NeuPimsConfig = None,  # type: ignore[assignment]
-                systolic: SystolicConfig = None  # type: ignore[assignment]
+def emit_binary(module: IrModule, config: Optional[NeuPimsConfig] = None,
+                systolic: Optional[SystolicConfig] = None
                 ) -> DeviceBinary:
     """Backend: tile GEMMs onto the arrays and encode GEMVs as PIM commands."""
     config = config or NeuPimsConfig()

@@ -1,6 +1,7 @@
 """NeuPIMs core: configuration, algorithms 1-3, device and system models."""
 
 from repro.core.binpack import (
+    ChannelLoadTracker,
     channel_loads,
     greedy_min_load_assign,
     load_imbalance,
@@ -29,6 +30,7 @@ from repro.core.prefill import EndToEndResult, StandaloneNpu, end_to_end_request
 from repro.core.cluster import NeuPimsCluster, RoutingPolicy
 
 __all__ = [
+    "ChannelLoadTracker",
     "channel_loads",
     "greedy_min_load_assign",
     "load_imbalance",

@@ -17,6 +17,7 @@ it is enabled together with DRB in the paper's NeuPIMs configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.dram.timing import HbmOrganization, PimTiming, TimingParams
 from repro.npu.chip import NpuConfig
@@ -77,10 +78,10 @@ class NeuPimsConfig:
         return cls(dual_row_buffer=False, composite_isa=False,
                    greedy_binpack=False, sub_batch_interleaving=False)
 
-    def with_features(self, *, dual_row_buffer: bool = None,  # type: ignore[assignment]
-                      composite_isa: bool = None,  # type: ignore[assignment]
-                      greedy_binpack: bool = None,  # type: ignore[assignment]
-                      sub_batch_interleaving: bool = None,  # type: ignore[assignment]
+    def with_features(self, *, dual_row_buffer: Optional[bool] = None,
+                      composite_isa: Optional[bool] = None,
+                      greedy_binpack: Optional[bool] = None,
+                      sub_batch_interleaving: Optional[bool] = None,
                       ) -> "NeuPimsConfig":
         """Return a copy with the given feature flags overridden."""
         updates = {}

@@ -30,9 +30,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.binpack import greedy_min_load_assign, round_robin_assign
+from repro.core.binpack import (ChannelLoadTracker, greedy_min_load_assign,
+                                round_robin_assign)
 from repro.core.config import NeuPimsConfig
 from repro.core.estimator import MhaLatencyEstimator, analytic_latencies
+from repro.perf.calibration import memoized_estimator
 from repro.core.partition import partition_batch
 from repro.model.layers import ffn_gemms, projection_gemm, qkv_generation_gemm
 from repro.model.spec import ModelSpec
@@ -144,12 +146,25 @@ class NeuPimsDevice:
             raise ValueError("channel_pool must be positive")
         self.npu = NpuChip(self.config.npu, self.config.org,
                            self.config.bandwidth_derate)
-        self.estimator = estimator or MhaLatencyEstimator(
+        # Algorithm-1 estimates are pure per seq_len; the memo makes the
+        # per-iteration MHA loads and admission bin packing O(1) lookups.
+        self.estimator = memoized_estimator(estimator or MhaLatencyEstimator(
             spec=spec, org=self.config.org,
             latencies=analytic_latencies(self.config.timing, self.config.org,
                                          self.config.pim_timing),
-        )
+        ))
+        #: Optional live per-channel load tracker (see
+        #: :class:`~repro.core.binpack.ChannelLoadTracker`); when attached,
+        #: admission-time bin packing starts from its loads instead of
+        #: assuming idle channels.
+        self.load_tracker: Optional[ChannelLoadTracker] = None
         self._rr_cursor = 0
+
+    def attach_load_tracker(self) -> ChannelLoadTracker:
+        """Create and attach a load tracker over this device's channels."""
+        self.load_tracker = ChannelLoadTracker(self.estimator,
+                                               self.channel_pool)
+        return self.load_tracker
 
     # ------------------------------------------------------------------
     # Channel assignment (Algorithm 2 or round robin).
@@ -159,8 +174,12 @@ class NeuPimsDevice:
                         existing: Sequence[InferenceRequest] = ()) -> None:
         """Place unassigned requests onto PIM channels per the config."""
         if self.config.greedy_binpack:
+            initial = (self.load_tracker.loads
+                       if self.load_tracker is not None and not existing
+                       else None)
             greedy_min_load_assign(new_requests, self.estimator,
-                                   self.channel_pool, existing)
+                                   self.channel_pool, existing,
+                                   initial_loads=initial)
         else:
             round_robin_assign(new_requests, self.channel_pool,
                                start=self._rr_cursor)

@@ -11,7 +11,8 @@ from repro.dram.commands import (
     buffer_target,
     ca_bus_cycles,
 )
-from repro.dram.controller import ControllerConfig, MemoryController
+from repro.dram.controller import (ControllerConfig, MemoryController,
+                                   ReplaySummary)
 from repro.dram.power import PowerModel, PowerParams, PowerReport
 from repro.dram.timing import (
     DEFAULT_ORGANIZATION,
@@ -39,6 +40,7 @@ __all__ = [
     "ca_bus_cycles",
     "ControllerConfig",
     "MemoryController",
+    "ReplaySummary",
     "PowerModel",
     "PowerParams",
     "PowerReport",

@@ -201,6 +201,55 @@ class Bank:
         """Whether blocked-mode PIM activity stalls MEM commands at ``time``."""
         return (not self.dual_row_buffer) and time < self.pim_busy_until
 
+    # ------------------------------------------------------------------
+    # Batch replay (fast path) support.
+    # ------------------------------------------------------------------
+
+    def state_key(self, base: float, horizon: float) -> tuple:
+        """Translation-invariant digest of the bank state relative to ``base``.
+
+        ``horizon`` is the channel's C/A frontier: no future command can
+        take effect before it, and every issue path max-combines these
+        timestamps with it.  Timestamps already dead by ``horizon`` (minus
+        the constraint they feed) are therefore clamped to their floor, so
+        long-stale history (an activate from thousands of cycles ago) does
+        not keep otherwise-identical states from matching.  Clamping is
+        sound for dual-row-buffer banks only — blocked mode compares
+        ``pim_busy_until`` against pre-frontier candidate times — so single
+        -buffer banks digest raw values.
+        """
+        if not self.dual_row_buffer:
+            parts = [self.pim_busy_until - base, self._last_act_any - base]
+            for buf in self._buffers.values():
+                parts.append(buf.open_row)
+                parts.append(buf.act_time - base)
+                parts.append(buf.pre_allowed_at - base)
+                parts.append(buf.act_allowed_at - base)
+                parts.append(buf.last_col_time - base)
+            return tuple(parts)
+        timing = self.timing
+        parts = [
+            self.pim_busy_until - base,
+            max(self._last_act_any, horizon - timing.tRRD_L) - base,
+        ]
+        for buf in self._buffers.values():
+            parts.append(buf.open_row)
+            parts.append(max(buf.act_time, horizon - timing.tRCD) - base)
+            parts.append(max(buf.pre_allowed_at, horizon) - base)
+            parts.append(max(buf.act_allowed_at, horizon) - base)
+            parts.append(max(buf.last_col_time, horizon - timing.tCCD_L) - base)
+        return tuple(parts)
+
+    def time_shift(self, dt: float) -> None:
+        """Advance every stored absolute time by ``dt`` cycles."""
+        self.pim_busy_until += dt
+        self._last_act_any += dt
+        for buf in self._buffers.values():
+            buf.act_time += dt
+            buf.pre_allowed_at += dt
+            buf.act_allowed_at += dt
+            buf.last_col_time += dt
+
 
 def command_targets_bank(ctype: CommandType) -> bool:
     """Whether a command type addresses an individual bank."""

@@ -26,6 +26,9 @@ from repro.dram.commands import BufferTarget, Command, CommandType, ca_bus_cycle
 from repro.dram.timing import HbmOrganization, PimTiming, TimingParams
 from repro.sim.stats import StatsRegistry
 
+#: Per-command-type stat counter names, precomputed off the issue path.
+_STAT_NAMES = {ctype: f"cmd.{ctype.value}" for ctype in CommandType}
+
 
 @dataclass
 class IssueRecord:
@@ -56,9 +59,9 @@ class Channel:
     def __init__(
         self,
         index: int,
-        timing: TimingParams = None,  # type: ignore[assignment]
-        org: HbmOrganization = None,  # type: ignore[assignment]
-        pim_timing: PimTiming = None,  # type: ignore[assignment]
+        timing: Optional[TimingParams] = None,
+        org: Optional[HbmOrganization] = None,
+        pim_timing: Optional[PimTiming] = None,
         dual_row_buffer: bool = True,
         stats: Optional[StatsRegistry] = None,
     ) -> None:
@@ -82,6 +85,20 @@ class Channel:
         #: row currently staged in the global vector buffer (None = empty)
         self.global_vector_row: Optional[Tuple[int, int]] = None
         self._issued: List[IssueRecord] = []
+        self._handlers = {
+            CommandType.ACT: self._issue_act,
+            CommandType.PRE: self._issue_pre,
+            CommandType.RD: self._issue_rdwr,
+            CommandType.WR: self._issue_rdwr,
+            CommandType.REF: self._issue_ref,
+            CommandType.PIM_GWRITE: self._issue_gwrite,
+            CommandType.PIM_ACTIVATION: self._issue_pim_act,
+            CommandType.PIM_DOTPRODUCT: self._issue_dotprod,
+            CommandType.PIM_RDRESULT: self._issue_rdresult,
+            CommandType.PIM_HEADER: self._issue_header,
+            CommandType.PIM_GEMV: self._issue_gemv,
+            CommandType.PIM_PRECHARGE: self._issue_pim_pre,
+        }
 
     # ------------------------------------------------------------------
     # Bus bookkeeping.
@@ -108,16 +125,44 @@ class Channel:
         self._ca_busy_cycles += cycles
         return start
 
+    #: Pruning slack for the data-bus interval list.  Every future booking
+    #: starts no earlier than the booking command's C/A slot, which is at
+    #: most ``max(ca_bus_cycles)`` (4) cycles behind the C/A frontier, so
+    #: intervals ending 8+ cycles before the frontier can never influence a
+    #: first-fit search again.
+    _DATA_PRUNE_SLACK = 8.0
+
     def _book_data(self, earliest: float, duration: float) -> float:
-        """First-fit booking on the shared data bus; returns burst start."""
+        """First-fit booking on the shared data bus; returns burst start.
+
+        The interval list is kept compact: intervals behind the pruning
+        watermark are dropped and back-to-back bursts merge (a zero-width
+        gap can never admit a booking), so long RD/WR runs stay O(1) per
+        booking instead of growing the list per command.
+        """
+        busy = self._data_busy
+        watermark = self._ca_free_at - self._DATA_PRUNE_SLACK
+        while busy and busy[0][1] <= watermark:
+            busy.pop(0)
+        if busy and busy[0][0] < watermark:
+            # Truncate the head interval to the watermark: bookings can
+            # never start before it, and a watermark-relative head is what
+            # keeps long merged bursts translation-periodic for replay.
+            busy[0] = (watermark, busy[0][1])
         start = earliest
-        for busy_start, busy_end in self._data_busy:
+        for busy_start, busy_end in busy:
             if start + duration <= busy_start:
                 break
             if start < busy_end:
                 start = busy_end
-        self._data_busy.append((start, start + duration))
-        self._data_busy.sort()
+        end = start + duration
+        for i, (busy_start, busy_end) in enumerate(busy):
+            if busy_end == start:
+                busy[i] = (busy_start, end)
+                busy.sort()
+                return start
+        busy.append((start, end))
+        busy.sort()
         return start
 
     def _respect_faw(self, t: float, activations: int) -> float:
@@ -147,23 +192,9 @@ class Channel:
         command's effect finishes (data burst end for RD/WR, accumulate end
         for DOTPRODUCT, full GEMV end for PIM_GEMV, ...).
         """
-        handler = {
-            CommandType.ACT: self._issue_act,
-            CommandType.PRE: self._issue_pre,
-            CommandType.RD: self._issue_rdwr,
-            CommandType.WR: self._issue_rdwr,
-            CommandType.REF: self._issue_ref,
-            CommandType.PIM_GWRITE: self._issue_gwrite,
-            CommandType.PIM_ACTIVATION: self._issue_pim_act,
-            CommandType.PIM_DOTPRODUCT: self._issue_dotprod,
-            CommandType.PIM_RDRESULT: self._issue_rdresult,
-            CommandType.PIM_HEADER: self._issue_header,
-            CommandType.PIM_GEMV: self._issue_gemv,
-            CommandType.PIM_PRECHARGE: self._issue_pim_pre,
-        }[cmd.ctype]
-        record = handler(cmd, earliest)
+        record = self._handlers[cmd.ctype](cmd, earliest)
         self._issued.append(record)
-        self.stats.add(f"cmd.{cmd.ctype.value}")
+        self.stats.add(_STAT_NAMES[cmd.ctype])
         return record
 
     @property
@@ -342,6 +373,62 @@ class Channel:
                 bank.begin_pim_hold(end)
         self.stats.add("pim.gemv_waves", cmd.k)
         return IssueRecord(cmd, start, self._ca_free_at, end)
+
+    # ------------------------------------------------------------------
+    # Batch replay (fast path) support.
+    # ------------------------------------------------------------------
+
+    def state_key(self, base: float) -> tuple:
+        """Translation-invariant digest of the channel's timing state.
+
+        All absolute times are expressed relative to ``base``; two channel
+        states whose keys are equal behave identically going forward, up to
+        the time shift between them.  This is what the controller's
+        :meth:`~repro.dram.controller.MemoryController.drain_fast` uses to
+        recognize periodic command runs.
+        """
+        horizon = self._ca_free_at
+        # tFAW entries older than horizon - tFAW can never block again
+        # (every window check happens at or after the C/A frontier).
+        faw_floor = horizon - self.timing.tFAW
+        parts = [
+            horizon - base,
+            tuple(t - base for t in self._act_window if t > faw_floor),
+            tuple((s - base, e - base) for s, e in self._data_busy),
+            self.global_vector_row,
+        ]
+        for bank in self.banks:
+            parts.append(bank.state_key(base, horizon))
+        return tuple(parts)
+
+    def time_shift(self, dt: float) -> None:
+        """Advance every stored absolute time by ``dt`` cycles."""
+        self._ca_free_at += dt
+        self._act_window = deque(t + dt for t in self._act_window)
+        self._data_busy = [(s + dt, e + dt) for s, e in self._data_busy]
+        for bank in self.banks:
+            bank.time_shift(dt)
+
+    def issue_run(self, reps: int, period: float,
+                  ca_busy_per_rep: float = 0.0,
+                  stat_deltas: Optional[dict] = None) -> None:
+        """Arithmetically replay ``reps`` repetitions of a verified run.
+
+        Instead of issuing each command of a homogeneous run (a GEMV wave,
+        a GWRITE burst, an RD/WR burst, ...), advance all clocks, the tFAW
+        window, the data-bus bookings and the busy/stat counters by the
+        run's measured per-repetition ``period`` and stat deltas.  Callers
+        (``drain_fast``) are responsible for having verified — via
+        :meth:`state_key` equality — that the channel state is periodic.
+        """
+        if reps <= 0:
+            return
+        dt = reps * period
+        self.time_shift(dt)
+        self._ca_busy_cycles += reps * ca_busy_per_rep
+        if stat_deltas:
+            for name, amount in stat_deltas.items():
+                self.stats.add(name, amount * reps)
 
     def _issue_pim_pre(self, cmd: Command, earliest: float) -> IssueRecord:
         """Precharge PIM row buffers (all banks or one)."""

@@ -19,12 +19,44 @@ removes.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.dram.channel import Channel, IssueRecord
-from repro.dram.commands import Command, CommandType
+from repro.dram.commands import BufferTarget, Command, CommandType
 from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class ReplaySummary:
+    """Accounting of a :meth:`MemoryController.drain_fast` invocation.
+
+    ``stepped`` commands went through the ordinary per-command
+    :meth:`MemoryController.step` path; ``replayed`` commands were advanced
+    arithmetically as part of ``runs`` verified periodic runs.
+    """
+
+    stepped: int = 0
+    replayed: int = 0
+    runs: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.stepped + self.replayed
+
+
+@dataclass
+class _RunBoundary:
+    """Bookkeeping for one observed state during the run hunt."""
+
+    pops: int                    #: queue commands popped when observed
+    clock: float                 #: controller clock when observed
+    records_len: int             #: issue records accumulated when observed
+    ca_busy: float               #: channel C/A busy cycles when observed
+    refresh_rel: Optional[float]  #: deadline minus clock (None = disabled)
+    next_refresh: float          #: absolute refresh deadline when observed
+    counters: Tuple[Dict[str, float], ...] = field(default_factory=tuple)
 
 
 @dataclass
@@ -79,6 +111,11 @@ class MemoryController:
         #: rows opened by regular ACTs (bank -> row), also replayed after
         #: a refresh so queued column commands find their rows open.
         self._open_mem_rows: dict = {}
+        #: completion frontier contributed by arithmetically replayed runs
+        #: (their per-command records are not materialized).
+        self._replay_finish = 0.0
+        #: accounting of the most recent :meth:`drain_fast` call.
+        self.replay = ReplaySummary()
 
     # ------------------------------------------------------------------
 
@@ -234,7 +271,267 @@ class MemoryController:
             pass
         return self.records
 
+    # ------------------------------------------------------------------
+    # Batch-replay fast path.
+    # ------------------------------------------------------------------
+
+    def drain_fast(self, hunt_budget: int = 128) -> List[IssueRecord]:
+        """Drain like :meth:`drain`, replaying periodic runs arithmetically.
+
+        The command-level simulation is time-translation invariant: every
+        timing rule depends only on time *differences* (the refresh deadline
+        is folded in as a clock-relative offset).  So while draining, the
+        controller digests its full timing state — clocks, per-bank row
+        buffers, the tFAW window, data-bus bookings, refresh deadline — into
+        a translation-invariant key before each command.  When a key recurs,
+        the commands issued between the two occurrences form one period of a
+        homogeneous run (a fine-grained GEMV wave train, a GWRITE or RD/WR
+        burst, a multi-request composite stream — including any refreshes
+        the period contains), and every remaining structurally identical
+        repetition still in the queue is replayed in one arithmetic step via
+        :meth:`~repro.dram.channel.Channel.issue_run`.
+
+        Equivalence with :meth:`drain`: finish time, refresh counts, C/A
+        busy cycles and all per-command-type stats are bit-identical.  Only
+        the per-command :class:`IssueRecord` list is abridged — replayed
+        commands do not materialize records (that is where the speedup
+        comes from); :attr:`replay` reports how many were skipped.
+
+        ``hunt_budget`` bounds how many state digests may be taken without
+        a successful replay before the hunt is abandoned, so aperiodic
+        streams (e.g. RD runs that outpace the data bus and grow a booked-
+        burst backlog) degrade to near-:meth:`drain` cost.
+        """
+        self.replay = ReplaySummary()
+        history: Dict[tuple, _RunBoundary] = {}
+        log: List[Command] = []
+        hunting = hunt_budget > 0
+        observations = 0
+        # State digests are only taken when the queue head matches an
+        # anchor signature (re-picked after enough misses), so steady runs
+        # pay one digest per period instead of one per command.
+        anchor: Optional[tuple] = None
+        misses = 0
+        while True:
+            if hunting:
+                queue = self._single_queue()
+                # Positions with a fine-grained wave in flight cannot be
+                # replay boundaries (the pending activates would go stale),
+                # so they neither observe nor count toward re-anchoring.
+                if (queue is not None and len(queue) >= 2
+                        and not self._open_pim_acts):
+                    head = queue[0]
+                    sig = (head.ctype, head.bank, head.banks, head.k)
+                    if anchor is None or misses > self._REANCHOR_AFTER:
+                        anchor = sig
+                        misses = 0
+                    if sig == anchor:
+                        misses = 0
+                        observations += 1
+                        if self._observe_boundary(queue, history, log):
+                            history.clear()
+                            log.clear()
+                            anchor = None
+                            observations = 0
+                            continue
+                    else:
+                        misses += 1
+                if observations >= hunt_budget or len(log) >= self._LOG_CAP:
+                    hunting = False
+                    history.clear()
+                    log.clear()
+            record = self.step()
+            if record is None:
+                return self.records
+            self.replay.stepped += 1
+            if hunting:
+                log.append(record.command)
+
+    #: Consecutive anchor misses (at eligible boundaries) tolerated before
+    #: the hunt re-anchors on the current queue head (covers prefixes like
+    #: a GWRITE burst ahead of a wave train).
+    _REANCHOR_AFTER = 4
+
+    #: Hard cap on the popped-command log retained while hunting.
+    _LOG_CAP = 1 << 16
+
+    def _single_queue(self) -> Optional[Deque[Command]]:
+        """The active queue when exactly one has pending commands."""
+        if self.pim_queue and not self.mem_queue:
+            return self.pim_queue
+        if self.mem_queue and not self.pim_queue:
+            return self.mem_queue
+        return None
+
+    def _state_key(self, pim_run: bool) -> tuple:
+        """Translation-invariant digest of the controller state.
+
+        The refresh deadline is deliberately *not* part of the key: two
+        states that match on this key behave identically as long as no
+        refresh fires, which is what the bounded (deadline-limited) skip
+        exploits.  The deadline offset is kept separately per boundary and
+        compared on a hit — equal offsets upgrade the match to an exact
+        recurrence (refreshes are then part of the period and the skip is
+        unbounded).
+        """
+        base = self._clock
+        return (
+            pim_run,
+            # A frontier behind the C/A frontier is dead: every PIM issue
+            # path max-combines the two, so clamp for the digest.
+            max(self._pim_frontier, self.channel.ca_free_at) - base,
+            self._pending_gemv_cycles,
+            tuple((c.ctype, c.bank, c.banks, c.k)
+                  for c in self._open_pim_acts),
+            tuple(sorted(self._open_mem_rows.items())),
+            self.channel.state_key(base),
+        )
+
+    def _stat_registries(self) -> List[StatsRegistry]:
+        registries = [self.stats]
+        if self.channel.stats is not self.stats:
+            registries.append(self.channel.stats)
+        return registries
+
+    def _observe_boundary(self, queue: Deque[Command],
+                          history: Dict[tuple, _RunBoundary],
+                          log: List[Command]) -> bool:
+        """Snapshot the state before a pop; replay a run when it recurs.
+
+        Returns ``True`` when a run was replayed (the caller restarts the
+        hunt with fresh history), ``False`` to proceed with a normal step.
+        """
+        key = self._state_key(queue is self.pim_queue)
+        refresh_rel = (self._next_refresh - self._clock
+                       if self.config.refresh_enabled else None)
+        boundary = _RunBoundary(
+            pops=len(log), clock=self._clock, records_len=len(self.records),
+            ca_busy=self.channel.ca_busy_cycles,
+            refresh_rel=refresh_rel, next_refresh=self._next_refresh,
+            counters=tuple(r.as_dict() for r in self._stat_registries()),
+        )
+        previous = history.get(key)
+        if previous is None:
+            history[key] = boundary
+            return False
+        period = self._clock - previous.clock
+        block = log[previous.pops:]
+        if (period <= 0 or not block or self._open_pim_acts
+                or not self._replay_hazard_free(queue is self.pim_queue)):
+            history[key] = boundary
+            return False
+        reps = self._count_matching_reps(queue, block)
+        if reps > 0:
+            if previous.refresh_rel == refresh_rel:
+                # Exact recurrence: any refreshes are part of the period,
+                # so the deadline shifts along with the clocks.
+                self._apply_run(queue, len(block), reps, period,
+                                previous, boundary, shift_refresh=True)
+                return True
+            if previous.next_refresh == self._next_refresh:
+                # Deadline-agnostic recurrence (no refresh fired during the
+                # probe): skip only repetitions that provably finish every
+                # refresh-sensitive check before the (unmoved) deadline.
+                reps = min(reps, self._deadline_limited_reps(period, block))
+                if reps > 0:
+                    self._apply_run(queue, len(block), reps, period,
+                                    previous, boundary, shift_refresh=False)
+                    return True
+        history[key] = boundary
+        return False
+
+    def _deadline_limited_reps(self, period: float,
+                               block: List[Command]) -> int:
+        """Repetitions that stay clear of the refresh deadline.
+
+        Every refresh-sensitive comparison inside a skipped repetition
+        ``j`` involves a time below ``clock + (j+1)*period + pending``,
+        where ``pending`` bounds the announced-GEMV hoist and interrupt
+        look-ahead; requiring that to stay below the deadline is (slightly
+        conservatively) safe, and the crossing repetition is then stepped
+        through the ordinary slow path.
+        """
+        pending = self._pending_gemv_cycles
+        for cmd in block:
+            if cmd.ctype in (CommandType.PIM_HEADER, CommandType.PIM_GEMV):
+                pending = max(pending, self._estimate_duration(
+                    Command(CommandType.PIM_GEMV, k=max(1, cmd.k))))
+        headroom = self._next_refresh - self._clock - pending
+        reps = int(headroom // period)
+        while reps > 0 and self._clock + reps * period + pending >= self._next_refresh:
+            reps -= 1
+        return reps
+
+    def _replay_hazard_free(self, pim_run: bool) -> bool:
+        """Row values of replayed commands may differ across repetitions
+        (timing is row-independent), so forbid replay while the *opposite*
+        row buffers hold rows a replayed activate could collide with."""
+        if not self.channel.dual_row_buffer:
+            return True
+        other = BufferTarget.MEM if pim_run else BufferTarget.PIM
+        return all(bank.open_row(other) is None
+                   for bank in self.channel.banks)
+
+    @staticmethod
+    def _count_matching_reps(queue: Deque[Command],
+                             block: List[Command]) -> int:
+        """Full repetitions of ``block`` at the head of ``queue``.
+
+        Commands match structurally — row and meta are timing-irrelevant
+        (rows cycle per wave, tags vary per request) and are excluded.
+        """
+        length = len(block)
+        full = len(queue) // length
+        for index, cmd in enumerate(islice(queue, full * length)):
+            ref = block[index % length]
+            if (cmd.ctype is not ref.ctype or cmd.bank != ref.bank
+                    or cmd.banks != ref.banks or cmd.k != ref.k):
+                return index // length
+        return full
+
+    def _apply_run(self, queue: Deque[Command], length: int, reps: int,
+                   period: float, previous: _RunBoundary,
+                   current: _RunBoundary, shift_refresh: bool) -> None:
+        """Advance state over ``reps`` repetitions in one arithmetic step."""
+        shift = reps * period
+        # Per-repetition stat deltas, measured over the probe repetition.
+        registries = self._stat_registries()
+        channel_registry = self.channel.stats
+        channel_deltas: Dict[str, float] = {}
+        for registry, snapshot in zip(registries, previous.counters):
+            deltas = {
+                name: value - snapshot.get(name, 0.0)
+                for name, value in registry.as_dict().items()
+                if value != snapshot.get(name, 0.0)
+            }
+            if registry is channel_registry:
+                channel_deltas = deltas
+            else:
+                for name, delta in deltas.items():
+                    registry.add(name, delta * reps)
+        self.channel.issue_run(
+            reps, period,
+            ca_busy_per_rep=current.ca_busy - previous.ca_busy,
+            stat_deltas=channel_deltas,
+        )
+        # Completion frontier of the probe repetition, shifted to the last
+        # replayed repetition (replayed commands materialize no records).
+        probe_finish = max(
+            (r.complete_time for r in self.records[previous.records_len:]),
+            default=self._clock,
+        )
+        self._replay_finish = max(self._replay_finish, probe_finish + shift)
+        self._clock += shift
+        self._pim_frontier += shift
+        if shift_refresh:
+            self._next_refresh += shift
+        for _ in range(reps * length):
+            queue.popleft()
+        self.replay.replayed += reps * length
+        self.replay.runs += 1
+
     @property
     def finish_time(self) -> float:
         """Completion time of the last finished command."""
-        return max((r.complete_time for r in self.records), default=0.0)
+        recorded = max((r.complete_time for r in self.records), default=0.0)
+        return max(recorded, self._replay_finish)

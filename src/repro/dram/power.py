@@ -16,7 +16,7 @@ energy over elapsed time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.dram.channel import IssueRecord
 from repro.dram.commands import CommandType
@@ -89,7 +89,7 @@ class PowerModel:
         Scale factor for all-bank PIM compute energy.
     """
 
-    def __init__(self, params: PowerParams = None,  # type: ignore[assignment]
+    def __init__(self, params: Optional[PowerParams] = None,
                  dual_row_buffer: bool = False,
                  banks_per_channel: int = 32) -> None:
         self.params = params or PowerParams()
@@ -130,7 +130,7 @@ class PowerModel:
         raise ValueError(f"unknown command type {ctype}")
 
     def report(self, records: Iterable[IssueRecord],
-               elapsed_cycles: float = None  # type: ignore[assignment]
+               elapsed_cycles: Optional[float] = None
                ) -> PowerReport:
         """Summarize energy/power over the given records.
 

@@ -10,7 +10,7 @@ schedulers can query ready sets instead of hard-coding stage orders.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.model.layers import Operator, decoder_block_operators
 from repro.model.spec import ModelSpec
@@ -83,7 +83,7 @@ class OperatorGraph:
 def build_decoder_graph(
     spec: ModelSpec,
     seq_lens: Sequence[int],
-    num_layers: int = None,  # type: ignore[assignment]
+    num_layers: Optional[int] = None,
     tp: int = 1,
     phase: str = "generation",
 ) -> OperatorGraph:

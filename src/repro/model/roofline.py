@@ -10,7 +10,7 @@ compute-bound.  This module reproduces those coordinates analytically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.model.layers import (
     OpKind,
@@ -90,7 +90,7 @@ def roofline_points(
     batch_size: int,
     avg_seq_len: int,
     device: DeviceRoofline = A100_ROOFLINE,
-    prompt_len: int = None,  # type: ignore[assignment]
+    prompt_len: Optional[int] = None,
 ) -> List[RooflinePoint]:
     """Compute Figure-4-style roofline points for one model.
 

@@ -1,0 +1,33 @@
+"""Cross-layer performance subsystem: memoization and interning.
+
+Three caches back the serving-scale fast paths (see DESIGN.md):
+
+* :mod:`repro.perf.streams` interns GEMV command streams per
+  ``(shape, organization, encoding, dtype)``;
+* :mod:`repro.perf.calibration` caches command-level calibration per
+  hardware configuration and memoizes Algorithm-1 estimates per sequence
+  length;
+* :mod:`repro.perf.cache` is the shared keyed-cache registry with
+  uniform invalidation and hit/miss accounting.
+"""
+
+from repro.perf.cache import KeyedCache, cache, cache_info, invalidate
+from repro.perf.calibration import (CALIBRATION_CACHE, ESTIMATE_CACHE,
+                                    MemoizedEstimator, cached_calibrate,
+                                    memoized_estimator)
+from repro.perf.streams import STREAM_CACHE, gemv_stream, interned_stream
+
+__all__ = [
+    "KeyedCache",
+    "cache",
+    "cache_info",
+    "invalidate",
+    "CALIBRATION_CACHE",
+    "ESTIMATE_CACHE",
+    "MemoizedEstimator",
+    "cached_calibrate",
+    "memoized_estimator",
+    "STREAM_CACHE",
+    "gemv_stream",
+    "interned_stream",
+]

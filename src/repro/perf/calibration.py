@@ -1,0 +1,104 @@
+"""Cached hardware calibration and memoized Algorithm-1 estimates.
+
+:func:`repro.pim.engine.calibrate` replays command-level GEMVs to measure
+``L_tile`` / ``L_GWRITE`` — worth doing once per hardware configuration,
+not once per caller.  Likewise the Algorithm-1 estimator is a pure
+function of ``(spec, org, latencies, seq_len)``; the serving loop asks for
+the same sequence lengths thousands of times per run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.estimator import MhaLatencyEstimator
+from repro.dram.timing import (DEFAULT_ORGANIZATION, DEFAULT_PIM_TIMING,
+                               DEFAULT_TIMING, HbmOrganization, PimTiming,
+                               TimingParams)
+from repro.perf.cache import cache
+from repro.pim.engine import CalibratedLatencies, calibrate
+
+#: Registry names for the two memo tables.
+CALIBRATION_CACHE = "pim_calibration"
+ESTIMATE_CACHE = "mha_estimates"
+
+
+def cached_calibrate(timing: Optional[TimingParams] = None,
+                     org: Optional[HbmOrganization] = None,
+                     pim_timing: Optional[PimTiming] = None,
+                     dtype_bytes: int = 2) -> CalibratedLatencies:
+    """Command-level calibration, memoized per hardware configuration."""
+    timing = timing or DEFAULT_TIMING
+    org = org or DEFAULT_ORGANIZATION
+    pim_timing = pim_timing or DEFAULT_PIM_TIMING
+    table = cache(CALIBRATION_CACHE)
+    key = (timing, org, pim_timing, dtype_bytes)
+    return table.get_or_compute(
+        key, lambda: calibrate(timing, org, pim_timing, dtype_bytes))
+
+
+class MemoizedEstimator:
+    """Wraps an :class:`MhaLatencyEstimator` with a per-seq-len memo.
+
+    Exposes the same interface (``spec`` / ``org`` / ``latencies`` and the
+    latency methods), so it drops into the bin packer, the device model and
+    the scheduler unchanged.  Entries live in the shared ``mha_estimates``
+    registry cache keyed by the estimator's frozen inputs plus the
+    sequence length, so two estimators over equal configurations share
+    entries and :func:`repro.perf.cache.invalidate` clears them all.
+    """
+
+    __slots__ = ("inner", "_table", "_base_key")
+
+    def __init__(self, inner: MhaLatencyEstimator) -> None:
+        # Unwrap to keep double memoization from stacking.
+        if isinstance(inner, MemoizedEstimator):
+            inner = inner.inner
+        self.inner = inner
+        self._table = cache(ESTIMATE_CACHE, max_entries=1 << 16)
+        # The estimator type is part of the key: a subclass overriding
+        # estimate() must not share entries with the base implementation
+        # even when the frozen inputs are equal.
+        self._base_key = (type(inner), inner.spec, inner.org,
+                          inner.latencies)
+
+    @property
+    def spec(self):
+        """The wrapped estimator's model spec."""
+        return self.inner.spec
+
+    @property
+    def org(self):
+        """The wrapped estimator's HBM organization."""
+        return self.inner.org
+
+    @property
+    def latencies(self):
+        """The wrapped estimator's calibrated latencies."""
+        return self.inner.latencies
+
+    def logit_latency(self, seq_len: int) -> float:
+        """Uncached pass-through of the logit GEMV latency."""
+        return self.inner.logit_latency(seq_len)
+
+    def attend_latency(self, seq_len: int) -> float:
+        """Uncached pass-through of the attend GEMV latency."""
+        return self.inner.attend_latency(seq_len)
+
+    def estimate(self, seq_len: int) -> float:
+        """Memoized total MHA latency for one request (Algorithm 1)."""
+        return self._table.get_or_compute(
+            (self._base_key, seq_len),
+            lambda: self.inner.estimate(seq_len))
+
+    def estimate_batch(self, seq_lens: Iterable[int]) -> float:
+        """Sum of memoized estimates (Algorithm 2's load metric)."""
+        estimate = self.estimate
+        return sum(estimate(s) for s in seq_lens)
+
+
+def memoized_estimator(estimator: MhaLatencyEstimator) -> MemoizedEstimator:
+    """Memoize ``estimator`` (idempotent — re-wrapping is a no-op)."""
+    if isinstance(estimator, MemoizedEstimator):
+        return estimator
+    return MemoizedEstimator(estimator)

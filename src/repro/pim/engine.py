@@ -62,18 +62,28 @@ def measure_gemv_latency(
     pim_timing: Optional[PimTiming] = None,
     dtype_bytes: int = 2,
     refresh: bool = True,
+    fast: bool = False,
 ) -> Tuple[float, MemoryController]:
     """Simulate one GEMV and return (latency_cycles, controller).
 
     The controller is returned so callers can inspect issue records,
     command counts and C/A-bus occupancy (Figure 9 does exactly this).
+    ``fast=True`` drains through the batch-replay path
+    (:meth:`~repro.dram.controller.MemoryController.drain_fast`): finish
+    time and stats are identical, but per-command records are abridged —
+    use it when only the latency or aggregate stats matter.
     """
+    from repro.perf.streams import interned_stream
+
     controller = _fresh_controller(dual_row_buffer, composite,
                                    timing, org, pim_timing, refresh)
     org = controller.channel.org
-    stream_builder = composite_stream if composite else fine_grained_stream
-    controller.enqueue_pim(stream_builder(op, org, dtype_bytes))
-    controller.drain()
+    controller.enqueue_pim(interned_stream(op, org, composite=composite,
+                                           dtype_bytes=dtype_bytes))
+    if fast:
+        controller.drain_fast()
+    else:
+        controller.drain()
     return controller.finish_time, controller
 
 
@@ -98,10 +108,12 @@ def calibrate(
     large = GemvOp(rows=banks * 9, cols=elements, tag="cal-large")
     t_small, _ = measure_gemv_latency(small, timing=timing, org=org,
                                       pim_timing=pim_timing,
-                                      dtype_bytes=dtype_bytes, refresh=False)
+                                      dtype_bytes=dtype_bytes, refresh=False,
+                                      fast=True)
     t_large, _ = measure_gemv_latency(large, timing=timing, org=org,
                                       pim_timing=pim_timing,
-                                      dtype_bytes=dtype_bytes, refresh=False)
+                                      dtype_bytes=dtype_bytes, refresh=False,
+                                      fast=True)
     waves_small = small.waves(org, dtype_bytes)
     waves_large = large.waves(org, dtype_bytes)
     l_tile = (t_large - t_small) / (waves_large - waves_small)
@@ -111,7 +123,8 @@ def calibrate(
     wide = GemvOp(rows=banks, cols=elements * 4, tag="cal-wide")
     t_wide, _ = measure_gemv_latency(wide, timing=timing, org=org,
                                      pim_timing=pim_timing,
-                                     dtype_bytes=dtype_bytes, refresh=False)
+                                     dtype_bytes=dtype_bytes, refresh=False,
+                                     fast=True)
     waves_wide = wide.waves(org, dtype_bytes)
     # t_wide = fixed + 3 extra gwrites + (waves_wide - waves_small) tiles
     extra_tiles = (waves_wide - waves_small) * l_tile

@@ -132,7 +132,8 @@ class FunctionalPimChannel:
 
 
 def reference_attention(keys: np.ndarray, values: np.ndarray,
-                        query: np.ndarray, scale: float = None  # type: ignore[assignment]
+                        query: np.ndarray,
+                        scale: Optional[float] = None
                         ) -> np.ndarray:
     """Single-head attention reference in fp32 (for validation)."""
     if scale is None:
@@ -145,7 +146,7 @@ def reference_attention(keys: np.ndarray, values: np.ndarray,
 
 def pim_attention(keys: np.ndarray, values: np.ndarray, query: np.ndarray,
                   org: Optional[HbmOrganization] = None,
-                  scale: float = None  # type: ignore[assignment]
+                  scale: Optional[float] = None
                   ) -> np.ndarray:
     """Single-head attention through the PIM dataflow + NPU softmax.
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.model.spec import ModelSpec
 
@@ -53,7 +53,7 @@ class PagedKvAllocator:
     """
 
     def __init__(self, config: PagedKvConfig, spec: ModelSpec,
-                 layers_resident: int = None  # type: ignore[assignment]
+                 layers_resident: Optional[int] = None
                  ) -> None:
         self.config = config
         self.spec = spec
@@ -135,7 +135,7 @@ class PagedKvAllocator:
 
 def max_batch_without_paging(config: PagedKvConfig, spec: ModelSpec,
                              max_seq_len: int,
-                             layers_resident: int = None  # type: ignore[assignment]
+                             layers_resident: Optional[int] = None
                              ) -> int:
     """Batch size a *non-paged* allocator supports (worst-case reservation).
 

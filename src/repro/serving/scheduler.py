@@ -15,11 +15,14 @@ This is how the same serving loop drives NeuPIMs and every baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.serving.paging import OutOfMemoryError, PagedKvAllocator
 from repro.serving.pool import RequestPool
 from repro.serving.request import InferenceRequest, RequestStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.binpack import ChannelLoadTracker
 
 #: Maps the generation batch to the latency (cycles) of one iteration.
 BatchExecutor = Callable[[Sequence[InferenceRequest]], float]
@@ -84,6 +87,12 @@ class IterationScheduler:
     assign_channels:
         Channel-assignment policy invoked on newly admitted requests
         (NeuPIMs: greedy min-load bin packing; baseline: round robin).
+    load_tracker:
+        Optional :class:`~repro.core.binpack.ChannelLoadTracker` kept live
+        across iterations: admitted requests are added, growing contexts
+        refreshed and retired requests removed, so admission-time bin
+        packing starts from up-to-date per-channel loads without
+        re-estimating the whole resident set each iteration.
     """
 
     def __init__(
@@ -93,6 +102,7 @@ class IterationScheduler:
         max_batch_size: int,
         allocators: Optional[List[PagedKvAllocator]] = None,
         assign_channels: Optional[ChannelAssigner] = None,
+        load_tracker: Optional["ChannelLoadTracker"] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -101,6 +111,7 @@ class IterationScheduler:
         self.max_batch_size = max_batch_size
         self.allocators = allocators
         self.assign_channels = assign_channels
+        self.load_tracker = load_tracker
         self.stats = ServingStats()
         self._now = 0.0
 
@@ -138,16 +149,20 @@ class IterationScheduler:
                     request.channel = None
                     continue
             request.begin_generation(channel)
+            if self.load_tracker is not None:
+                self.load_tracker.add(request)
             admitted += 1
         return admitted
 
     def _retire(self) -> int:
         """Remove finished requests and free their KV blocks."""
         done = self.pool.retire_finished()
-        if self.allocators is not None:
-            for request in done:
-                if request.channel is not None:
-                    self.allocators[request.channel].release(request.request_id)
+        for request in done:
+            if (self.allocators is not None
+                    and request.channel is not None):
+                self.allocators[request.channel].release(request.request_id)
+            if self.load_tracker is not None:
+                self.load_tracker.remove(request)
         return len(done)
 
     def run_iteration(self) -> Optional[IterationRecord]:
@@ -174,6 +189,8 @@ class IterationScheduler:
             raise ValueError("executor returned non-positive latency")
         for request in batch:
             request.advance(1)
+            if self.load_tracker is not None:
+                self.load_tracker.update(request)
             if self.allocators is not None and request.channel is not None:
                 try:
                     self.allocators[request.channel].allocate(

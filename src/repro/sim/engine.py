@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -30,6 +30,7 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
 
 class EventEngine:
@@ -56,6 +57,9 @@ class EventEngine:
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
+        #: live count of scheduled, non-cancelled events — kept so
+        #: :meth:`pending` is O(1) instead of a full queue scan.
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -70,6 +74,7 @@ class EventEngine:
             )
         event = _Event(time=float(time), seq=next(self._counter), callback=callback)
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return event
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> _Event:
@@ -79,8 +84,15 @@ class EventEngine:
         return self.schedule_at(self._now + delay, callback)
 
     def cancel(self, event: _Event) -> None:
-        """Cancel a previously scheduled event (lazy removal)."""
-        event.cancelled = True
+        """Cancel a previously scheduled event (lazy removal).
+
+        Cancelling an event that already ran (or was already cancelled)
+        is a no-op, as before — the pending counter only moves for events
+        still in flight.
+        """
+        if not event.cancelled and not event.executed:
+            event.cancelled = True
+            self._pending -= 1
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` when drained."""
@@ -95,6 +107,8 @@ class EventEngine:
             if event.cancelled:
                 continue
             self._now = event.time
+            event.executed = True
+            self._pending -= 1
             event.callback()
             return True
         return False
@@ -123,8 +137,8 @@ class EventEngine:
             self._running = False
 
     def pending(self) -> int:
-        """Number of pending (non-cancelled) events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of pending (non-cancelled) events (O(1))."""
+        return self._pending
 
 
 class Resource:
@@ -154,9 +168,14 @@ class Resource:
         return self._busy_time
 
     @property
-    def intervals(self) -> List[Tuple[float, float]]:
-        """Recorded (start, end) busy intervals, in booking order."""
-        return list(self._intervals)
+    def intervals(self) -> Sequence[Tuple[float, float]]:
+        """Recorded (start, end) busy intervals, in booking order.
+
+        A read-only view of the live list (no per-access copy — pipeline
+        models poll this inside scheduling loops); callers must not
+        mutate it.
+        """
+        return self._intervals
 
     def acquire_for(self, duration: float, earliest: float = 0.0) -> Tuple[float, float]:
         """Book the resource for ``duration`` starting at or after ``earliest``."""

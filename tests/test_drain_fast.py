@@ -1,0 +1,204 @@
+"""Equivalence of the batch-replay fast path with the per-command drain.
+
+``MemoryController.drain_fast`` must be *observationally identical* to
+``drain`` — finish time, refresh counts, C/A-bus busy cycles and every
+per-command-type stat counter — on every scenario the controller handles:
+refresh hoisting, GEMV interruption, activation replay after refresh, and
+the homogeneous run shapes it accelerates (fine-grained wave trains,
+composite streams, GWRITE and RD/WR bursts).
+"""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.commands import Command, CommandType
+from repro.dram.controller import ControllerConfig, MemoryController
+from repro.dram.timing import HbmOrganization
+from repro.pim.gemv import GemvOp, composite_stream, fine_grained_stream
+
+ORG = HbmOrganization()
+
+
+def build(dual=True, **cfg):
+    channel = Channel(0, dual_row_buffer=dual)
+    return MemoryController(channel, ControllerConfig(**cfg))
+
+
+def drain_both(stream, mem=False, dual=True, **cfg):
+    slow = build(dual=dual, **cfg)
+    fast = build(dual=dual, **cfg)
+    for ctrl in (slow, fast):
+        (ctrl.enqueue_mem if mem else ctrl.enqueue_pim)(list(stream))
+    slow.drain()
+    fast.drain_fast()
+    return slow, fast
+
+
+def assert_equivalent(slow, fast):
+    assert fast.finish_time == slow.finish_time
+    assert fast.stats.as_dict() == slow.stats.as_dict()
+    assert fast.channel.ca_busy_cycles == slow.channel.ca_busy_cycles
+
+
+def fine_stream(rows=2048, cols=2048):
+    return fine_grained_stream(GemvOp(rows=rows, cols=cols, tag="t"), ORG)
+
+
+def multi_composite(count=60, k_rows=512):
+    stream = []
+    for i in range(count):
+        stream += composite_stream(
+            GemvOp(rows=k_rows, cols=512, tag=f"g{i}"), ORG)
+    return stream
+
+
+class TestActReplayScenario:
+    """Fine-grained waves crossing refreshes (ACT replay after REF)."""
+
+    def test_fine_grained_with_refresh_matches(self):
+        slow, fast = drain_both(fine_stream(), header_aware_refresh=False)
+        assert slow.stats.get("refresh.issued") > 0
+        assert slow.stats.get("refresh.act_replays") > 0
+        assert_equivalent(slow, fast)
+
+    def test_fine_grained_replays_most_commands(self):
+        stream = fine_stream(4096, 4096)
+        _, fast = drain_both(stream, header_aware_refresh=False)
+        assert fast.replay.runs >= 1
+        assert fast.replay.replayed > 0.9 * len(stream)
+
+    def test_mem_act_replay_after_refresh(self):
+        commands = [Command(CommandType.ACT, bank=0, row=7)]
+        commands += [Command(CommandType.RD, bank=0) for _ in range(2000)]
+        commands.append(Command(CommandType.PRE, bank=0))
+        slow, fast = drain_both(commands, mem=True)
+        assert slow.stats.get("refresh.act_replays") > 0
+        assert_equivalent(slow, fast)
+
+
+class TestRefreshHoistScenario:
+    """Header-aware refresh hoisting (composite ISA)."""
+
+    def test_hoisted_refreshes_match(self):
+        slow, fast = drain_both(multi_composite(), header_aware_refresh=True)
+        assert slow.stats.get("refresh.hoisted") > 0
+        assert_equivalent(slow, fast)
+
+    def test_hoist_counts_preserved_across_replay(self):
+        slow, fast = drain_both(multi_composite(count=120))
+        assert fast.replay.replayed > 0
+        assert fast.stats.get("refresh.hoisted") \
+            == slow.stats.get("refresh.hoisted")
+
+
+class TestGemvInterruptScenario:
+    """Baseline mode: refresh preempts in-flight GEMVs."""
+
+    def test_interrupted_gemvs_match(self):
+        slow, fast = drain_both(multi_composite(count=120, k_rows=2048),
+                                header_aware_refresh=False)
+        assert slow.stats.get("refresh.gemv_interrupted") > 0
+        assert_equivalent(slow, fast)
+
+
+class TestRunShapes:
+    """Homogeneous run shapes the replay engine recognizes."""
+
+    def test_gwrite_burst(self):
+        stream = [Command(CommandType.PIM_GWRITE, bank=0, row=9)
+                  for _ in range(300)]
+        slow, fast = drain_both(stream, refresh_enabled=False)
+        assert fast.replay.replayed > 200
+        assert_equivalent(slow, fast)
+
+    def test_act_rd_pre_run(self):
+        commands = []
+        for row in range(400):
+            commands += [Command(CommandType.ACT, bank=2, row=row),
+                         Command(CommandType.RD, bank=2),
+                         Command(CommandType.PRE, bank=2)]
+        slow, fast = drain_both(commands, mem=True)
+        assert fast.replay.replayed > 0
+        assert_equivalent(slow, fast)
+
+    def test_write_run(self):
+        commands = [Command(CommandType.ACT, bank=1, row=3)]
+        commands += [Command(CommandType.WR, bank=1) for _ in range(1500)]
+        commands.append(Command(CommandType.PRE, bank=1))
+        slow, fast = drain_both(commands, mem=True)
+        assert_equivalent(slow, fast)
+
+    def test_no_refresh_wave_train_is_one_run(self):
+        stream = fine_stream(4096, 2048)
+        _, fast = drain_both(stream, refresh_enabled=False)
+        assert fast.replay.replayed > 0.95 * len(stream)
+
+    def test_blocked_mode_fine_grained(self):
+        slow, fast = drain_both(fine_stream(1024, 1024), dual=False,
+                                header_aware_refresh=False)
+        assert_equivalent(slow, fast)
+
+
+class TestEdgeCases:
+    def test_mixed_queues_fall_back_to_stepping(self):
+        def mixed():
+            ctrl = build(refresh_enabled=False)
+            ctrl.enqueue_pim(multi_composite(count=5))
+            for bank in range(4):
+                for row in range(10):
+                    ctrl.enqueue_mem([
+                        Command(CommandType.ACT, bank=bank, row=row),
+                        Command(CommandType.RD, bank=bank),
+                        Command(CommandType.PRE, bank=bank)])
+            return ctrl
+        slow, fast = mixed(), mixed()
+        slow.drain()
+        fast.drain_fast()
+        assert_equivalent(slow, fast)
+
+    def test_empty_queues(self):
+        ctrl = build()
+        assert ctrl.drain_fast() == []
+        assert ctrl.finish_time == 0.0
+
+    def test_drain_fast_idempotent(self):
+        ctrl = build(refresh_enabled=False)
+        ctrl.enqueue_pim(multi_composite(count=3))
+        first = ctrl.drain_fast()
+        finish = ctrl.finish_time
+        second = ctrl.drain_fast()
+        assert second == first
+        assert ctrl.finish_time == finish
+
+    def test_zero_hunt_budget_degenerates_to_drain(self):
+        stream = fine_stream(512, 512)
+        slow = build(header_aware_refresh=False)
+        fast = build(header_aware_refresh=False)
+        slow.enqueue_pim(list(stream))
+        fast.enqueue_pim(list(stream))
+        slow.drain()
+        fast.drain_fast(hunt_budget=0)
+        assert fast.replay.replayed == 0
+        assert len(fast.records) == len(slow.records)
+        assert_equivalent(slow, fast)
+
+    def test_records_are_abridged_not_wrong(self):
+        """Stepped records of the fast drain are a subsequence of the
+        slow drain's records with identical issue times."""
+        stream = fine_stream(1024, 512)
+        slow, fast = drain_both(stream, refresh_enabled=False)
+        slow_times = {(r.command.ctype, r.issue_time) for r in slow.records}
+        for record in fast.records:
+            assert (record.command.ctype, record.issue_time) in slow_times
+
+    @pytest.mark.parametrize("seq_len", [128, 640, 1333])
+    def test_serving_style_streams(self, seq_len):
+        """Logit+attend per request, several requests back to back."""
+        stream = []
+        for i in range(30):
+            stream += composite_stream(
+                GemvOp(rows=seq_len * 8, cols=128, tag=f"logit[{i}]"), ORG)
+            stream += composite_stream(
+                GemvOp(rows=128 * 8, cols=seq_len, tag=f"attend[{i}]"), ORG)
+        slow, fast = drain_both(stream)
+        assert_equivalent(slow, fast)

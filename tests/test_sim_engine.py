@@ -70,6 +70,21 @@ class TestEventEngine:
         engine = EventEngine()
         assert engine.step() is False
 
+    def test_cancel_after_execution_keeps_pending_sound(self):
+        """Cancelling a fired (or already-cancelled) event is a no-op and
+        must not corrupt the O(1) pending counter."""
+        engine = EventEngine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        engine.cancel(handle)
+        engine.cancel(handle)
+        assert engine.pending() == 0
+        live = engine.schedule_at(2.0, lambda: None)
+        assert engine.pending() == 1
+        engine.cancel(live)
+        engine.cancel(live)
+        assert engine.pending() == 0
+
     def test_peek_time_skips_cancelled(self):
         engine = EventEngine()
         handle = engine.schedule_at(1.0, lambda: None)
