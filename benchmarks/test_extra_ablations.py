@@ -6,12 +6,18 @@ Design-choice sweeps DESIGN.md calls out:
 * composite-ISA contribution in isolation (C/A traffic and refresh
   interaction);
 * DRAM page size sensitivity of the MHA latency estimator;
-* adaptive-SBI fallback vs forced SBI at small batch.
+* adaptive-SBI fallback vs forced SBI at small batch;
+* the full feature-flag cross (``repro.analysis.ablation``), shardable
+  across workers via ``run_ablation_grid(parallel=...)``.
 """
+
+import os
 
 import numpy as np
 
+from repro.analysis.ablation import ablation_axes, run_ablation_grid
 from repro.analysis.metrics import iteration_throughput
+from repro.exec import ProcessPoolBackend
 from repro.analysis.report import format_series, format_table
 from repro.core.binpack import (
     channel_loads,
@@ -100,6 +106,52 @@ def test_page_size_sensitivity(benchmark):
     print(format_series("MHA estimate (cycles) vs page size", estimates))
     assert all(v > 0 for v in estimates.values())
     record(benchmark, {f"page_{k}": v for k, v in estimates.items()})
+
+
+def test_feature_flag_grid(benchmark):
+    """The full technique cross: every flag combination, one grid.
+
+    Runs through the sharded execution subsystem; set
+    ``ABLATION_WORKERS`` (CI's workers matrix does) to shard the grid
+    across a process pool — the records are identical either way.
+    """
+    workers = int(os.environ.get("ABLATION_WORKERS", "0"))
+    # An explicit pool even at workers=1, so the CI matrix's 1-worker
+    # cell measures pool overhead rather than silently running serial.
+    backend = ProcessPoolBackend(workers) if workers else None
+
+    def run():
+        return run_ablation_grid(ablation_axes(batch_sizes=(64, 256)),
+                                 parallel=backend)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    neupims = result.filter(dual_row_buffer=True, sub_batch_interleaving=True,
+                            greedy_binpack=True)
+    naive = result.filter(dual_row_buffer=False,
+                          sub_batch_interleaving=False, greedy_binpack=False)
+    rows = []
+    for cell in result.records:
+        rows.append((
+            "DRB" if cell["dual_row_buffer"] else "blocked",
+            "SBI" if cell["sub_batch_interleaving"] else "serial",
+            "GMLBP" if cell["greedy_binpack"] else "RR",
+            cell["batch_size"],
+            round(cell["tokens_per_second"]),
+        ))
+    print()
+    print(format_table(["bank", "schedule", "balancing", "batch", "tok/s"],
+                       rows, title="feature-flag cross (ShareGPT)"))
+    # The full NeuPIMs setting must dominate the naive setting cell-wise.
+    for batch_size in (64, 256):
+        best = neupims.filter(batch_size=batch_size).records[0]
+        worst = naive.filter(batch_size=batch_size).records[0]
+        assert best["tokens_per_second"] > worst["tokens_per_second"]
+    record(benchmark, {
+        f"grid_{r['batch_size']}_{int(r['dual_row_buffer'])}"
+        f"{int(r['sub_batch_interleaving'])}{int(r['greedy_binpack'])}":
+            r["tokens_per_second"]
+        for r in result.records
+    })
 
 
 def test_adaptive_sbi_fallback(benchmark):

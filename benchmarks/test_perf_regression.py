@@ -9,13 +9,22 @@ their headline numbers as ``BENCH`` JSON (and ``--benchmark-json``
   :meth:`drain_fast` on a 4096x4096 fine-grained GEMV (the acceptance
   target is a >=10x ratio at bit-identical aggregates);
 * a 512-request serving run through the iteration scheduler with the
-  memoized estimator and incremental channel-load tracking.
+  memoized estimator and incremental channel-load tracking;
+* the serving iteration hot loop itself, reported as wall time per
+  generated token and per iteration;
+* the sharded parallel sweep over the extra-ablation grid — serial vs
+  1/2/4-worker process pools, with record-for-record identity enforced
+  (``ABLATION_WORKERS`` pins a single worker count for CI's matrix).
 """
 
 import json
+import os
 import time
 
+from repro.analysis.ablation import ablation_axes, run_ablation_grid
 from repro.core.device import NeuPimsDevice
+from repro.exec import (PerfCacheWarmup, ProcessPoolBackend, SerialBackend,
+                        available_workers)
 from repro.dram.channel import Channel
 from repro.dram.controller import ControllerConfig, MemoryController
 from repro.dram.timing import HbmOrganization
@@ -25,7 +34,7 @@ from repro.perf.streams import interned_stream
 from repro.pim.gemv import GemvOp, fine_grained_stream
 from repro.serving.pool import RequestPool
 from repro.serving.scheduler import IterationScheduler
-from repro.serving.trace import ALPACA, warmed_batch
+from repro.serving.trace import ALPACA, SHAREGPT, warmed_batch
 
 from benchmarks.conftest import record
 
@@ -146,4 +155,96 @@ def test_serving_512_batch(benchmark):
             len(stats.iterations) / max(wall_seconds, 1e-9), 1),
     }
     emit("serving_512", values)
+    record(benchmark, values)
+
+
+def test_iteration_loop_per_token(benchmark):
+    """The serving iteration hot loop, normalized to time per token.
+
+    A decode-heavy 256-request run exercises exactly the per-iteration
+    path this PR optimizes: bucket-indexed pool views, counter-based
+    admission, memoized per-request MHA contributions and the tuple heap.
+    """
+    spec = GPT3_7B
+
+    def run():
+        device = NeuPimsDevice(spec, tp=spec.tensor_parallel,
+                               layers_resident=4)
+        tracker = device.attach_load_tracker()
+        pool = RequestPool()
+        pool.submit_all(warmed_batch(SHAREGPT, 256, seed=3))
+        scheduler = IterationScheduler(
+            pool, device.executor(), max_batch_size=256,
+            assign_channels=device.assign_channels, load_tracker=tracker)
+        return scheduler.run(max_iterations=1000)
+
+    wall_start = time.perf_counter()
+    stats = run()
+    wall_seconds = time.perf_counter() - wall_start
+    iterations = len(stats.iterations)
+    assert stats.total_tokens > 0 and iterations > 0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    values = {
+        "requests": 256,
+        "iterations": iterations,
+        "tokens": stats.total_tokens,
+        "wall_seconds": round(wall_seconds, 3),
+        "us_per_token": round(wall_seconds * 1e6 / stats.total_tokens, 2),
+        "ms_per_iteration": round(wall_seconds * 1e3 / iterations, 3),
+    }
+    emit("iteration_loop", values)
+    record(benchmark, values)
+
+
+def test_parallel_sweep_scaling(benchmark):
+    """Worker scaling of the sharded extra-ablation sweep.
+
+    Runs the grid serially, then through 1/2/4-worker process pools
+    (``ABLATION_WORKERS`` pins one count for CI's workers matrix), and
+    requires every parallel run to reproduce the serial records exactly.
+    The >=2x gate at 4 workers only enforces where 4 cores exist; the
+    BENCH JSON reports the scaling curve everywhere.
+    """
+    axes = ablation_axes(batch_sizes=(64, 128, 256, 512),
+                         datasets=("sharegpt", "alpaca"))
+    num_batches = 8
+    pinned = int(os.environ.get("ABLATION_WORKERS", "0"))
+    worker_counts = [pinned] if pinned else [1, 2, 4]
+
+    serial_start = time.perf_counter()
+    serial = run_ablation_grid(axes, parallel=SerialBackend(),
+                               num_batches=num_batches)
+    serial_seconds = time.perf_counter() - serial_start
+    assert len(serial.records) == 64
+
+    values = {
+        "cells": len(serial.records),
+        "serial_s": round(serial_seconds, 3),
+        "cpus": available_workers(),
+    }
+    for workers in worker_counts:
+        backend = ProcessPoolBackend(workers, chunk_size=2,
+                                     warmup=PerfCacheWarmup())
+        pool_start = time.perf_counter()
+        pooled = run_ablation_grid(axes, parallel=backend,
+                                   num_batches=num_batches)
+        pool_seconds = time.perf_counter() - pool_start
+        assert pooled.records == serial.records, \
+            f"{workers}-worker records diverge from serial"
+        values[f"workers_{workers}_s"] = round(pool_seconds, 3)
+        values[f"speedup_{workers}w"] = round(
+            serial_seconds / max(pool_seconds, 1e-9), 2)
+
+    # The acceptance gate: >=2x at 4 workers, enforced where the
+    # hardware can express it (a 1-core container cannot).
+    if available_workers() >= 4 and "speedup_4w" in values:
+        assert values["speedup_4w"] >= 2.0, \
+            f"4-worker sweep only {values['speedup_4w']}x vs serial"
+
+    benchmark.pedantic(
+        lambda: run_ablation_grid(ablation_axes(batch_sizes=(64,)),
+                                  num_batches=2),
+        rounds=1, iterations=1)
+    emit("parallel_sweep", values)
     record(benchmark, values)

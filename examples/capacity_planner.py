@@ -3,10 +3,14 @@
 
 Uses the planner to enumerate feasible configurations of a NeuPIMs
 cluster for GPT3-13B on ShareGPT traffic, under an optional per-token
-latency SLO, and prints the decision table.
+latency SLO, and prints the decision table.  The (TP, PP, batch) grid
+shards across a process pool (``--workers N``) through ``repro.exec``;
+the chosen plan is identical to a serial run.
 
-Run:  python examples/capacity_planner.py
+Run:  python examples/capacity_planner.py [--workers N]
 """
+
+import argparse
 
 from repro.analysis.report import format_table
 from repro.core.planner import plan_deployment
@@ -14,13 +18,14 @@ from repro.model.spec import GPT3_13B, GPT3_175B
 from repro.serving.trace import SHAREGPT
 
 
-def plan_and_print(spec, max_devices, slo_ms=None):
+def plan_and_print(spec, max_devices, slo_ms=None, workers=1):
     label = f"{spec.name}, up to {max_devices} devices"
     if slo_ms is not None:
         label += f", iteration SLO {slo_ms} ms"
     plan = plan_deployment(spec, SHAREGPT, max_devices=max_devices,
                            batch_sizes=[64, 128, 256, 512],
-                           max_iteration_latency_ms=slo_ms)
+                           max_iteration_latency_ms=slo_ms,
+                           parallel=workers if workers > 1 else None)
 
     rows = []
     for point in sorted(plan.points,
@@ -45,10 +50,15 @@ def plan_and_print(spec, max_devices, slo_ms=None):
 
 
 def main() -> None:
-    plan_and_print(GPT3_13B, max_devices=4)
-    plan_and_print(GPT3_13B, max_devices=4, slo_ms=10.0)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool workers for the planner grid "
+                             "(1 = serial; identical plan either way)")
+    args = parser.parse_args()
+    plan_and_print(GPT3_13B, max_devices=4, workers=args.workers)
+    plan_and_print(GPT3_13B, max_devices=4, slo_ms=10.0, workers=args.workers)
     # 175B needs many devices before anything is feasible.
-    plan_and_print(GPT3_175B, max_devices=32)
+    plan_and_print(GPT3_175B, max_devices=32, workers=args.workers)
 
 
 if __name__ == "__main__":

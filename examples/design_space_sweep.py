@@ -6,32 +6,54 @@ four systems compare across batch sizes on both datasets (Figure 12), and
 how tensor vs pipeline parallelism trade off at a fixed request count
 (Figure 14).
 
-Run:  python examples/design_space_sweep.py
+Run:  python examples/design_space_sweep.py [--workers N]
+
+Parallel usage
+--------------
+Every sweep point is an independent simulation, so the grids shard
+across a process pool through ``repro.exec``: pass ``--workers 4`` (or
+call ``run_sweep(..., parallel=4)`` from your own code) and the sweep
+runs on 4 worker processes with chunked dispatch and warm per-worker
+caches.  Results are **record-for-record identical** to the serial run —
+the merge is deterministic — so parallelism is purely a wall-clock knob;
+it pays off once per-cell simulation time dominates the ~100 ms pool
+startup (large grids, big batches, many sampled batches per cell).
 """
+
+import argparse
 
 from repro.analysis.metrics import compare_systems
 from repro.analysis.report import format_table
+from repro.analysis.sweep import SweepAxis, run_sweep
 from repro.core.system import NeuPimsSystem, ParallelismScheme
 from repro.model.spec import GPT3_7B, GPT3_30B
-from repro.serving.trace import ALPACA, SHAREGPT, warmed_batch
+from repro.serving.trace import ALPACA, SHAREGPT, get_dataset, warmed_batch
 
 
-def throughput_sweep() -> None:
+def _evaluate_throughput_point(dataset: str, batch_size: int):
+    """One Figure 12 cell (module level so process workers can run it)."""
+    results = compare_systems(GPT3_7B, get_dataset(dataset), batch_size,
+                              tp=4, layers_resident=8, num_batches=3)
+    npu = results["NPU-only"].tokens_per_second
+    return {
+        "gpu_norm": round(results["GPU-only"].tokens_per_second / npu, 2),
+        "npu_pim_norm": round(results["NPU+PIM"].tokens_per_second / npu, 2),
+        "neupims_norm": round(results["NeuPIMs"].tokens_per_second / npu, 2),
+    }
+
+
+def throughput_sweep(workers: int) -> None:
     spec = GPT3_7B
     print(f"== throughput sweep ({spec.name}, TP=4) ==\n")
+    sweep = run_sweep(
+        [SweepAxis("dataset", [ALPACA.name, SHAREGPT.name]),
+         SweepAxis("batch_size", [64, 128, 256, 512])],
+        _evaluate_throughput_point,
+        parallel=workers if workers > 1 else None)
     for trace in (ALPACA, SHAREGPT):
-        rows = []
-        for batch_size in (64, 128, 256, 512):
-            results = compare_systems(spec, trace, batch_size, tp=4,
-                                      layers_resident=8, num_batches=3)
-            npu = results["NPU-only"].tokens_per_second
-            rows.append((
-                batch_size,
-                round(results["GPU-only"].tokens_per_second / npu, 2),
-                1.0,
-                round(results["NPU+PIM"].tokens_per_second / npu, 2),
-                round(results["NeuPIMs"].tokens_per_second / npu, 2),
-            ))
+        rows = [(r["batch_size"], r["gpu_norm"], 1.0, r["npu_pim_norm"],
+                 r["neupims_norm"])
+                for r in sweep.filter(dataset=trace.name).records]
         print(format_table(
             ["batch", "GPU-only", "NPU-only", "NPU+PIM", "NeuPIMs"],
             rows, title=f"normalized throughput — {trace.name}"))
@@ -58,7 +80,12 @@ def parallelism_sweep() -> None:
 
 
 def main() -> None:
-    throughput_sweep()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool workers for the throughput grid "
+                             "(1 = serial; identical records either way)")
+    args = parser.parse_args()
+    throughput_sweep(args.workers)
     parallelism_sweep()
 
 

@@ -1,5 +1,10 @@
 """Analysis: measurement harness, area model, report formatting."""
 
+from repro.analysis.ablation import (
+    ablation_axes,
+    evaluate_ablation_cell,
+    run_ablation_grid,
+)
 from repro.analysis.area import (
     BankAreaModel,
     dual_row_buffer_area_overhead,
@@ -14,7 +19,8 @@ from repro.analysis.metrics import (
 from repro.analysis.report import format_series, format_table, geomean, normalize
 
 from repro.analysis.energy import EnergyParams, EnergyReport, iteration_energy
-from repro.analysis.sweep import SweepAxis, SweepResult, pareto_front, run_sweep
+from repro.analysis.sweep import (SweepAxis, SweepResult, iter_points,
+                                  pareto_front, run_sweep)
 from repro.analysis.training import (
     inference_vs_training_pim_value,
     profile_training_step,
@@ -24,6 +30,9 @@ from repro.analysis.validate import CheckResult, validate, validate_all
 
 __all__ = [
     "BankAreaModel",
+    "ablation_axes",
+    "evaluate_ablation_cell",
+    "run_ablation_grid",
     "dual_row_buffer_area_overhead",
     "ThroughputMeasurement",
     "build_standard_devices",
@@ -39,6 +48,7 @@ __all__ = [
     "iteration_energy",
     "SweepAxis",
     "SweepResult",
+    "iter_points",
     "pareto_front",
     "run_sweep",
     "inference_vs_training_pim_value",

@@ -1,0 +1,95 @@
+"""The extra-ablation grid: feature-flag crosses beyond Figure 13.
+
+Figure 13 ablates one NeuPIMs technique at a time; this grid crosses the
+three technique flags with batch size, which exposes their interactions
+(e.g. sub-batch interleaving buys little in blocked mode, greedy bin
+packing matters more at large batch).  The grid doubles as the canonical
+workload for the sharded execution subsystem: every cell is a pure
+function of picklable axis values, so :func:`run_ablation_grid` shards
+record-for-record identically across :mod:`repro.exec` backends
+(``benchmarks/test_perf_regression.py`` pins the parallel-vs-serial
+equality and tracks the worker scaling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import iteration_throughput
+from repro.analysis.sweep import SweepAxis, SweepResult, run_sweep
+from repro.core.config import NeuPimsConfig
+from repro.core.device import NeuPimsDevice
+from repro.exec.backends import ParallelSpec
+from repro.model.spec import (GPT3_7B, GPT3_13B, GPT3_30B, GPT3_175B,
+                              ModelSpec)
+from repro.serving.trace import get_dataset, sample_batches
+
+#: Specs addressable by axis value (axis values stay plain strings so
+#: sweep records print/compare cleanly and pickle small).
+SPECS: Dict[str, ModelSpec] = {
+    spec.name: spec for spec in (GPT3_7B, GPT3_13B, GPT3_30B, GPT3_175B)
+}
+
+
+def ablation_axes(batch_sizes=(64, 256),
+                  datasets=("sharegpt",)) -> List[SweepAxis]:
+    """The default extra-ablation grid axes."""
+    return [
+        SweepAxis("dual_row_buffer", [False, True]),
+        SweepAxis("sub_batch_interleaving", [False, True]),
+        SweepAxis("greedy_binpack", [False, True]),
+        SweepAxis("batch_size", list(batch_sizes)),
+        SweepAxis("dataset", list(datasets)),
+    ]
+
+
+def evaluate_ablation_cell(dual_row_buffer: bool,
+                           sub_batch_interleaving: bool,
+                           greedy_binpack: bool,
+                           batch_size: int,
+                           dataset: str = "sharegpt",
+                           spec_name: str = "gpt3-7b",
+                           tp: int = 4,
+                           layers_resident: int = 8,
+                           num_batches: int = 3,
+                           seed: int = 0) -> Dict[str, float]:
+    """One grid cell: mean iteration throughput under the flag setting.
+
+    Module-level and driven entirely by picklable arguments, so it can be
+    dispatched to process-pool workers (including under ``spawn``).
+    """
+    spec = SPECS[spec_name]
+    config = NeuPimsConfig(
+        dual_row_buffer=dual_row_buffer,
+        # The composite ISA needs the NeuPIMs bank; the paper enables the
+        # two together, and so does this grid.
+        composite_isa=dual_row_buffer,
+        sub_batch_interleaving=sub_batch_interleaving,
+        greedy_binpack=greedy_binpack,
+    )
+    device = NeuPimsDevice(spec, config, tp=tp,
+                           layers_resident=layers_resident)
+    trace = get_dataset(dataset)
+    batches = sample_batches(trace, batch_size, num_batches, seed=seed)
+    throughputs = []
+    latencies = []
+    for batch in batches:
+        result = device.iteration(batch)
+        throughputs.append(iteration_throughput(result, len(batch)))
+        latencies.append(result.latency)
+    return {
+        "tokens_per_second": sum(throughputs) / len(throughputs),
+        "iteration_cycles": sum(latencies) / len(latencies),
+    }
+
+
+def run_ablation_grid(axes: Optional[List[SweepAxis]] = None,
+                      parallel: ParallelSpec = None,
+                      num_batches: int = 3,
+                      seed: int = 0) -> SweepResult:
+    """Sweep the extra-ablation grid, optionally sharded across workers."""
+    import functools
+    evaluate = functools.partial(evaluate_ablation_cell,
+                                 num_batches=num_batches, seed=seed)
+    return run_sweep(axes if axes is not None else ablation_axes(),
+                     evaluate, parallel=parallel)

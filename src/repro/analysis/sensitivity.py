@@ -17,6 +17,7 @@ from repro.analysis.metrics import iteration_throughput
 from repro.baselines.npu_pim import naive_npu_pim_device
 from repro.core.config import NeuPimsConfig
 from repro.core.device import NeuPimsDevice
+from repro.exec.backends import ParallelSpec, resolve_backend
 from repro.model.spec import GPT3_7B, ModelSpec
 from repro.serving.trace import DatasetTrace, SHAREGPT, warmed_batch
 
@@ -89,20 +90,27 @@ def sensitivity_sweep(spec: ModelSpec = GPT3_7B,
                       trace: DatasetTrace = SHAREGPT,
                       batch_size: int = 256, tp: int = 4, layers: int = 4,
                       knobs: Optional[List[KnobRange]] = None,
-                      base_config: Optional[NeuPimsConfig] = None
+                      base_config: Optional[NeuPimsConfig] = None,
+                      parallel: ParallelSpec = None
                       ) -> List[SensitivityPoint]:
-    """Perturb each knob independently; return speedups per setting."""
+    """Perturb each knob independently; return speedups per setting.
+
+    ``parallel`` shards the (knob, scale) measurements across a
+    :mod:`repro.exec` backend.  Knob ``apply`` functions run in the
+    parent, so only picklable configuration dataclasses cross the
+    process boundary; point order matches the serial loop exactly.
+    """
     knobs = knobs if knobs is not None else DEFAULT_KNOBS
     base = base_config or NeuPimsConfig()
-    points: List[SensitivityPoint] = []
-    for knob in knobs:
-        for scale in knob.scales:
-            config = knob.apply(base, scale)
-            speedup = measure_speedup(config, spec, trace, batch_size,
-                                      tp, layers)
-            points.append(SensitivityPoint(knob=knob.name, scale=scale,
-                                           speedup_vs_naive=speedup))
-    return points
+    settings = [(knob.name, scale, knob.apply(base, scale))
+                for knob in knobs for scale in knob.scales]
+    backend = resolve_backend(parallel)
+    speedups = backend.starmap(
+        measure_speedup,
+        ((config, spec, trace, batch_size, tp, layers)
+         for _, _, config in settings))
+    return [SensitivityPoint(knob=name, scale=scale, speedup_vs_naive=speedup)
+            for (name, scale, _), speedup in zip(settings, speedups)]
 
 
 def conclusion_robust(points: Sequence[SensitivityPoint],

@@ -3,14 +3,26 @@
 Generic cartesian-product sweeps with labelled axes, used by the extra
 ablation benches and the design-space example.  Results collect into a
 flat record list that :func:`repro.analysis.report.format_table` renders.
+
+Sweeps shard across workers through :mod:`repro.exec`: pass
+``parallel=4`` (or any :data:`~repro.exec.backends.ParallelSpec`) to
+:func:`run_sweep` and the grid is consumed lazily, dispatched in chunks
+to a process pool, and merged deterministically — the records come back
+in cartesian-product order either way.  For process backends the
+``evaluate`` callable must be picklable (a module-level function or a
+:func:`functools.partial` over one); ``skip`` runs in the parent and may
+be any callable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import (Any, Callable, Dict, Iterable, List, Mapping,
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Mapping,
                     Optional, Sequence)
+
+from repro.exec.backends import ParallelSpec, resolve_backend
+from repro.exec.task import TaskSpec
 
 
 @dataclass(frozen=True)
@@ -39,9 +51,13 @@ class SweepResult:
         return [record[name] for record in self.records]
 
     def filter(self, **conditions: Any) -> "SweepResult":
-        """Records matching all given axis values."""
+        """Records matching all given axis values.
+
+        A record lacking a conditioned key does not match — absence is
+        not the same as holding the value ``None``.
+        """
         kept = [r for r in self.records
-                if all(r.get(k) == v for k, v in conditions.items())]
+                if all(k in r and r[k] == v for k, v in conditions.items())]
         return SweepResult(axes=self.axes, records=kept)
 
     def best(self, metric: str, maximize: bool = True) -> Dict[str, Any]:
@@ -57,33 +73,55 @@ class SweepResult:
         return [[record[c] for c in columns] for record in self.records]
 
 
+def iter_points(axes: Sequence[SweepAxis],
+                skip: Optional[Callable[..., bool]] = None
+                ) -> Iterator[Dict[str, Any]]:
+    """Lazily yield the (unskipped) cartesian-product points of ``axes``."""
+    names = [axis.name for axis in axes]
+    for combo in product(*(axis.values for axis in axes)):
+        point = dict(zip(names, combo))
+        if skip is not None and skip(**point):
+            continue
+        yield point
+
+
+def _sweep_task(evaluate: Callable[..., Mapping[str, Any]],
+                point: Dict[str, Any]) -> Dict[str, Any]:
+    """Evaluate one sweep point into a merged record (runs in workers)."""
+    metrics = evaluate(**point)
+    overlap = set(point) & set(metrics)
+    if overlap:
+        raise ValueError(f"metrics shadow axes: {sorted(overlap)}")
+    record = dict(point)
+    record.update(metrics)
+    return record
+
+
 def run_sweep(axes: Iterable[SweepAxis],
               evaluate: Callable[..., Mapping[str, Any]],
-              skip: Optional[Callable[..., bool]] = None
+              skip: Optional[Callable[..., bool]] = None,
+              parallel: ParallelSpec = None,
+              chunk_size: int = 1,
+              warmup: Optional[Callable[[], None]] = None
               ) -> SweepResult:
     """Evaluate ``evaluate(**point)`` over the cartesian product of axes.
 
     ``evaluate`` returns a mapping of metric name to value, merged with
     the axis values into one record.  ``skip`` filters invalid points
-    (e.g. head counts not divisible by TP).
+    (e.g. head counts not divisible by TP).  ``parallel`` selects an
+    execution backend (worker count, spec string, or instance — see
+    :func:`repro.exec.resolve_backend`); the grid streams lazily into
+    the backend and records keep cartesian-product order regardless of
+    which worker finished first.
     """
     axes = list(axes)
     names = [axis.name for axis in axes]
     if len(set(names)) != len(names):
         raise ValueError("duplicate axis names")
-    result = SweepResult(axes=names)
-    for combo in product(*(axis.values for axis in axes)):
-        point = dict(zip(names, combo))
-        if skip is not None and skip(**point):
-            continue
-        metrics = evaluate(**point)
-        overlap = set(point) & set(metrics)
-        if overlap:
-            raise ValueError(f"metrics shadow axes: {sorted(overlap)}")
-        record = dict(point)
-        record.update(metrics)
-        result.records.append(record)
-    return result
+    backend = resolve_backend(parallel, chunk_size=chunk_size, warmup=warmup)
+    tasks = (TaskSpec(_sweep_task, (evaluate, point))
+             for point in iter_points(axes, skip))
+    return SweepResult(axes=names, records=backend.run(tasks))
 
 
 def pareto_front(result: SweepResult, objectives: Sequence[str],

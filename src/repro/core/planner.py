@@ -9,12 +9,14 @@ throughput-optimal configuration, optionally under a latency constraint.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.sweep import SweepAxis, run_sweep
 from repro.core.config import NeuPimsConfig
 from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.exec.backends import ParallelSpec
 from repro.model.spec import ModelSpec
 from repro.serving.trace import DatasetTrace, warmed_batch
 
@@ -78,6 +80,28 @@ class DeploymentPlan:
     best: Optional[PlanPoint]
 
 
+def _evaluate_plan_point(spec: ModelSpec, trace: DatasetTrace,
+                         config: NeuPimsConfig, seed: int,
+                         tp: int, pp: int,
+                         batch_size: int) -> Dict[str, object]:
+    """One planner cell (module level so process workers can import it)."""
+    scheme = ParallelismScheme(tp, pp)
+    batch = warmed_batch(trace, batch_size, seed=seed)
+    avg_seq = max(1, sum(r.seq_len for r in batch) // len(batch))
+    fits_w = weights_fit(spec, scheme, config)
+    fits_kv = kv_fits(spec, scheme, batch_size, avg_seq, config)
+    system = NeuPimsSystem(spec, scheme, config=config)
+    throughput = system.throughput_tokens_per_second(batch)
+    latency_ms = system.iteration_latency(batch) / 1e6
+    return {
+        "devices": tp * pp,
+        "throughput": throughput,
+        "latency_ms": latency_ms,
+        "weights_fit": fits_w,
+        "kv_fits": fits_kv,
+    }
+
+
 def plan_deployment(
     spec: ModelSpec,
     trace: DatasetTrace,
@@ -86,11 +110,14 @@ def plan_deployment(
     max_iteration_latency_ms: Optional[float] = None,
     config: Optional[NeuPimsConfig] = None,
     seed: int = 0,
+    parallel: ParallelSpec = None,
 ) -> DeploymentPlan:
     """Enumerate configurations and pick the best feasible one.
 
     The objective is system throughput; ``max_iteration_latency_ms``
-    optionally bounds per-token latency (a TPOT SLO).
+    optionally bounds per-token latency (a TPOT SLO).  ``parallel``
+    shards the (TP, PP, batch) grid across a :mod:`repro.exec` backend;
+    the plan is identical to a serial run.
     """
     if max_devices <= 0:
         raise ValueError("max_devices must be positive")
@@ -104,27 +131,11 @@ def plan_deployment(
     def skip(tp: int, pp: int, batch_size: int) -> bool:
         return tp * pp > max_devices
 
-    def evaluate(tp: int, pp: int, batch_size: int):
-        scheme = ParallelismScheme(tp, pp)
-        batch = warmed_batch(trace, batch_size, seed=seed)
-        avg_seq = max(1, sum(r.seq_len for r in batch) // len(batch))
-        fits_w = weights_fit(spec, scheme, config)
-        fits_kv = kv_fits(spec, scheme, batch_size, avg_seq, config)
-        system = NeuPimsSystem(spec, scheme, config=config)
-        throughput = system.throughput_tokens_per_second(batch)
-        latency_ms = system.iteration_latency(batch) / 1e6
-        return {
-            "devices": tp * pp,
-            "throughput": throughput,
-            "latency_ms": latency_ms,
-            "weights_fit": fits_w,
-            "kv_fits": fits_kv,
-        }
-
     sweep = run_sweep(
         [SweepAxis("tp", tp_values), SweepAxis("pp", pp_values),
          SweepAxis("batch_size", batch_sizes)],
-        evaluate, skip=skip)
+        functools.partial(_evaluate_plan_point, spec, trace, config, seed),
+        skip=skip, parallel=parallel)
 
     points = [
         PlanPoint(tp=r["tp"], pp=r["pp"], batch_size=r["batch_size"],

@@ -1,0 +1,35 @@
+"""Sharded parallel execution subsystem (see DESIGN.md §5).
+
+Shards independent simulation units — sweep points, ablation grids,
+multi-config benchmark cells — across workers with chunked dispatch,
+per-worker warm ``repro.perf`` caches and a deterministic merge:
+parallel output is record-for-record identical to serial output.
+
+* :class:`~repro.exec.runner.ParallelRunner` — the front end;
+* :class:`~repro.exec.backends.SerialBackend` /
+  :class:`~repro.exec.backends.ProcessPoolBackend` — the pluggable
+  backends, normalized from ``parallel=`` specs by
+  :func:`~repro.exec.backends.resolve_backend`;
+* :class:`~repro.exec.task.TaskSpec` — the picklable unit of work;
+* :class:`~repro.exec.warmup.PerfCacheWarmup` — per-worker cache warming.
+"""
+
+from repro.exec.backends import (ExecutionBackend, ParallelSpec,
+                                 ProcessPoolBackend, SerialBackend,
+                                 available_workers, resolve_backend)
+from repro.exec.runner import ParallelRunner
+from repro.exec.task import TaskSpec, is_picklable
+from repro.exec.warmup import PerfCacheWarmup
+
+__all__ = [
+    "ExecutionBackend",
+    "ParallelRunner",
+    "ParallelSpec",
+    "PerfCacheWarmup",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "TaskSpec",
+    "available_workers",
+    "is_picklable",
+    "resolve_backend",
+]

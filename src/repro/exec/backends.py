@@ -1,0 +1,187 @@
+"""Execution backends: serial in-process and ``multiprocessing`` pools.
+
+Both backends honour the same contract — results come back **in task
+submission order**, regardless of which worker finished first — so a
+parallel run is record-for-record identical to a serial one whenever the
+tasks are pure functions (McKenney's embarrassingly-parallel sharding
+with a deterministic merge).
+
+The process backend dispatches tasks in chunks: each chunk runs serially
+inside one worker, so per-worker caches (see
+:class:`repro.exec.warmup.PerfCacheWarmup`) stay warm across the chunk
+and per-task IPC overhead amortizes.  Chunks are consumed lazily from the
+task iterable — a large sweep grid is never materialized up front.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from itertools import islice
+from typing import (Any, Callable, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
+
+from repro.exec.task import TaskSpec
+
+#: Accepted ``parallel=`` values: ``None``/``False``/worker count/backend
+#: name (``"serial"``, ``"process"``, ``"process:N"``) or an instance.
+ParallelSpec = Union[None, bool, int, str, "ExecutionBackend"]
+
+
+def available_workers() -> int:
+    """Usable CPU count (respects scheduler affinity where exposed)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class ExecutionBackend:
+    """Interface: run independent tasks, return results in task order."""
+
+    name = "abstract"
+
+    def run(self, tasks: Iterable[TaskSpec]) -> List[Any]:
+        raise NotImplementedError
+
+    def starmap(self, fn: Callable[..., Any],
+                argtuples: Iterable[Tuple[Any, ...]]) -> List[Any]:
+        """``[fn(*t) for t in argtuples]`` — one task per argument tuple
+        (same contract as :meth:`ParallelRunner.starmap`)."""
+        return self.run(TaskSpec(fn, tuple(args)) for args in argtuples)
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution — the reference ordering and semantics."""
+
+    name = "serial"
+
+    def run(self, tasks: Iterable[TaskSpec]) -> List[Any]:
+        return [task() for task in tasks]
+
+
+def _chunk_tasks(tasks: Iterable[TaskSpec],
+                 chunk_size: int) -> Iterator[List[TaskSpec]]:
+    iterator = iter(tasks)
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def _init_worker(warmup: Optional[Callable[[], None]]) -> None:
+    """Pool initializer: run the warmup once per worker process."""
+    if warmup is not None:
+        warmup()
+
+
+def _run_chunk(chunk: Sequence[TaskSpec]) -> List[Any]:
+    return [task() for task in chunk]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Sharded execution across a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; defaults to :func:`available_workers`.
+    chunk_size:
+        Tasks per dispatch unit.  The default of 1 maximizes load balance
+        for chunky simulation cells; raise it for many tiny tasks.
+    start_method:
+        ``"fork"`` (default on Linux; workers inherit the parent's warm
+        caches for free), ``"spawn"`` or ``"forkserver"``.  Under spawn
+        the task callables must be importable by the child, and the
+        warmup re-warms each fresh interpreter.
+    warmup:
+        Picklable nullary callable run once in every worker before any
+        task (e.g. :class:`repro.exec.warmup.PerfCacheWarmup`).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None, chunk_size: int = 1,
+                 start_method: Optional[str] = None,
+                 warmup: Optional[Callable[[], None]] = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.workers = workers if workers is not None else available_workers()
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self.warmup = warmup
+
+    def run(self, tasks: Iterable[TaskSpec]) -> List[Any]:
+        chunks = _chunk_tasks(tasks, self.chunk_size)
+        # Grab the first chunk eagerly: an empty task list should not pay
+        # for pool startup, and a single chunk runs serially anyway.
+        first = next(chunks, None)
+        if first is None:
+            return []
+        second = next(chunks, None)
+        if second is None:
+            # A lone chunk would run serially inside one worker anyway;
+            # skip the pool startup and run it here.
+            return _run_chunk(first)
+
+        def rechained() -> Iterator[List[TaskSpec]]:
+            yield first
+            if second is not None:
+                yield second
+                yield from chunks
+
+        context = multiprocessing.get_context(self.start_method)
+        with context.Pool(self.workers, initializer=_init_worker,
+                          initargs=(self.warmup,)) as pool:
+            # imap preserves submission order and feeds chunks to workers
+            # as they free up, so ordering is deterministic by
+            # construction and the grid streams through bounded memory.
+            results: List[Any] = []
+            for chunk_results in pool.imap(_run_chunk, rechained()):
+                results.extend(chunk_results)
+        return results
+
+
+def resolve_backend(parallel: ParallelSpec = None, *,
+                    chunk_size: int = 1,
+                    start_method: Optional[str] = None,
+                    warmup: Optional[Callable[[], None]] = None
+                    ) -> ExecutionBackend:
+    """Normalize a ``parallel=`` argument into a backend instance.
+
+    ``None``/``False``/``0``/``1``/``"serial"`` mean serial; ``True`` and
+    ``"process"`` mean a pool sized to the machine; an integer ``n > 1``
+    or ``"process:n"`` pins the worker count; a backend instance passes
+    through unchanged (the keyword-only tuning knobs apply only when this
+    function constructs the pool).
+    """
+    if isinstance(parallel, ExecutionBackend):
+        return parallel
+    if parallel is None or parallel is False:
+        return SerialBackend()
+    if parallel is True:
+        return ProcessPoolBackend(chunk_size=chunk_size,
+                                  start_method=start_method, warmup=warmup)
+    if isinstance(parallel, int):
+        if parallel < 0:
+            raise ValueError("parallel worker count must be non-negative")
+        if parallel <= 1:
+            return SerialBackend()
+        return ProcessPoolBackend(parallel, chunk_size=chunk_size,
+                                  start_method=start_method, warmup=warmup)
+    if isinstance(parallel, str):
+        spec = parallel.strip().lower()
+        if spec == "serial":
+            return SerialBackend()
+        if spec == "process":
+            return ProcessPoolBackend(chunk_size=chunk_size,
+                                      start_method=start_method,
+                                      warmup=warmup)
+        if spec.startswith("process:"):
+            workers = int(spec.split(":", 1)[1])
+            return resolve_backend(workers, chunk_size=chunk_size,
+                                   start_method=start_method, warmup=warmup)
+    raise ValueError(f"unrecognized parallel spec {parallel!r}")

@@ -1,0 +1,56 @@
+"""The :class:`ParallelRunner` — shard independent simulation units.
+
+Design-space sweeps, ablation grids and multi-config benchmark cells are
+embarrassingly parallel: every cell is a pure function of picklable
+configuration dataclasses.  The runner pairs such a unit stream with an
+:class:`~repro.exec.backends.ExecutionBackend` and guarantees the merge
+is deterministic — results come back in submission order, so a parallel
+run's output is record-for-record identical to a serial run's.
+
+Typical use::
+
+    from repro.exec import ParallelRunner
+
+    runner = ParallelRunner(parallel=4)          # 4-worker process pool
+    results = runner.map(evaluate_cell, grid)    # ordered like ``grid``
+
+or through the sweep front end, ``run_sweep(axes, fn, parallel=4)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.exec.backends import (ExecutionBackend, ParallelSpec,
+                                 resolve_backend)
+from repro.exec.task import TaskSpec
+
+
+class ParallelRunner:
+    """Run independent tasks on a pluggable backend, merging in order."""
+
+    def __init__(self, parallel: ParallelSpec = None, *,
+                 chunk_size: int = 1,
+                 start_method: Optional[str] = None,
+                 warmup: Optional[Callable[[], None]] = None) -> None:
+        self.backend: ExecutionBackend = resolve_backend(
+            parallel, chunk_size=chunk_size, start_method=start_method,
+            warmup=warmup)
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether tasks leave the current process."""
+        return self.backend.name != "serial"
+
+    def run(self, tasks: Iterable[TaskSpec]) -> List[Any]:
+        """Execute ``tasks``; results align index-for-index with tasks."""
+        return self.backend.run(tasks)
+
+    def map(self, fn: Callable[..., Any], args: Iterable[Any]) -> List[Any]:
+        """``[fn(a) for a in args]``, sharded across the backend."""
+        return self.run(TaskSpec(fn, (arg,)) for arg in args)
+
+    def starmap(self, fn: Callable[..., Any],
+                argtuples: Iterable[Tuple[Any, ...]]) -> List[Any]:
+        """``[fn(*t) for t in argtuples]``, sharded across the backend."""
+        return self.backend.starmap(fn, argtuples)

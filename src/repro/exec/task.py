@@ -1,0 +1,36 @@
+"""Picklable task specifications for the execution backends.
+
+A :class:`TaskSpec` names a callable plus its arguments; process-pool
+backends ship it to a worker, so every piece must survive pickling: the
+callable has to be importable at module scope (a top-level function or a
+:func:`functools.partial` over one), and the arguments must themselves be
+picklable.  The frozen hardware dataclasses used throughout this repo
+(configs, model specs, dataset traces) all qualify.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of independent work: ``fn(*args, **kwargs)``."""
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __call__(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+def is_picklable(obj: Any) -> bool:
+    """Whether ``obj`` round-trips through pickle (cheap pre-flight check)."""
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True

@@ -1,0 +1,49 @@
+"""Per-worker cache warmup for process-pool execution.
+
+A fresh worker interpreter (``spawn``/``forkserver``) starts with cold
+``repro.perf`` caches; the first task in each worker would then pay the
+full command-level calibration (~hundreds of ms) that the parent already
+paid.  :class:`PerfCacheWarmup` is a picklable initializer that re-runs
+:func:`repro.perf.cached_calibrate` for the hardware configurations a
+sweep will touch, so every worker starts warm.  Under ``fork`` the
+workers inherit the parent's caches and the warmup hits memoized entries,
+costing nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.config import NeuPimsConfig
+from repro.model.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class PerfCacheWarmup:
+    """Warm the calibration (and optionally estimate) caches per worker."""
+
+    configs: Tuple[NeuPimsConfig, ...] = field(
+        default_factory=lambda: (NeuPimsConfig(),))
+    #: model specs to build estimators for (empty: calibration only)
+    specs: Tuple[ModelSpec, ...] = ()
+    #: sequence lengths to pre-estimate per (config, spec) pair
+    seq_lens: Tuple[int, ...] = ()
+
+    def __call__(self) -> None:
+        # Imports stay inside the call so pickling the warmup spec never
+        # drags the whole simulation stack into the parent-side payload.
+        from repro.core.estimator import MhaLatencyEstimator, analytic_latencies
+        from repro.perf.calibration import cached_calibrate, memoized_estimator
+
+        for config in self.configs:
+            cached_calibrate(config.timing, config.org, config.pim_timing)
+            if not self.specs or not self.seq_lens:
+                continue
+            latencies = analytic_latencies(config.timing, config.org,
+                                           config.pim_timing)
+            for spec in self.specs:
+                estimator = memoized_estimator(MhaLatencyEstimator(
+                    spec=spec, org=config.org, latencies=latencies))
+                for seq_len in self.seq_lens:
+                    estimator.estimate(seq_len)

@@ -42,6 +42,10 @@ class KeyedCache:
         self.max_weight = max_weight
         self.hits = 0
         self.misses = 0
+        #: bumped on every clear(); lets write-through L1 mirrors (e.g.
+        #: :class:`repro.perf.calibration.MemoizedEstimator`) detect
+        #: invalidation without re-keying the shared table per lookup
+        self.generation = 0
         self._weight_fn = weight
         self._entries: Dict[Hashable, Any] = {}
         self._weights: Dict[Hashable, float] = {}
@@ -90,6 +94,7 @@ class KeyedCache:
         self._entries.clear()
         self._weights.clear()
         self._total_weight = 0.0
+        self.generation += 1
 
     def info(self) -> Dict[str, float]:
         """Size, weight and hit/miss counters, for diagnostics and tests."""

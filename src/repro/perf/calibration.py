@@ -48,7 +48,10 @@ class MemoizedEstimator:
     entries and :func:`repro.perf.cache.invalidate` clears them all.
     """
 
-    __slots__ = ("inner", "_table", "_base_key")
+    __slots__ = ("inner", "_table", "_base_key", "_l1", "_l1_generation")
+
+    #: safety bound on the per-instance mirror (distinct seq_lens)
+    _L1_MAX = 1 << 16
 
     def __init__(self, inner: MhaLatencyEstimator) -> None:
         # Unwrap to keep double memoization from stacking.
@@ -61,6 +64,15 @@ class MemoizedEstimator:
         # even when the frozen inputs are equal.
         self._base_key = (type(inner), inner.spec, inner.org,
                           inner.latencies)
+        # Write-through seq_len -> estimate mirror of this instance's
+        # slice of the shared table.  The shared key is a nested tuple of
+        # frozen dataclasses whose hash is recomputed per lookup — too
+        # expensive for the serving loop, which estimates every resident
+        # request every iteration.  The mirror is flushed whenever the
+        # shared table's generation moves (i.e. on invalidate()), so the
+        # registry keeps its uniform-invalidation contract.
+        self._l1: dict = {}
+        self._l1_generation = self._table.generation
 
     @property
     def spec(self):
@@ -87,9 +99,23 @@ class MemoizedEstimator:
 
     def estimate(self, seq_len: int) -> float:
         """Memoized total MHA latency for one request (Algorithm 1)."""
-        return self._table.get_or_compute(
+        table = self._table
+        if self._l1_generation != table.generation:
+            self._l1.clear()
+            self._l1_generation = table.generation
+        value = self._l1.get(seq_len)
+        if value is not None:
+            # Mirror hits count as memo hits so the registry's accounting
+            # stays meaningful.
+            table.hits += 1
+            return value
+        value = table.get_or_compute(
             (self._base_key, seq_len),
             lambda: self.inner.estimate(seq_len))
+        if len(self._l1) >= self._L1_MAX:
+            self._l1.clear()
+        self._l1[seq_len] = value
+        return value
 
     def estimate_batch(self, seq_lens: Iterable[int]) -> float:
         """Sum of memoized estimates (Algorithm 2's load metric)."""

@@ -5,10 +5,19 @@ request id, input length, generated-token count, assigned channel and
 status.  At every iteration boundary the scheduler admits waiting requests
 into the running batch (iteration-level scheduling, per Orca) and retires
 finished ones.
+
+The pool indexes requests **by status** so the per-iteration accessors
+(`waiting` / `running` / `finished`) scan only their own bucket instead of
+the whole table.  Status transitions happen on request objects all over
+the serving stack (admission, token advance, preemption demotions); the
+pool installs a status observer on every submitted request, so buckets
+stay exact without per-iteration rescans, and sorted views are cached
+until their bucket actually changes.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional
 
 from repro.serving.request import InferenceRequest, RequestStatus
@@ -19,12 +28,66 @@ class RequestPool:
 
     def __init__(self) -> None:
         self._requests: Dict[int, InferenceRequest] = {}
+        self._buckets: Dict[RequestStatus, Dict[int, InferenceRequest]] = {
+            status: {} for status in RequestStatus
+        }
+        #: per-status cached sorted views, dropped on bucket mutation
+        self._sorted: Dict[RequestStatus, Optional[List[InferenceRequest]]] = {
+            status: None for status in RequestStatus
+        }
+        #: arrival times aligned with the sorted WAITING view (for the
+        #: arrived-by-``now`` prefix cut)
+        self._waiting_arrivals: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Bucket maintenance.
+    # ------------------------------------------------------------------
+
+    def _observe_status(self, request: InferenceRequest,
+                        old: Optional[RequestStatus],
+                        new: RequestStatus) -> None:
+        if self._requests.get(request.request_id) is not request:
+            return  # stale observer (request re-submitted elsewhere)
+        if old is not None:
+            self._buckets[old].pop(request.request_id, None)
+            self._sorted[old] = None
+        self._buckets[new][request.request_id] = request
+        self._sorted[new] = None
+
+    def _drop(self, request: InferenceRequest) -> None:
+        del self._requests[request.request_id]
+        self._buckets[request.status].pop(request.request_id, None)
+        self._sorted[request.status] = None
+        observer = request.__dict__.get("_status_observer")
+        if getattr(observer, "__self__", None) is self:
+            del request.__dict__["_status_observer"]
+
+    def _bucket_sorted(self, status: RequestStatus) -> List[InferenceRequest]:
+        """The bucket ordered by request id, cached until it changes."""
+        view = self._sorted[status]
+        if view is None:
+            bucket = self._buckets[status]
+            view = [bucket[rid] for rid in sorted(bucket)]
+            self._sorted[status] = view
+            if status is RequestStatus.WAITING:
+                # Waiting requests sort by (arrival_time, id); re-sort the
+                # id-ordered view (stable) and remember the arrival keys.
+                view.sort(key=lambda r: r.arrival_time)
+                self._waiting_arrivals = [r.arrival_time for r in view]
+        return view
+
+    # ------------------------------------------------------------------
+    # Submission and lookup.
+    # ------------------------------------------------------------------
 
     def submit(self, request: InferenceRequest) -> None:
         """Add a new request to the pool."""
         if request.request_id in self._requests:
             raise ValueError(f"duplicate request id {request.request_id}")
         self._requests[request.request_id] = request
+        self._buckets[request.status][request.request_id] = request
+        self._sorted[request.status] = None
+        request.__dict__["_status_observer"] = self._observe_status
 
     def submit_all(self, requests: Iterable[InferenceRequest]) -> None:
         """Add several requests to the pool."""
@@ -35,35 +98,40 @@ class RequestPool:
         """Look up one request by id."""
         return self._requests[request_id]
 
+    # ------------------------------------------------------------------
+    # Status views.
+    # ------------------------------------------------------------------
+
     def waiting(self, now: float = float("inf")) -> List[InferenceRequest]:
         """Waiting requests that have arrived by ``now``, FIFO by arrival."""
-        ready = [
-            r for r in self._requests.values()
-            if r.status is RequestStatus.WAITING and r.arrival_time <= now
-        ]
-        return sorted(ready, key=lambda r: (r.arrival_time, r.request_id))
+        view = self._bucket_sorted(RequestStatus.WAITING)
+        if not view:
+            return []
+        if now >= self._waiting_arrivals[-1]:
+            return list(view)
+        return view[:bisect_right(self._waiting_arrivals, now)]
 
     def running(self) -> List[InferenceRequest]:
         """Requests currently in the generation batch."""
-        return sorted(
-            (r for r in self._requests.values()
-             if r.status is RequestStatus.RUNNING),
-            key=lambda r: r.request_id,
-        )
+        return list(self._bucket_sorted(RequestStatus.RUNNING))
+
+    def running_count(self) -> int:
+        """Size of the generation batch (no scan, no sort)."""
+        return len(self._buckets[RequestStatus.RUNNING])
 
     def finished(self) -> List[InferenceRequest]:
         """Completed requests still present in the pool."""
-        return sorted(
-            (r for r in self._requests.values()
-             if r.status is RequestStatus.DONE),
-            key=lambda r: r.request_id,
-        )
+        return list(self._bucket_sorted(RequestStatus.DONE))
+
+    def has_finished(self) -> bool:
+        """Whether any request awaits retirement (no scan)."""
+        return bool(self._buckets[RequestStatus.DONE])
 
     def retire_finished(self) -> List[InferenceRequest]:
         """Remove and return finished requests (iteration boundary)."""
         done = self.finished()
         for request in done:
-            del self._requests[request.request_id]
+            self._drop(request)
         return done
 
     def __len__(self) -> int:
@@ -75,7 +143,7 @@ class RequestPool:
     def channel_occupancy(self, num_channels: int) -> List[int]:
         """Running-request count per channel (for the Figure 7 table view)."""
         counts = [0] * num_channels
-        for request in self.running():
+        for request in self._buckets[RequestStatus.RUNNING].values():
             if request.channel is not None:
                 counts[request.channel] += 1
         return counts

@@ -64,6 +64,34 @@ class InferenceRequest:
         if self.generated < 0 or self.generated > self.output_len:
             raise ValueError("generated out of range")
 
+    # ------------------------------------------------------------------
+    # Status observation.  The request pool indexes requests by status,
+    # but transitions (begin_generation, advance, preemption demotions)
+    # happen directly on request objects all over the serving stack; this
+    # hook lets the owning pool keep its per-status buckets exact without
+    # rescanning every request per iteration.
+    # ------------------------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name == "status":
+            old = self.__dict__.get("status")
+            self.__dict__["status"] = value
+            if old is not value:
+                observer = self.__dict__.get("_status_observer")
+                if observer is not None:
+                    observer(self, old, value)
+            return
+        self.__dict__[name] = value
+
+    def __getstate__(self) -> dict:
+        # The observer points at a live pool; never serialize it.
+        state = self.__dict__.copy()
+        state.pop("_status_observer", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def seq_len(self) -> int:
         """Current context length (KV-cache entries): prompt + generated."""

@@ -122,9 +122,14 @@ class IterationScheduler:
     # ------------------------------------------------------------------
 
     def _admit(self) -> int:
-        """Admit waiting requests at the iteration boundary."""
-        running = self.pool.running()
-        space = self.max_batch_size - len(running)
+        """Admit waiting requests at the iteration boundary.
+
+        The scan is bucket-cheap: batch occupancy is a counter and the
+        arrived-waiting slice is a prefix cut of the pool's cached
+        arrival-sorted view, so a full batch or an empty waiting queue
+        costs O(1) rather than a rescan of every pooled request.
+        """
+        space = self.max_batch_size - self.pool.running_count()
         admitted = 0
         if space <= 0:
             return 0
@@ -156,6 +161,8 @@ class IterationScheduler:
 
     def _retire(self) -> int:
         """Remove finished requests and free their KV blocks."""
+        if not self.pool.has_finished():
+            return 0
         done = self.pool.retire_finished()
         for request in done:
             if (self.allocators is not None

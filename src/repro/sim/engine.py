@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 
@@ -24,13 +23,23 @@ class SimulationError(RuntimeError):
     """Raised when the engine is driven inconsistently (e.g. past events)."""
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    executed: bool = field(default=False, compare=False)
+    """Handle for a scheduled callback.
+
+    The heap orders plain ``(time, seq)`` tuples — native float/int
+    comparisons — rather than ordering these handles, which would pay a
+    generated ``__lt__`` method call per heap sift.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "executed")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.executed = False
 
 
 class EventEngine:
@@ -53,7 +62,9 @@ class EventEngine:
     """
 
     def __init__(self) -> None:
-        self._queue: List[_Event] = []
+        #: heap of (time, seq, event) — tuple comparison never reaches the
+        #: event because (time, seq) is unique per entry
+        self._queue: List[Tuple[float, int, _Event]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
@@ -72,8 +83,8 @@ class EventEngine:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        event = _Event(time=float(time), seq=next(self._counter), callback=callback)
-        heapq.heappush(self._queue, event)
+        event = _Event(float(time), next(self._counter), callback)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
         self._pending += 1
         return event
 
@@ -96,17 +107,17 @@ class EventEngine:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` when drained."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def step(self) -> bool:
         """Execute the next event.  Returns ``False`` when queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            time, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = time
             event.executed = True
             self._pending -= 1
             event.callback()

@@ -8,8 +8,10 @@ from repro.analysis.energy import (
     energy_comparison,
     iteration_energy,
 )
-from repro.analysis.sweep import SweepAxis, pareto_front, run_sweep
+from repro.analysis.sweep import (SweepAxis, SweepResult, iter_points,
+                                  pareto_front, run_sweep)
 from repro.core.device import IterationResult
+from repro.exec.backends import ExecutionBackend
 
 
 def result(latency=1e6, npu_busy=0.5e6):
@@ -121,3 +123,72 @@ class TestSweep:
     def test_as_rows(self):
         result = run_sweep([SweepAxis("x", [1, 2])], lambda x: {"y": x * 10})
         assert result.as_rows(["x", "y"]) == [[1, 10], [2, 20]]
+
+
+class TestFilterMissingKeys:
+    """Regression: a record lacking a conditioned key must not match."""
+
+    def test_missing_key_does_not_match_none(self):
+        result = SweepResult(axes=["a"],
+                             records=[{"a": 1, "m": 2.0}, {"m": 3.0}])
+        # Historically `r.get(k) == v` made records without the axis
+        # match a condition of None; absence is not a value.
+        assert result.filter(a=None).records == []
+
+    def test_missing_key_does_not_match_any_value(self):
+        result = SweepResult(axes=["a"],
+                             records=[{"a": 1, "m": 2.0}, {"m": 3.0}])
+        assert result.filter(a=1).records == [{"a": 1, "m": 2.0}]
+        assert result.filter(unknown=1).records == []
+
+    def test_explicit_none_value_still_matches(self):
+        result = SweepResult(axes=["a"],
+                             records=[{"a": None, "m": 1.0}, {"m": 2.0}])
+        assert result.filter(a=None).records == [{"a": None, "m": 1.0}]
+
+
+class _TakeFirstThree(ExecutionBackend):
+    """Backend that consumes only a prefix — proves tasks stream lazily."""
+
+    name = "take3"
+
+    def __init__(self):
+        self.saw_sequence = False
+
+    def run(self, tasks):
+        self.saw_sequence = isinstance(tasks, (list, tuple))
+        iterator = iter(tasks)
+        return [next(iterator)() for _ in range(3)]
+
+
+class TestLazyGrid:
+    def test_iter_points_is_lazy_and_ordered(self):
+        axes = [SweepAxis("a", [1, 2]), SweepAxis("b", [10, 20])]
+        points = iter_points(axes)
+        assert not isinstance(points, (list, tuple))
+        assert next(points) == {"a": 1, "b": 10}
+        assert list(points) == [{"a": 1, "b": 20},
+                                {"a": 2, "b": 10}, {"a": 2, "b": 20}]
+
+    def test_iter_points_applies_skip(self):
+        axes = [SweepAxis("a", [1, 2, 3])]
+        assert [p["a"] for p in iter_points(axes, skip=lambda a: a == 2)] \
+            == [1, 3]
+
+    def test_run_sweep_does_not_materialize_grid(self):
+        evaluated = []
+
+        def evaluate(a, b):
+            evaluated.append((a, b))
+            return {"v": a * b}
+
+        backend = _TakeFirstThree()
+        # A 10k-point grid: only the three consumed tasks may evaluate
+        # (and the task stream itself must not arrive as a sequence).
+        result = run_sweep(
+            [SweepAxis("a", list(range(100))),
+             SweepAxis("b", list(range(100)))],
+            evaluate, parallel=backend)
+        assert not backend.saw_sequence
+        assert len(evaluated) == 3
+        assert len(result.records) == 3

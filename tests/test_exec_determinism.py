@@ -1,0 +1,121 @@
+"""Cross-process determinism of sharded sweeps and the perf caches.
+
+The execution subsystem's contract is that parallel output is
+record-for-record identical to serial output.  That has to hold across
+worker start methods (``fork`` workers inherit the parent's warm caches,
+``spawn`` workers rebuild everything from imports) and across
+``PYTHONHASHSEED`` values (no cache key or record ordering may lean on
+``hash()`` of anything but values with stable hashes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.analysis.ablation import ablation_axes, run_ablation_grid
+from repro.analysis.sensitivity import DEFAULT_KNOBS, sensitivity_sweep
+from repro.core.planner import plan_deployment
+from repro.exec import PerfCacheWarmup, ProcessPoolBackend
+from repro.model.spec import GPT3_7B
+from repro.serving.trace import ALPACA
+
+SMALL_AXES_KW = dict(batch_sizes=(16,))  # 2*2*2 flag cross, one batch size
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Driver for the PYTHONHASHSEED tests: computes a serial and a 2-worker
+#: sweep over the small ablation grid plus a calibration digest, and
+#: prints everything as sorted JSON for byte comparison across runs.
+_HASHSEED_SCRIPT = """
+import json, sys
+from repro.analysis.ablation import ablation_axes, run_ablation_grid
+from repro.core.estimator import analytic_latencies
+from repro.exec import ProcessPoolBackend
+from repro.perf.calibration import cached_calibrate
+
+axes = ablation_axes(batch_sizes=(16,))
+serial = run_ablation_grid(axes, num_batches=1)
+pooled = run_ablation_grid(
+    axes, num_batches=1,
+    parallel=ProcessPoolBackend(2, start_method="fork"))
+calibration = cached_calibrate()
+payload = {
+    "serial": serial.records,
+    "pooled": pooled.records,
+    "calibration": repr(calibration),
+    "analytic": repr(analytic_latencies()),
+}
+json.dump(payload, sys.stdout, sort_keys=True)
+"""
+
+
+def _run_with_hashseed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    result = subprocess.run(
+        [sys.executable, "-c", _HASHSEED_SCRIPT],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=300)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestStartMethods:
+    def test_fork_matches_serial(self):
+        axes = ablation_axes(**SMALL_AXES_KW)
+        serial = run_ablation_grid(axes, num_batches=1)
+        pooled = run_ablation_grid(
+            axes, num_batches=1,
+            parallel=ProcessPoolBackend(2, start_method="fork"))
+        assert pooled.records == serial.records
+
+    def test_spawn_matches_serial(self):
+        # Spawn workers rebuild caches from a cold interpreter; the
+        # warmup pre-fills calibration so results and timings come from
+        # the same code path as the warm parent.
+        axes = ablation_axes(**SMALL_AXES_KW)
+        serial = run_ablation_grid(axes, num_batches=1)
+        pooled = run_ablation_grid(
+            axes, num_batches=1,
+            parallel=ProcessPoolBackend(2, start_method="spawn",
+                                        warmup=PerfCacheWarmup()))
+        assert pooled.records == serial.records
+
+    def test_chunked_fork_matches_serial(self):
+        axes = ablation_axes(**SMALL_AXES_KW)
+        serial = run_ablation_grid(axes, num_batches=1)
+        pooled = run_ablation_grid(
+            axes, num_batches=1,
+            parallel=ProcessPoolBackend(2, chunk_size=3,
+                                        start_method="fork"))
+        assert pooled.records == serial.records
+
+
+class TestHashSeedInvariance:
+    def test_records_and_cache_results_stable_across_hash_seeds(self):
+        baseline = _run_with_hashseed("0")
+        for seed in ("1", "31337"):
+            assert _run_with_hashseed(seed) == baseline
+        payload = json.loads(baseline)
+        assert payload["pooled"] == payload["serial"]
+        assert len(payload["serial"]) == 8
+
+
+class TestAnalysisFrontEnds:
+    def test_sensitivity_sweep_parallel_matches_serial(self):
+        kwargs = dict(batch_size=64, layers=2, knobs=DEFAULT_KNOBS[:1])
+        serial = sensitivity_sweep(**kwargs)
+        pooled = sensitivity_sweep(parallel=2, **kwargs)
+        assert pooled == serial
+
+    def test_planner_parallel_matches_serial(self):
+        kwargs = dict(spec=GPT3_7B, trace=ALPACA, max_devices=4,
+                      batch_sizes=[32, 64])
+        serial = plan_deployment(**kwargs)
+        pooled = plan_deployment(parallel=2, **kwargs)
+        assert pooled.points == serial.points
+        assert pooled.best == serial.best

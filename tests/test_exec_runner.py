@@ -1,0 +1,192 @@
+"""Unit tests for the sharded execution subsystem (`repro.exec`).
+
+Covers backend resolution, the ordering contract (results in submission
+order regardless of completion order), chunked dispatch, lazy task
+consumption, per-worker warmup, and task-spec pickling.  Cross-process
+determinism of whole sweeps lives in ``test_exec_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+
+import pytest
+
+from repro.core.config import NeuPimsConfig
+from repro.exec import (ExecutionBackend, ParallelRunner, PerfCacheWarmup,
+                        ProcessPoolBackend, SerialBackend, TaskSpec,
+                        available_workers, is_picklable, resolve_backend)
+from repro.perf import CALIBRATION_CACHE, cache, invalidate
+
+
+# ----------------------------------------------------------------------
+# Module-level task functions: process backends ship TaskSpecs through
+# pickle, which serializes callables by reference.
+# ----------------------------------------------------------------------
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _add(a: int, b: int, bias: int = 0) -> int:
+    return a + b + bias
+
+
+def _sleep_identity(delay: float, value: int) -> int:
+    time.sleep(delay)
+    return value
+
+
+_WARMED_IN_PID = None
+
+
+def _mark_warm() -> None:
+    global _WARMED_IN_PID
+    _WARMED_IN_PID = os.getpid()
+
+
+def _observe_warm() -> tuple:
+    return (os.getpid(), _WARMED_IN_PID)
+
+
+class TestResolveBackend:
+    @pytest.mark.parametrize("spec", [None, False, 0, 1, "serial", "SERIAL"])
+    def test_serial_specs(self, spec):
+        assert isinstance(resolve_backend(spec), SerialBackend)
+
+    def test_true_means_machine_sized_pool(self):
+        backend = resolve_backend(True)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.workers == available_workers()
+
+    def test_int_pins_worker_count(self):
+        backend = resolve_backend(3)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.workers == 3
+
+    def test_process_string_specs(self):
+        assert resolve_backend("process").workers == available_workers()
+        assert resolve_backend("process:5").workers == 5
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+        pool = ProcessPoolBackend(2)
+        assert resolve_backend(pool) is pool
+
+    def test_tuning_knobs_reach_constructed_pool(self):
+        warmup = PerfCacheWarmup()
+        backend = resolve_backend(2, chunk_size=7, start_method="fork",
+                                  warmup=warmup)
+        assert backend.chunk_size == 7
+        assert backend.start_method == "fork"
+        assert backend.warmup is warmup
+
+    @pytest.mark.parametrize("bad", ["bogus", "process:", object(), 2.5])
+    def test_invalid_specs_raise(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            resolve_backend(bad)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            resolve_backend(-2)
+
+    def test_pool_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(2, chunk_size=0)
+
+
+class TestTaskSpec:
+    def test_call_applies_args_and_kwargs(self):
+        task = TaskSpec(_add, (2, 3), {"bias": 10})
+        assert task() == 15
+
+    def test_specs_are_picklable(self):
+        assert is_picklable(TaskSpec(_add, (1, 2)))
+        assert is_picklable(TaskSpec(functools.partial(_add, 1), (2,)))
+        assert is_picklable(PerfCacheWarmup((NeuPimsConfig(),)))
+
+    def test_is_picklable_rejects_closures(self):
+        local = lambda: None  # noqa: E731 - deliberately unpicklable
+        assert not is_picklable(local)
+
+
+class TestSerialBackend:
+    def test_run_preserves_order(self):
+        tasks = [TaskSpec(_square, (i,)) for i in range(10)]
+        assert SerialBackend().run(tasks) == [i * i for i in range(10)]
+
+    def test_starmap_convenience(self):
+        assert SerialBackend().starmap(_add, [(1, 2), (3, 4)]) == [3, 7]
+
+
+class TestParallelRunner:
+    def test_map_and_starmap_serial(self):
+        runner = ParallelRunner()
+        assert not runner.is_parallel
+        assert runner.map(_square, range(5)) == [0, 1, 4, 9, 16]
+        assert runner.starmap(_add, [(1, 2), (5, 6)]) == [3, 11]
+
+    def test_parallel_flag(self):
+        assert ParallelRunner(parallel=2).is_parallel
+
+    def test_map_matches_serial_across_backends(self):
+        serial = ParallelRunner().map(_square, range(20))
+        pooled = ParallelRunner(parallel=2).map(_square, range(20))
+        assert pooled == serial
+
+
+class TestProcessPoolBackend:
+    def test_empty_task_list_skips_pool(self):
+        assert ProcessPoolBackend(2).run(iter([])) == []
+
+    def test_single_chunk_one_worker_runs_inline(self):
+        backend = ProcessPoolBackend(1, chunk_size=8)
+        assert backend.run(TaskSpec(_square, (i,)) for i in range(5)) \
+            == [0, 1, 4, 9, 16]
+
+    def test_submission_order_despite_completion_order(self):
+        # Earlier tasks sleep longer, so completion order is reversed;
+        # results must still come back in submission order.
+        delays = [0.08, 0.04, 0.0, 0.0]
+        backend = ProcessPoolBackend(2, start_method="fork")
+        results = backend.run(
+            TaskSpec(_sleep_identity, (delay, i))
+            for i, delay in enumerate(delays))
+        assert results == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 64])
+    def test_chunked_dispatch_preserves_order(self, chunk_size):
+        backend = ProcessPoolBackend(2, chunk_size=chunk_size,
+                                     start_method="fork")
+        assert backend.run(TaskSpec(_square, (i,)) for i in range(17)) \
+            == [i * i for i in range(17)]
+
+    def test_warmup_runs_in_worker_before_tasks(self):
+        backend = ProcessPoolBackend(2, start_method="fork",
+                                     warmup=_mark_warm)
+        for pid, warmed_pid in backend.run(
+                TaskSpec(_observe_warm) for _ in range(8)):
+            assert warmed_pid == pid
+
+    def test_tasks_consumed_lazily(self):
+        # The backend must not materialize the whole task stream before
+        # dispatch; feeding it a generator works and streams through.
+        def tasks():
+            for i in range(10):
+                yield TaskSpec(_square, (i,))
+
+        backend = ProcessPoolBackend(2, chunk_size=2, start_method="fork")
+        assert backend.run(tasks()) == [i * i for i in range(10)]
+
+
+class TestPerfCacheWarmup:
+    def test_warmup_populates_calibration_cache(self):
+        invalidate()
+        assert cache(CALIBRATION_CACHE).info()["size"] == 0
+        PerfCacheWarmup((NeuPimsConfig(),))()
+        assert cache(CALIBRATION_CACHE).info()["size"] == 1
