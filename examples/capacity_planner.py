@@ -3,9 +3,12 @@
 
 Uses the planner to enumerate feasible configurations of a NeuPIMs
 cluster for GPT3-13B on ShareGPT traffic, under an optional per-token
-latency SLO, and prints the decision table.  The (TP, PP, batch) grid
-shards across a process pool (``--workers N``) through ``repro.exec``;
-the chosen plan is identical to a serial run.
+latency SLO, and prints the decision table.  Each grid point is one
+declarative ``ScenarioSpec`` (built by ``repro.core.planner
+.plan_scenario``) run by a ``Session`` over the multi-device system
+engine; the specs fan across a process pool (``--workers N``) through
+``repro.api.run_scenarios``, and the chosen plan is identical to a
+serial run.
 
 Run:  python examples/capacity_planner.py [--workers N]
 """

@@ -1,43 +1,42 @@
 #!/usr/bin/env python3
-"""Compiler pipeline: JSON specification -> IR -> device binary.
+"""Compiler pipeline: scenario specification -> IR -> device binary.
 
 Walks the NeuPIMs compiler framework end to end (paper Figure 7,
-component 4): parse the admin-provided LLM + system specifications,
-lower the model into the operator IR, emit NPU tile instructions and PIM
-command streams, schedule them onto engines, and serialize the binary.
+component 4): declare the LLM + system through the ``repro.api`` front
+door (a ``ScenarioSpec`` built from a plain JSON dict, the same
+declarative document the CLI consumes), lower the model into the
+operator IR, emit NPU tile instructions and PIM command streams,
+schedule them onto engines, and serialize the binary.
 
 Run:  python examples/compile_model.py
 """
 
-import json
-
 from repro.analysis.report import format_table
-from repro.compiler.frontend import load_specification
+from repro.api import ScenarioSpec, Session
 from repro.compiler.lower import emit_binary, lower_model
 from repro.compiler.schedule import balance_report, schedule_binary, serialize
 from repro.dram.commands import CommandType
 
-SPECIFICATION = json.dumps({
-    "model": {"preset": "gpt3-7b"},
-    "system": {
-        "features": {"composite_isa": True, "sub_batch_interleaving": True},
-        "parallelism": {"tp": 4, "pp": 1},
-    },
-})
+#: The admin-provided declarative document (JSON-shaped plain dict).
+SPECIFICATION = {
+    "model": "gpt3-7b",
+    "system": "neupims",
+    "tp": 4,
+    "fidelity": "analytic",
+}
 
 
 def main() -> None:
-    compilation = load_specification(SPECIFICATION)
-    spec = compilation.model
+    session = Session(ScenarioSpec.from_dict(SPECIFICATION))
+    spec = session.model_spec
     print(f"compiling {spec.name}: {spec.num_layers} layers, "
           f"{spec.num_heads} heads, d_model {spec.d_model}, "
-          f"TP={compilation.scheme.tp}\n")
+          f"TP={session.tp}\n")
 
     # A one-layer batch (the per-layer program repeats across the stack).
     seq_lens = [128, 256, 384, 512]
-    module = lower_model(spec, seq_lens, tp=compilation.scheme.tp,
-                         num_layers=1)
-    binary = emit_binary(module, compilation.config)
+    module = lower_model(spec, seq_lens, tp=session.tp, num_layers=1)
+    binary = emit_binary(module, session.config)
     queues = schedule_binary(binary)
 
     pim_kinds = {}
@@ -66,8 +65,8 @@ def main() -> None:
         print(f"  {line}")
 
     assert CommandType.PIM_GEMV.value in pim_kinds
-    print("\n(with composite_isa=False the same GEMVs lower to "
-          "PIM_ACTIVATION/PIM_DOTPRODUCT streams — see "
+    print("\n(the same scenario with system='npu-pim' lowers the GEMVs to "
+          "fine-grained PIM_ACTIVATION/PIM_DOTPRODUCT streams — see "
           "examples/pim_microbench.py)")
 
 

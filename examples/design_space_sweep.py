@@ -4,75 +4,86 @@
 Reproduces the decision surface a deployment would care about: how the
 four systems compare across batch sizes on both datasets (Figure 12), and
 how tensor vs pipeline parallelism trade off at a fixed request count
-(Figure 14).
+(Figure 14).  Both grids are expressed through the ``repro.api`` front
+door: one base ``ScenarioSpec`` plus axis overrides, fanned across
+workers by ``scenario_sweep`` / ``run_scenarios``.
 
 Run:  python examples/design_space_sweep.py [--workers N]
 
 Parallel usage
 --------------
-Every sweep point is an independent simulation, so the grids shard
-across a process pool through ``repro.exec``: pass ``--workers 4`` (or
-call ``run_sweep(..., parallel=4)`` from your own code) and the sweep
-runs on 4 worker processes with chunked dispatch and warm per-worker
-caches.  Results are **record-for-record identical** to the serial run —
-the merge is deterministic — so parallelism is purely a wall-clock knob;
-it pays off once per-cell simulation time dominates the ~100 ms pool
+Every sweep point is an independent scenario, and ``ScenarioSpec`` is
+picklable by construction, so the grids shard across a process pool
+through ``repro.exec``: pass ``--workers 4`` and the sweep runs on 4
+worker processes with chunked dispatch and warm per-worker caches.
+Results are **record-for-record identical** to the serial run — the
+merge is deterministic — so parallelism is purely a wall-clock knob; it
+pays off once per-cell simulation time dominates the ~100 ms pool
 startup (large grids, big batches, many sampled batches per cell).
 """
 
 import argparse
 
-from repro.analysis.metrics import compare_systems
 from repro.analysis.report import format_table
-from repro.analysis.sweep import SweepAxis, run_sweep
-from repro.core.system import NeuPimsSystem, ParallelismScheme
-from repro.model.spec import GPT3_7B, GPT3_30B
-from repro.serving.trace import ALPACA, SHAREGPT, get_dataset, warmed_batch
-
-
-def _evaluate_throughput_point(dataset: str, batch_size: int):
-    """One Figure 12 cell (module level so process workers can run it)."""
-    results = compare_systems(GPT3_7B, get_dataset(dataset), batch_size,
-                              tp=4, layers_resident=8, num_batches=3)
-    npu = results["NPU-only"].tokens_per_second
-    return {
-        "gpu_norm": round(results["GPU-only"].tokens_per_second / npu, 2),
-        "npu_pim_norm": round(results["NPU+PIM"].tokens_per_second / npu, 2),
-        "neupims_norm": round(results["NeuPIMs"].tokens_per_second / npu, 2),
-    }
+from repro.analysis.sweep import SweepAxis, scenario_sweep
+from repro.api import ScenarioSpec, TrafficSpec, run_scenarios
+from repro.model.spec import get_model
 
 
 def throughput_sweep(workers: int) -> None:
-    spec = GPT3_7B
-    print(f"== throughput sweep ({spec.name}, TP=4) ==\n")
-    sweep = run_sweep(
-        [SweepAxis("dataset", [ALPACA.name, SHAREGPT.name]),
-         SweepAxis("batch_size", [64, 128, 256, 512])],
-        _evaluate_throughput_point,
+    """The Figure 12 grid: system x dataset x batch size."""
+    base = ScenarioSpec(
+        model="gpt3-7b", tp=4, layers_resident=8, fidelity="analytic",
+        traffic=TrafficSpec.warmed(batch_size=64, num_batches=3))
+    print(f"== throughput sweep ({base.resolve_model().name}, TP=4) ==\n")
+    sweep = scenario_sweep(
+        base,
+        [SweepAxis("dataset", ["alpaca", "sharegpt"]),
+         SweepAxis("batch_size", [64, 128, 256, 512]),
+         SweepAxis("system", ["gpu-only", "npu-only", "npu-pim", "neupims"])],
+        metrics=("tokens_per_second",),
         parallel=workers if workers > 1 else None)
-    for trace in (ALPACA, SHAREGPT):
-        rows = [(r["batch_size"], r["gpu_norm"], 1.0, r["npu_pim_norm"],
-                 r["neupims_norm"])
-                for r in sweep.filter(dataset=trace.name).records]
+    for dataset in ("alpaca", "sharegpt"):
+        rows = []
+        for batch_size in (64, 128, 256, 512):
+            cell = sweep.filter(dataset=dataset, batch_size=batch_size)
+            by_system = {r["system"]: r["tokens_per_second"]
+                         for r in cell.records}
+            npu = by_system["npu-only"]
+            rows.append((
+                batch_size,
+                round(by_system["gpu-only"] / npu, 2),
+                1.0,
+                round(by_system["npu-pim"] / npu, 2),
+                round(by_system["neupims"] / npu, 2),
+            ))
         print(format_table(
             ["batch", "GPU-only", "NPU-only", "NPU+PIM", "NeuPIMs"],
-            rows, title=f"normalized throughput — {trace.name}"))
+            rows, title=f"normalized throughput — {dataset}"))
         print()
 
 
-def parallelism_sweep() -> None:
-    spec = GPT3_30B
+def parallelism_sweep(workers: int) -> None:
+    """The Figure 14 trade-off: (TP, PP) at a fixed request count."""
+    model = "gpt3-30b"
     total_requests = 256
-    print(f"== parallelism sweep ({spec.name}, {total_requests} requests) ==\n")
-    rows = []
-    for tp, pp in ((4, 1), (2, 2), (8, 1), (4, 2), (8, 2), (4, 4)):
-        if spec.num_heads % tp:
-            continue
-        system = NeuPimsSystem(spec, ParallelismScheme(tp, pp))
-        batch = warmed_batch(SHAREGPT, total_requests, seed=0)
-        tokens_per_s = system.throughput_tokens_per_second(batch)
-        rows.append((f"(TP={tp}, PP={pp})", tp * pp,
-                     round(tokens_per_s / 1e3, 1)))
+    print(f"== parallelism sweep ({model}, {total_requests} requests) ==\n")
+    num_heads = get_model(model).num_heads
+    schemes = [(tp, pp) for tp, pp in ((4, 1), (2, 2), (8, 1), (4, 2),
+                                       (8, 2), (4, 4))
+               if num_heads % tp == 0]
+    specs = [
+        ScenarioSpec(model=model, tp=tp, pp=pp, fidelity="analytic",
+                     traffic=TrafficSpec.warmed(batch_size=total_requests,
+                                                seed=0))
+        for tp, pp in schemes
+    ]
+    results = run_scenarios(specs, parallel=workers if workers > 1 else None)
+    rows = [
+        (f"(TP={tp}, PP={pp})", tp * pp,
+         round(result.tokens_per_second / 1e3, 1))
+        for (tp, pp), result in zip(schemes, results)
+    ]
     print(format_table(["scheme", "devices", "throughput (k tokens/s)"],
                        rows))
     print("\nTP-heavy schemes keep the per-device batch large, matching the")
@@ -82,11 +93,11 @@ def parallelism_sweep() -> None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=1,
-                        help="process-pool workers for the throughput grid "
+                        help="process-pool workers for the scenario grids "
                              "(1 = serial; identical records either way)")
     args = parser.parse_args()
     throughput_sweep(args.workers)
-    parallelism_sweep()
+    parallelism_sweep(args.workers)
 
 
 if __name__ == "__main__":

@@ -2,51 +2,42 @@
 """Latency analysis: TTFT/TPOT percentiles and SLO attainment.
 
 Serves streaming ShareGPT traffic on NeuPIMs and on the naive NPU+PIM
-baseline, tracking per-request latency through the iteration-level
-scheduler: NeuPIMs' faster iterations translate into lower time-per-token
-and better SLO attainment at the same arrival rate.
+baseline: one ``ScenarioSpec`` describes the Poisson workload and the
+serving knobs, and each system's ``Session`` materializes the
+iteration-level scheduler with a latency tracker.  NeuPIMs' faster
+iterations translate into lower time-per-token and better SLO
+attainment at the same arrival rate.
 
 Run:  python examples/latency_slo.py
 """
 
 from repro.analysis.report import format_table
-from repro.baselines.npu_pim import naive_npu_pim_device
-from repro.core.device import NeuPimsDevice
-from repro.model.spec import GPT3_7B
-from repro.serving.latency import LatencyTracker
-from repro.serving.pool import RequestPool
-from repro.serving.scheduler import IterationScheduler
-from repro.serving.trace import SHAREGPT, poisson_arrivals
+from repro.api import ScenarioSpec, ServingSpec, Session, TrafficSpec
 
 
-def serve(device, arrivals):
-    pool = RequestPool()
-    pool.submit_all(arrivals)
-    tracker = LatencyTracker()
-    scheduler = IterationScheduler(
-        pool, tracker.wrap(device.executor()), max_batch_size=128,
-        assign_channels=device.assign_channels)
-    stats = scheduler.run()
-    return tracker.report(), stats
-
-
-def fresh_arrivals():
-    return poisson_arrivals(SHAREGPT, rate_per_kcycle=0.05,
-                            horizon_cycles=5e6, seed=3)[:128]
+def build_base() -> ScenarioSpec:
+    """The shared workload: streaming ShareGPT at a fixed arrival rate."""
+    return ScenarioSpec(
+        model="gpt3-7b",
+        tp=4,
+        layers_resident=8,
+        traffic=TrafficSpec.poisson(dataset="sharegpt", rate_per_kcycle=0.05,
+                                    horizon_cycles=5e6, seed=3,
+                                    max_requests=128),
+        serving=ServingSpec(max_batch_size=128, paged_kv=False,
+                            load_tracker=False),
+    )
 
 
 def main() -> None:
-    spec = GPT3_7B
-    systems = {
-        "NeuPIMs": NeuPimsDevice(spec, tp=4, layers_resident=8),
-        "NPU+PIM": naive_npu_pim_device(spec, tp=4, layers_resident=8),
-    }
-
+    base = build_base()
     tpot_slo_ms = 1.2  # 1.2 ms/token at the 1 GHz model clock
     rows = []
-    for name, device in systems.items():
-        report, stats = serve(device, fresh_arrivals())
-        summary = report.summary()
+    for name, system in (("NeuPIMs", "neupims"), ("NPU+PIM", "npu-pim")):
+        session = Session(base.override(system=system))
+        result = session.run()
+        report = session.latency_tracker.report()
+        summary = result.latency_ms
         attainment = report.slo_attainment(tpot_cycles=tpot_slo_ms * 1e6)
         rows.append((
             name,
@@ -55,7 +46,7 @@ def main() -> None:
             round(summary["tpot_p99_ms"], 3),
             round(summary["end_to_end_p99_ms"], 1),
             f"{attainment:.0%}",
-            round(stats.throughput_tokens_per_second() / 1e3, 1),
+            round(result.tokens_per_second / 1e3, 1),
         ))
 
     print(format_table(

@@ -7,10 +7,18 @@ controller, and reports command counts, C/A-bus occupancy, concurrency
 with regular memory reads, and channel power — the microarchitecture
 story of paper §5 in one script.
 
+The two hardware configurations under test are declared as
+``ScenarioSpec``s (the naive NPU+PIM system vs full NeuPIMs, both at
+``fidelity="cycle"``); each ``Session`` resolves the feature flags and
+HBM organization that drive the command streams, and its
+``calibrated_estimator()`` exposes the cycle-calibrated Algorithm-1
+constants the analytic fast path would use for the same hardware.
+
 Run:  python examples/pim_microbench.py
 """
 
 from repro.analysis.report import format_table
+from repro.api import ScenarioSpec, Session, TrafficSpec
 from repro.dram.channel import Channel
 from repro.dram.commands import Command, CommandType
 from repro.dram.controller import ControllerConfig, MemoryController
@@ -18,9 +26,20 @@ from repro.dram.power import PowerModel
 from repro.pim.gemv import GemvOp, composite_stream, fine_grained_stream
 
 
-def run_one(composite: bool, dual: bool):
+def build_session(system: str) -> Session:
+    """Declare one hardware configuration through the scenario API."""
+    return Session(ScenarioSpec(
+        model="gpt3-7b", system=system, fidelity="cycle",
+        traffic=TrafficSpec.warmed(batch_size=1)))
+
+
+def run_one(session: Session):
     """Replay a GEMV plus concurrent memory reads; return statistics."""
-    channel = Channel(0, dual_row_buffer=dual)
+    config = session.config
+    dual = config.dual_row_buffer
+    composite = config.composite_isa
+    channel = Channel(0, timing=config.timing, org=config.org,
+                      pim_timing=config.pim_timing, dual_row_buffer=dual)
     controller = MemoryController(
         channel, ControllerConfig(header_aware_refresh=composite))
 
@@ -51,8 +70,10 @@ def run_one(composite: bool, dual: bool):
 
 
 def main() -> None:
-    naive = run_one(composite=False, dual=False)
-    neupims = run_one(composite=True, dual=True)
+    naive_session = build_session("npu-pim")
+    neupims_session = build_session("neupims")
+    naive = run_one(naive_session)
+    neupims = run_one(neupims_session)
 
     rows = [
         ("total commands", naive["commands"], neupims["commands"]),
@@ -70,7 +91,11 @@ def main() -> None:
         rows, title="PIM channel microbenchmark (one MHA logit GEMV "
                     "+ concurrent weight reads)"))
 
-    print("\nWith dual row buffers the memory reads finish *inside* the")
+    latencies = neupims_session.calibrated_estimator().latencies
+    print(f"\ncycle-calibrated Algorithm-1 constants: "
+          f"L_tile={latencies.l_tile:.0f}, "
+          f"L_GWRITE={latencies.l_gwrite:.0f} cycles")
+    print("With dual row buffers the memory reads finish *inside* the")
     print("GEMV window instead of queueing behind it, and the composite")
     print("PIM_GEMV command keeps the C/A bus nearly idle (Figure 9).")
 

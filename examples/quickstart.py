@@ -1,46 +1,50 @@
 #!/usr/bin/env python3
 """Quickstart: run one batched-inference iteration on NeuPIMs.
 
-Builds a GPT3-13B NeuPIMs device, samples a warmed ShareGPT batch, runs a
-generation iteration, and compares throughput and utilization against the
-naive NPU+PIM baseline — the paper's headline experiment in miniature.
+Declares two scenarios through the ``repro.api`` front door — the full
+NeuPIMs system and the naive NPU+PIM baseline on the same warmed
+GPT3-13B ShareGPT batch — runs each through a ``Session``, and compares
+throughput and utilization: the paper's headline experiment in
+miniature.  Swap ``fidelity="analytic"`` for ``"cycle"`` to calibrate
+the Algorithm-1 latency constants from the command-level DRAM
+simulation instead.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.analysis.metrics import iteration_throughput
 from repro.analysis.report import format_table
-from repro.baselines.npu_pim import naive_npu_pim_device
-from repro.core.config import NeuPimsConfig
-from repro.core.device import NeuPimsDevice
-from repro.model.spec import GPT3_13B
-from repro.serving.trace import SHAREGPT, warmed_batch
+from repro.api import ScenarioSpec, Session, TrafficSpec
 
 
 def main() -> None:
-    spec = GPT3_13B
-    batch_size = 256
-    batch = warmed_batch(SHAREGPT, batch_size, seed=42)
-
-    neupims = NeuPimsDevice(spec, NeuPimsConfig.neupims(),
-                            tp=spec.tensor_parallel)
-    naive = naive_npu_pim_device(spec, tp=spec.tensor_parallel)
+    base = ScenarioSpec(
+        model="gpt3-13b",
+        traffic=TrafficSpec.warmed(dataset="sharegpt", batch_size=256,
+                                   seed=42),
+        fidelity="analytic",
+    )
+    scenarios = [
+        ("NPU+PIM (naive)", base.override(system="npu-pim")),
+        ("NeuPIMs", base.override(system="neupims")),
+    ]
 
     rows = []
-    for name, device in (("NPU+PIM (naive)", naive), ("NeuPIMs", neupims)):
-        result = device.iteration(list(batch))
+    for name, spec in scenarios:
+        result = Session(spec).run()
         rows.append((
             name,
-            round(result.latency / 1e3, 1),
-            round(iteration_throughput(result, batch_size)),
-            f"{result.utilization('npu'):.1%}",
-            f"{result.utilization('pim'):.1%}",
+            round(result.mean_iteration_cycles / 1e3, 1),
+            round(result.tokens_per_second),
+            f"{result.utilization['npu']:.1%}",
+            f"{result.utilization['pim']:.1%}",
         ))
 
+    model = base.resolve_model()
     print(format_table(
         ["system", "iteration (us)", "tokens/s", "NPU util", "PIM util"],
         rows,
-        title=f"{spec.name}, batch {batch_size}, ShareGPT lengths"))
+        title=f"{model.name}, batch {base.traffic.batch_size}, "
+              f"ShareGPT lengths"))
 
     speedup = rows[0][1] / rows[1][1]
     print(f"\nNeuPIMs speedup over naive NPU+PIM: {speedup:.2f}x")

@@ -5,8 +5,10 @@ Runs the fast validation suite over all reproduced artifacts — the
 roofline (Fig. 4), the composite ISA (Fig. 9), MHA overlap (Fig. 10), the
 throughput ordering (Fig. 12), utilization (Table 4), the ablation
 (Fig. 13), parallelism preference (Fig. 14), the TransPIM gap (Fig. 15)
-and the area overhead — and prints a pass/fail table.  For the full
-tables and figures run ``pytest benchmarks/ --benchmark-only -s``.
+and the area overhead — and prints a pass/fail table.  Every simulation
+check is declared as a ``repro.api.ScenarioSpec`` and executed through a
+``Session`` (see ``repro.analysis.validate``).  For the full tables and
+figures run ``pytest benchmarks/ --benchmark-only -s``.
 
 Run:  python examples/reproduce_paper.py
 """

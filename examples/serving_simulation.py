@@ -7,64 +7,55 @@ PIM channels by greedy min-load bin packing (Algorithm 2), get paged KV
 allocations (vLLM-style), and generate tokens iteration by iteration on
 the NeuPIMs device until they complete.
 
+The whole stack is declared by one ``ScenarioSpec`` and materialized by a
+``Session`` (see ``repro.api``): pool, per-channel allocators, load
+tracker and scheduler come from the spec, and the run returns the uniform
+``RunResult``.  The numbers are identical to the pre-API hand wiring
+(pinned by ``tests/test_api_session.py``).
+
 Run:  python examples/serving_simulation.py
 """
 
 from repro.analysis.report import format_table
-from repro.core.device import NeuPimsDevice
-from repro.model.spec import GPT3_7B
-from repro.serving.paging import PagedKvAllocator, PagedKvConfig
-from repro.serving.pool import RequestPool
-from repro.serving.scheduler import IterationScheduler
-from repro.serving.trace import ALPACA, poisson_arrivals
+from repro.api import ScenarioSpec, Session, TrafficSpec
+
+
+def build_scenario() -> ScenarioSpec:
+    """The declarative description of this serving experiment."""
+    return ScenarioSpec(
+        model="gpt3-7b",
+        system="neupims",
+        layers_resident=8,
+        traffic=TrafficSpec.poisson(dataset="alpaca", rate_per_kcycle=0.02,
+                                    horizon_cycles=2e7, seed=7,
+                                    max_requests=48),
+        # serving defaults: batch cap 16, paged KV (256 MB/channel),
+        # live channel-load tracking for Algorithm-2 admission
+    )
 
 
 def main() -> None:
-    spec = GPT3_7B
-    device = NeuPimsDevice(spec, tp=spec.tensor_parallel, layers_resident=8)
-
-    arrivals = poisson_arrivals(ALPACA, rate_per_kcycle=0.02,
-                                horizon_cycles=2e7, seed=7)[:48]
-    print(f"submitting {len(arrivals)} streaming requests "
+    session = Session(build_scenario()).materialize()
+    print(f"submitting {len(session.arrivals)} streaming requests "
           f"(Alpaca lengths, Poisson arrivals)\n")
-
-    pool = RequestPool()
-    pool.submit_all(arrivals)
-    allocators = [
-        PagedKvAllocator(PagedKvConfig(capacity_bytes=1 << 28), spec,
-                         layers_resident=device.layers)
-        for _ in range(device.channel_pool)
-    ]
-    # Live per-channel load tracking: admission bin-packing starts from
-    # the resident set's current loads (Algorithm 2's initial loads)
-    # instead of assuming idle channels — placements and serving numbers
-    # differ from the untracked wiring.
-    tracker = device.attach_load_tracker()
-    scheduler = IterationScheduler(
-        pool, device.executor(), max_batch_size=16,
-        allocators=allocators, assign_channels=device.assign_channels,
-        load_tracker=tracker)
 
     # Peek at the pool table mid-run (Figure 7's request pool view).
     for _ in range(4):
-        scheduler.run_iteration()
+        session.scheduler.run_iteration()
     print("request pool after 4 iterations:")
-    print(pool.format_table(limit=10))
+    print(session.pool.format_table(limit=10))
     print("...")
 
-    stats = scheduler.run()
+    result = session.run()  # finishes the remaining iterations
 
     print()
-    iterations = stats.iterations
-    batch_sizes = [r.batch_size for r in iterations]
     rows = [
-        ("iterations executed", len(iterations)),
-        ("tokens generated", stats.total_tokens),
-        ("simulated time (ms)", round(stats.total_time / 1e6, 2)),
-        ("throughput (tokens/s)",
-         round(stats.throughput_tokens_per_second())),
-        ("mean batch size", round(sum(batch_sizes) / len(batch_sizes), 1)),
-        ("max batch size", max(batch_sizes)),
+        ("iterations executed", result.iterations),
+        ("tokens generated", result.total_tokens),
+        ("simulated time (ms)", round(result.total_time_cycles / 1e6, 2)),
+        ("throughput (tokens/s)", round(result.tokens_per_second)),
+        ("mean batch size", round(result.mean_batch_size, 1)),
+        ("max batch size", result.max_batch_size),
     ]
     print(format_table(["metric", "value"], rows, title="serving summary"))
 

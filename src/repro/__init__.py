@@ -1,8 +1,30 @@
 """NeuPIMs reproduction: NPU-PIM heterogeneous acceleration for batched
 LLM inferencing (Heo et al., ASPLOS 2024).
 
-Public API highlights
----------------------
+The scenario API (start here)
+-----------------------------
+:mod:`repro.api` is the declarative front door for every simulation
+mode.  Describe an experiment as a :class:`ScenarioSpec` — model, system
+under test, hardware config, traffic (warmed batch / Poisson stream /
+trace replay), serving knobs, and fidelity (``analytic`` closed-form
+constants vs ``cycle`` command-level calibration) — then let a
+:class:`Session` materialize the full stack and return a uniform
+:class:`RunResult`::
+
+    from repro import ScenarioSpec, Session, TrafficSpec
+
+    spec = ScenarioSpec(model="gpt3-7b",
+                        traffic=TrafficSpec.warmed(batch_size=256))
+    result = Session(spec).run()
+
+Specs are picklable and JSON round-trippable (``to_dict`` /
+``from_dict``); :func:`run_scenarios` fans spec lists across the
+:mod:`repro.exec` process-pool backends with deterministic merges, and
+``python -m repro run|sweep|compare`` exposes the same objects on the
+command line.
+
+Layer map
+---------
 * :class:`repro.core.NeuPimsDevice` / :class:`repro.core.NeuPimsSystem` —
   the paper's accelerator and its multi-device scaling.
 * :class:`repro.core.NeuPimsConfig` — hardware parameters + the DRB /
@@ -10,9 +32,22 @@ Public API highlights
 * :mod:`repro.baselines` — GPU-only, NPU-only, naive NPU+PIM, TransPIM.
 * :mod:`repro.serving` — Orca-style iteration scheduling, vLLM-style
   paged KV cache, ShareGPT/Alpaca traces.
-* :func:`repro.analysis.compare_systems` — the Figure 12 harness.
+* :mod:`repro.analysis` — the Figure 12 harness (`compare_systems`),
+  sweeps, sensitivity, ablation grids, claim validation.
+* :mod:`repro.exec` — sharded parallel execution backends.
+* :mod:`repro.dram` / :mod:`repro.pim` — the command-level ground truth
+  behind ``fidelity="cycle"``.
 """
 
+from repro.api import (
+    RunResult,
+    ScenarioSpec,
+    ServingSpec,
+    Session,
+    TrafficSpec,
+    run_scenario,
+    run_scenarios,
+)
 from repro.core import (
     MhaLatencyEstimator,
     NeuPimsConfig,
@@ -23,9 +58,16 @@ from repro.core import (
 from repro.model import ModelSpec, get_model
 from repro.serving import InferenceRequest, get_dataset, warmed_batch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "RunResult",
+    "ScenarioSpec",
+    "ServingSpec",
+    "Session",
+    "TrafficSpec",
+    "run_scenario",
+    "run_scenarios",
     "MhaLatencyEstimator",
     "NeuPimsConfig",
     "NeuPimsDevice",

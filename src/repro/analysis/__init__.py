@@ -2,6 +2,7 @@
 
 from repro.analysis.ablation import (
     ablation_axes,
+    ablation_scenario,
     evaluate_ablation_cell,
     run_ablation_grid,
 )
@@ -10,17 +11,19 @@ from repro.analysis.area import (
     dual_row_buffer_area_overhead,
 )
 from repro.analysis.metrics import (
+    STANDARD_SYSTEMS,
     ThroughputMeasurement,
     build_standard_devices,
     compare_systems,
     iteration_throughput,
     measure_device,
+    measurement_from_result,
 )
 from repro.analysis.report import format_series, format_table, geomean, normalize
 
 from repro.analysis.energy import EnergyParams, EnergyReport, iteration_energy
 from repro.analysis.sweep import (SweepAxis, SweepResult, iter_points,
-                                  pareto_front, run_sweep)
+                                  pareto_front, run_sweep, scenario_sweep)
 from repro.analysis.training import (
     inference_vs_training_pim_value,
     profile_training_step,
@@ -30,7 +33,9 @@ from repro.analysis.validate import CheckResult, validate, validate_all
 
 __all__ = [
     "BankAreaModel",
+    "STANDARD_SYSTEMS",
     "ablation_axes",
+    "ablation_scenario",
     "evaluate_ablation_cell",
     "run_ablation_grid",
     "dual_row_buffer_area_overhead",
@@ -39,6 +44,7 @@ __all__ = [
     "compare_systems",
     "iteration_throughput",
     "measure_device",
+    "measurement_from_result",
     "format_series",
     "format_table",
     "geomean",
@@ -51,6 +57,7 @@ __all__ = [
     "iter_points",
     "pareto_front",
     "run_sweep",
+    "scenario_sweep",
     "inference_vs_training_pim_value",
     "profile_training_step",
     "CheckResult",

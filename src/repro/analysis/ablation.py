@@ -15,14 +15,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.analysis.metrics import iteration_throughput
 from repro.analysis.sweep import SweepAxis, SweepResult, run_sweep
 from repro.core.config import NeuPimsConfig
-from repro.core.device import NeuPimsDevice
 from repro.exec.backends import ParallelSpec
 from repro.model.spec import (GPT3_7B, GPT3_13B, GPT3_30B, GPT3_175B,
                               ModelSpec)
-from repro.serving.trace import get_dataset, sample_batches
 
 #: Specs addressable by axis value (axis values stay plain strings so
 #: sweep records print/compare cleanly and pickle small).
@@ -43,6 +40,34 @@ def ablation_axes(batch_sizes=(64, 256),
     ]
 
 
+def ablation_scenario(dual_row_buffer: bool,
+                      sub_batch_interleaving: bool,
+                      greedy_binpack: bool,
+                      batch_size: int,
+                      dataset: str = "sharegpt",
+                      spec_name: str = "gpt3-7b",
+                      tp: int = 4,
+                      layers_resident: int = 8,
+                      num_batches: int = 3,
+                      seed: int = 0):
+    """The :class:`~repro.api.ScenarioSpec` describing one grid cell."""
+    from repro.api import ScenarioSpec, TrafficSpec
+    config = NeuPimsConfig.ablation(
+        dual_row_buffer=dual_row_buffer,
+        sub_batch_interleaving=sub_batch_interleaving,
+        greedy_binpack=greedy_binpack,
+    )
+    # sample_schedule keeps the grid's `sample_batches` seed schedule
+    # for any num_batches, so every cell stays bit-identical to the
+    # legacy loop.
+    return ScenarioSpec(
+        model=spec_name, system="neupims", config=config, tp=tp,
+        layers_resident=layers_resident, fidelity="analytic",
+        traffic=TrafficSpec.warmed(dataset=dataset, batch_size=batch_size,
+                                   num_batches=num_batches, seed=seed,
+                                   sample_schedule=True))
+
+
 def evaluate_ablation_cell(dual_row_buffer: bool,
                            sub_batch_interleaving: bool,
                            greedy_binpack: bool,
@@ -56,30 +81,19 @@ def evaluate_ablation_cell(dual_row_buffer: bool,
     """One grid cell: mean iteration throughput under the flag setting.
 
     Module-level and driven entirely by picklable arguments, so it can be
-    dispatched to process-pool workers (including under ``spawn``).
+    dispatched to process-pool workers (including under ``spawn``).  The
+    cell is declared as a :func:`ablation_scenario` spec and executed by
+    a :class:`~repro.api.Session`; the numbers are identical to the
+    legacy hand-wired device loop.
     """
-    spec = SPECS[spec_name]
-    config = NeuPimsConfig(
-        dual_row_buffer=dual_row_buffer,
-        # The composite ISA needs the NeuPIMs bank; the paper enables the
-        # two together, and so does this grid.
-        composite_isa=dual_row_buffer,
-        sub_batch_interleaving=sub_batch_interleaving,
-        greedy_binpack=greedy_binpack,
-    )
-    device = NeuPimsDevice(spec, config, tp=tp,
-                           layers_resident=layers_resident)
-    trace = get_dataset(dataset)
-    batches = sample_batches(trace, batch_size, num_batches, seed=seed)
-    throughputs = []
-    latencies = []
-    for batch in batches:
-        result = device.iteration(batch)
-        throughputs.append(iteration_throughput(result, len(batch)))
-        latencies.append(result.latency)
+    from repro.api import run_scenario
+    result = run_scenario(ablation_scenario(
+        dual_row_buffer, sub_batch_interleaving, greedy_binpack, batch_size,
+        dataset=dataset, spec_name=spec_name, tp=tp,
+        layers_resident=layers_resident, num_batches=num_batches, seed=seed))
     return {
-        "tokens_per_second": sum(throughputs) / len(throughputs),
-        "iteration_cycles": sum(latencies) / len(latencies),
+        "tokens_per_second": result.tokens_per_second,
+        "iteration_cycles": result.mean_iteration_cycles,
     }
 
 

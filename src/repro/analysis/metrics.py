@@ -113,6 +113,36 @@ def build_standard_devices(spec: ModelSpec, tp: int = 1,
     }
 
 
+#: Figure-12 display names and their scenario ``system`` values.
+STANDARD_SYSTEMS = (
+    ("GPU-only", "gpu-only"),
+    ("NPU-only", "npu-only"),
+    ("NPU+PIM", "npu-pim"),
+    ("NeuPIMs", "neupims"),
+)
+
+
+def measurement_from_result(result, dataset: str = "",
+                            batch_size: Optional[int] = None
+                            ) -> ThroughputMeasurement:
+    """Bridge a measurement-kind ``RunResult`` to the Figure-12 schema.
+
+    ``RunResult`` does not carry the workload's dataset name, and for
+    serving runs its ``max_batch_size`` is the scheduler cap rather
+    than the workload batch — pass both explicitly when known.
+    """
+    display = {key: name for name, key in STANDARD_SYSTEMS}
+    return ThroughputMeasurement(
+        system=display.get(result.system, result.system),
+        model=result.model,
+        dataset=dataset,
+        batch_size=int(result.max_batch_size if batch_size is None
+                       else batch_size),
+        tokens_per_second=result.tokens_per_second,
+        utilization=dict(result.utilization),
+    )
+
+
 def compare_systems(
     spec: ModelSpec,
     trace: DatasetTrace,
@@ -121,13 +151,29 @@ def compare_systems(
     layers_resident: Optional[int] = None,
     num_batches: int = 10,
     seed: int = 0,
+    parallel=None,
 ) -> Dict[str, ThroughputMeasurement]:
-    """Run the Figure 12 comparison for one workload point."""
-    config = NeuPimsConfig()
-    devices = build_standard_devices(spec, tp=tp,
-                                     layers_resident=layers_resident)
+    """Run the Figure 12 comparison for one workload point.
+
+    The four systems are declared as :class:`~repro.api.ScenarioSpec`
+    variants of one base scenario and fanned through
+    :func:`~repro.api.run_scenarios` (``parallel`` shards them across a
+    :mod:`repro.exec` backend); the measurements are identical to the
+    legacy hand-wired ``measure_device`` loop.
+    """
+    from repro.api import ScenarioSpec, TrafficSpec, run_scenarios
+    base = ScenarioSpec(
+        model=spec, tp=tp, layers_resident=layers_resident,
+        fidelity="analytic",
+        # sample_schedule keeps the measure_device batches for any
+        # num_batches, including 1.
+        traffic=TrafficSpec.warmed(dataset=trace, batch_size=batch_size,
+                                   num_batches=num_batches, seed=seed,
+                                   sample_schedule=True))
+    specs = [base.override(system=system) for _, system in STANDARD_SYSTEMS]
+    results = run_scenarios(specs, parallel=parallel)
     return {
-        name: measure_device(name, runner, spec, trace, batch_size,
-                             num_batches=num_batches, seed=seed, config=config)
-        for name, runner in devices.items()
+        name: measurement_from_result(result, dataset=trace.name,
+                                      batch_size=batch_size)
+        for (name, _), result in zip(STANDARD_SYSTEMS, results)
     }

@@ -12,7 +12,14 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                  title: str = "") -> str:
-    """Render an aligned plain-text table."""
+    """Render an aligned plain-text table.
+
+    An empty ``rows`` iterable renders the header and rule only — a
+    filtered-out sweep or an empty pool is a legitimate table, not an
+    error.  Rows whose width differs from the headers still raise.
+    """
+    if not headers:
+        raise ValueError("format_table needs at least one header")
     str_rows = [[_fmt(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in str_rows:

@@ -1,8 +1,8 @@
 """Sensitivity of the headline result to the calibration knobs.
 
-DESIGN.md §6 lists the fidelity parameters this reproduction had to
-choose (aggregate bus width, PIM MAC pacing, blocked-mode overhead,
-bandwidth derate).  This module perturbs each knob across a plausible
+This reproduction had to choose several calibration parameters
+(aggregate bus width, PIM MAC pacing, blocked-mode overhead, bandwidth
+derate; see DESIGN.md).  This module perturbs each knob across a plausible
 range and re-measures the NeuPIMs-vs-baseline speedups, answering the
 reviewer question: *do the paper's conclusions survive the calibration
 uncertainty?*  The associated bench prints a tornado-style table.
@@ -13,13 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.metrics import iteration_throughput
-from repro.baselines.npu_pim import naive_npu_pim_device
 from repro.core.config import NeuPimsConfig
-from repro.core.device import NeuPimsDevice
-from repro.exec.backends import ParallelSpec, resolve_backend
+from repro.exec.backends import ParallelSpec
 from repro.model.spec import GPT3_7B, ModelSpec
-from repro.serving.trace import DatasetTrace, SHAREGPT, warmed_batch
+from repro.serving.trace import DatasetTrace, SHAREGPT
 
 
 @dataclass(frozen=True)
@@ -72,17 +69,29 @@ class SensitivityPoint:
     speedup_vs_naive: float
 
 
+def speedup_scenarios(config: NeuPimsConfig, spec: ModelSpec,
+                      trace: DatasetTrace, batch_size: int,
+                      tp: int, layers: int, seed: int = 0):
+    """The (NeuPIMs, naive) :class:`~repro.api.ScenarioSpec` pair for one
+    knob setting — both systems measure the same warmed batch."""
+    from repro.api import ScenarioSpec, TrafficSpec
+    base = ScenarioSpec(
+        model=spec, config=config, tp=tp, layers_resident=layers,
+        fidelity="analytic",
+        traffic=TrafficSpec.warmed(dataset=trace, batch_size=batch_size,
+                                   seed=seed))
+    return base.override(system="neupims"), base.override(system="npu-pim")
+
+
 def measure_speedup(config: NeuPimsConfig, spec: ModelSpec,
                     trace: DatasetTrace, batch_size: int,
                     tp: int, layers: int, seed: int = 0) -> float:
     """NeuPIMs-over-naive speedup under one configuration."""
-    neupims = NeuPimsDevice(spec, config, tp=tp, layers_resident=layers)
-    naive = naive_npu_pim_device(spec, tp=tp, layers_resident=layers,
-                                 config=config)
-    batch_a = warmed_batch(trace, batch_size, seed=seed)
-    batch_b = warmed_batch(trace, batch_size, seed=seed)
-    t_neu = iteration_throughput(neupims.iteration(batch_a), batch_size)
-    t_naive = iteration_throughput(naive.iteration(batch_b), batch_size)
+    from repro.api import run_scenario
+    neu_spec, naive_spec = speedup_scenarios(config, spec, trace, batch_size,
+                                             tp, layers, seed=seed)
+    t_neu = run_scenario(neu_spec).tokens_per_second
+    t_naive = run_scenario(naive_spec).tokens_per_second
     return t_neu / t_naive
 
 
@@ -95,20 +104,25 @@ def sensitivity_sweep(spec: ModelSpec = GPT3_7B,
                       ) -> List[SensitivityPoint]:
     """Perturb each knob independently; return speedups per setting.
 
-    ``parallel`` shards the (knob, scale) measurements across a
+    ``parallel`` shards the per-setting scenario runs across a
     :mod:`repro.exec` backend.  Knob ``apply`` functions run in the
-    parent, so only picklable configuration dataclasses cross the
-    process boundary; point order matches the serial loop exactly.
+    parent; each setting becomes a (NeuPIMs, naive) pair of declarative
+    :class:`~repro.api.ScenarioSpec` objects fanned through
+    :func:`~repro.api.run_scenarios` (specs are picklable by
+    construction), so point order matches the serial loop exactly.
     """
+    from repro.api import run_scenarios
     knobs = knobs if knobs is not None else DEFAULT_KNOBS
     base = base_config or NeuPimsConfig()
     settings = [(knob.name, scale, knob.apply(base, scale))
                 for knob in knobs for scale in knob.scales]
-    backend = resolve_backend(parallel)
-    speedups = backend.starmap(
-        measure_speedup,
-        ((config, spec, trace, batch_size, tp, layers)
-         for _, _, config in settings))
+    specs = []
+    for _, _, config in settings:
+        specs.extend(speedup_scenarios(config, spec, trace, batch_size,
+                                       tp, layers))
+    results = run_scenarios(specs, parallel=parallel)
+    speedups = [neu.tokens_per_second / naive.tokens_per_second
+                for neu, naive in zip(results[::2], results[1::2])]
     return [SensitivityPoint(knob=name, scale=scale, speedup_vs_naive=speedup)
             for (name, scale, _), speedup in zip(settings, speedups)]
 

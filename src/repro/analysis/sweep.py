@@ -12,6 +12,10 @@ in cartesian-product order either way.  For process backends the
 ``evaluate`` callable must be picklable (a module-level function or a
 :func:`functools.partial` over one); ``skip`` runs in the parent and may
 be any callable.
+
+:func:`scenario_sweep` is the declarative variant: the grid derives
+:class:`~repro.api.ScenarioSpec` overrides from a base spec and fans
+them through :func:`~repro.api.run_scenarios`.
 """
 
 from __future__ import annotations
@@ -122,6 +126,45 @@ def run_sweep(axes: Iterable[SweepAxis],
     tasks = (TaskSpec(_sweep_task, (evaluate, point))
              for point in iter_points(axes, skip))
     return SweepResult(axes=names, records=backend.run(tasks))
+
+
+#: RunResult scalar fields scenario sweeps record by default.
+DEFAULT_SCENARIO_METRICS = ("tokens_per_second", "mean_iteration_cycles")
+
+
+def scenario_sweep(base: Any, axes: Iterable[SweepAxis],
+                   metrics: Sequence[str] = DEFAULT_SCENARIO_METRICS,
+                   skip: Optional[Callable[..., bool]] = None,
+                   parallel: ParallelSpec = None,
+                   chunk_size: int = 1) -> SweepResult:
+    """Sweep :class:`~repro.api.ScenarioSpec` overrides over a grid.
+
+    Each grid point is applied to ``base`` with
+    :meth:`~repro.api.ScenarioSpec.override` (axis names may address
+    top-level spec fields, traffic/serving fields, or feature flags),
+    and the resulting specs fan across :func:`~repro.api.run_scenarios`
+    — picklable by construction, so no ad-hoc task tuples.  ``metrics``
+    names the scalar :class:`~repro.api.RunResult` fields merged into
+    each record; records keep cartesian-product order under any
+    backend.
+    """
+    from repro.api import run_scenarios
+    axes = list(axes)
+    names = [axis.name for axis in axes]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate axis names")
+    overlap = set(names) & set(metrics)
+    if overlap:
+        raise ValueError(f"metrics shadow axes: {sorted(overlap)}")
+    points = list(iter_points(axes, skip))
+    specs = [base.override(**point) for point in points]
+    results = run_scenarios(specs, parallel=parallel, chunk_size=chunk_size)
+    records = []
+    for point, result in zip(points, results):
+        record = dict(point)
+        record.update({name: getattr(result, name) for name in metrics})
+        records.append(record)
+    return SweepResult(axes=names, records=records)
 
 
 def pareto_front(result: SweepResult, objectives: Sequence[str],

@@ -12,17 +12,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.analysis.area import dual_row_buffer_area_overhead
-from repro.analysis.metrics import compare_systems, iteration_throughput
-from repro.baselines.npu_pim import ablation_device
-from repro.baselines.transpim import TransPimDevice
-from repro.core.device import NeuPimsDevice
+from repro.analysis.metrics import compare_systems
+from repro.api import ScenarioSpec, TrafficSpec, run_scenario
+from repro.core.config import NeuPimsConfig
 from repro.core.overlap import HeadPipelineModel
-from repro.core.system import NeuPimsSystem, ParallelismScheme
 from repro.model.roofline import roofline_points
 from repro.model.spec import GPT3_7B, GPT3_13B
 from repro.pim.gemv import GemvOp, command_count
 from repro.dram.timing import HbmOrganization
-from repro.serving.trace import SHAREGPT, sample_batches, warmed_batch
+from repro.serving.trace import SHAREGPT
 
 
 @dataclass(frozen=True)
@@ -84,12 +82,14 @@ def _check_tab4() -> CheckResult:
 
 
 def _check_fig13() -> CheckResult:
-    batches = sample_batches(SHAREGPT, 256, 2, seed=0)
+    base_spec = ScenarioSpec(
+        model="gpt3-7b", tp=4, layers_resident=2, fidelity="analytic",
+        traffic=TrafficSpec.warmed(batch_size=256, num_batches=2, seed=0))
+
     def throughput(**flags):
-        device = ablation_device(GPT3_7B, tp=4, layers_resident=2, **flags)
-        values = [iteration_throughput(device.iteration(b), len(b))
-                  for b in batches]
-        return sum(values) / len(values)
+        # Figure 13 stacks techniques from the naive starting point.
+        spec = base_spec.override(config=NeuPimsConfig.ablation(**flags))
+        return run_scenario(spec).tokens_per_second
     base = throughput()
     drb = throughput(dual_row_buffer=True)
     full = throughput(dual_row_buffer=True, greedy_binpack=True,
@@ -100,21 +100,21 @@ def _check_fig13() -> CheckResult:
 
 
 def _check_fig14() -> CheckResult:
-    batch = warmed_batch(SHAREGPT, 256, seed=0)
-    tp = NeuPimsSystem(GPT3_7B, ParallelismScheme(4, 1))
-    pp = NeuPimsSystem(GPT3_7B, ParallelismScheme(2, 2))
-    t_tp = tp.throughput_tokens_per_second(batch)
-    t_pp = pp.throughput_tokens_per_second(batch)
+    base = ScenarioSpec(model="gpt3-7b", fidelity="analytic",
+                        traffic=TrafficSpec.warmed(batch_size=256, seed=0))
+    t_tp = run_scenario(base.override(tp=4, pp=1)).tokens_per_second
+    t_pp = run_scenario(base.override(tp=2, pp=2)).tokens_per_second
     return CheckResult("fig14", "TP-heavy beats PP-heavy at 4 devices",
                        f"{t_tp / t_pp:.2f}x", t_tp > t_pp)
 
 
 def _check_fig15() -> CheckResult:
-    batch = warmed_batch(SHAREGPT, 128, seed=0)
-    neupims = NeuPimsDevice(GPT3_7B, tp=1, layers_resident=2)
-    transpim = TransPimDevice(GPT3_7B, layers_resident=2)
-    speedup = (transpim.iteration(batch).latency
-               / neupims.iteration(batch).latency)
+    base = ScenarioSpec(model="gpt3-7b", tp=1, layers_resident=2,
+                        fidelity="analytic",
+                        traffic=TrafficSpec.warmed(batch_size=128, seed=0))
+    neupims = run_scenario(base.override(system="neupims"))
+    transpim = run_scenario(base.override(system="transpim"))
+    speedup = transpim.mean_iteration_cycles / neupims.mean_iteration_cycles
     return CheckResult("fig15", "order-of-magnitude gap over TransPIM",
                        f"{speedup:.0f}x", speedup > 30)
 

@@ -1,0 +1,38 @@
+"""The declarative scenario/session API — one front door for every mode.
+
+Every way of running a NeuPIMs experiment — a single warmed-batch
+measurement, a streaming serving simulation, a baseline comparison, a
+design-space sweep cell — is described by one frozen, picklable
+:class:`ScenarioSpec` and executed by one :class:`Session`, returning a
+uniform :class:`RunResult`:
+
+    from repro.api import ScenarioSpec, Session, TrafficSpec
+
+    spec = ScenarioSpec(model="gpt3-7b", system="neupims",
+                        traffic=TrafficSpec.warmed(batch_size=256))
+    result = Session(spec).run()
+    print(result.tokens_per_second)
+
+Lists of specs fan across :mod:`repro.exec` backends with
+:func:`run_scenarios` (specs are picklable by construction), and the
+same objects power the ``python -m repro`` CLI.  See DESIGN.md §6.
+"""
+
+from repro.api.session import (RunResult, Session, run_scenario,
+                               run_scenarios, scenario_warmup)
+from repro.api.spec import (FIDELITIES, SYSTEMS, TRAFFIC_KINDS, ScenarioSpec,
+                            ServingSpec, TrafficSpec)
+
+__all__ = [
+    "FIDELITIES",
+    "RunResult",
+    "SYSTEMS",
+    "ScenarioSpec",
+    "ServingSpec",
+    "Session",
+    "TRAFFIC_KINDS",
+    "TrafficSpec",
+    "run_scenario",
+    "run_scenarios",
+    "scenario_warmup",
+]

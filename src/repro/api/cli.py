@@ -1,0 +1,249 @@
+"""The ``python -m repro`` command line over the scenario API.
+
+Three subcommands share one scenario vocabulary:
+
+* ``run`` — execute a single :class:`~repro.api.ScenarioSpec` (built
+  from flags or loaded from a JSON file) and print its summary;
+* ``sweep`` — fan axis overrides of a base spec across workers through
+  :func:`~repro.analysis.sweep.scenario_sweep` (records identical to a
+  serial run for any ``--workers``);
+* ``compare`` — run several systems on the same workload side by side.
+
+Every subcommand accepts ``--json PATH`` to dump the uniform
+result/record payloads for artifact pipelines (see the CI
+examples-smoke job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.api.spec import (FIDELITIES, SYSTEMS, ScenarioSpec, ServingSpec,
+                            TrafficSpec)
+
+
+def _parse_axis_value(text: str) -> Any:
+    """Parse one axis value: bool, int, float, or bare string."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def parse_axis(argument: str) -> Dict[str, List[Any]]:
+    """Parse one ``--axis name=v1,v2,...`` argument."""
+    if "=" not in argument:
+        raise argparse.ArgumentTypeError(
+            f"axis {argument!r} is not of the form name=v1,v2,...")
+    name, _, values = argument.partition("=")
+    parsed = [_parse_axis_value(v) for v in values.split(",") if v.strip()]
+    if not name.strip() or not parsed:
+        raise argparse.ArgumentTypeError(
+            f"axis {argument!r} needs a name and at least one value")
+    return {name.strip(): parsed}
+
+
+def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every subcommand that builds a base spec."""
+    parser.add_argument("--spec", metavar="FILE", default=None,
+                        help="load the base ScenarioSpec from a JSON file "
+                             "(flags below override its fields)")
+    parser.add_argument("--model", default=None, help="model registry name")
+    parser.add_argument("--system", default=None, choices=SYSTEMS)
+    parser.add_argument("--traffic", default=None,
+                        choices=("warmed", "poisson"),
+                        help="traffic kind (replay is JSON-spec only)")
+    parser.add_argument("--dataset", default=None,
+                        help="dataset trace name (sharegpt/alpaca)")
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--num-batches", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--rate", type=float, default=None,
+                        help="poisson arrivals per kilocycle")
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="poisson horizon in cycles")
+    parser.add_argument("--max-requests", type=int, default=None)
+    parser.add_argument("--max-batch-size", type=int, default=None,
+                        help="serving-loop batch cap")
+    parser.add_argument("--tp", type=int, default=None)
+    parser.add_argument("--pp", type=int, default=None)
+    parser.add_argument("--layers-resident", type=int, default=None)
+    parser.add_argument("--fidelity", default=None, choices=FIDELITIES)
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        dest="json_path",
+                        help="also dump the result payload as JSON")
+
+
+def build_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Materialize the base ScenarioSpec from CLI flags (and --spec)."""
+    if args.spec is not None:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_dict(json.load(handle))
+    else:
+        spec = ScenarioSpec()
+    overrides: Dict[str, Any] = {}
+    for flag, field_name in (("model", "model"), ("system", "system"),
+                             ("tp", "tp"), ("pp", "pp"),
+                             ("layers_resident", "layers_resident"),
+                             ("fidelity", "fidelity")):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field_name] = value
+    traffic = spec.traffic
+    if args.traffic is not None and args.traffic != traffic.kind:
+        if args.traffic == "warmed":
+            traffic = TrafficSpec.warmed(dataset=traffic.dataset)
+        else:
+            traffic = TrafficSpec.poisson(dataset=traffic.dataset)
+    traffic_updates: Dict[str, Any] = {}
+    for flag, field_name in (("dataset", "dataset"),
+                             ("batch_size", "batch_size"),
+                             ("num_batches", "num_batches"),
+                             ("seed", "seed"),
+                             ("rate", "rate_per_kcycle"),
+                             ("horizon", "horizon_cycles"),
+                             ("max_requests", "max_requests")):
+        value = getattr(args, flag)
+        if value is not None:
+            traffic_updates[field_name] = value
+    if traffic_updates or traffic is not spec.traffic:
+        from dataclasses import replace
+        overrides["traffic"] = replace(traffic, **traffic_updates)
+    if args.max_batch_size is not None:
+        from dataclasses import replace
+        overrides["serving"] = replace(spec.serving,
+                                       max_batch_size=args.max_batch_size)
+    return spec.override(**overrides) if overrides else spec
+
+
+def _dump_json(path: Optional[str], payload: Any) -> None:
+    if path is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: one scenario -> one RunResult summary."""
+    from repro.api.session import Session
+    spec = build_spec(args)
+    result = Session(spec).run()
+    print(format_table(["metric", "value"], result.summary_rows(),
+                       title=f"{spec.display_name()} "
+                             f"[{result.kind}, {result.fidelity}]"))
+    _dump_json(args.json_path, {"spec": spec.to_dict(),
+                                "result": result.to_dict()})
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: axis overrides fanned across workers."""
+    from repro.analysis.sweep import SweepAxis, scenario_sweep
+    base = build_spec(args)
+    axes_map: Dict[str, List[Any]] = {}
+    for axis in args.axis or []:
+        axes_map.update(axis)
+    if not axes_map:
+        axes_map = {"batch_size": [base.traffic.batch_size]}
+    axes = [SweepAxis(name, values) for name, values in axes_map.items()]
+    sweep = scenario_sweep(
+        base, axes, parallel=args.workers if args.workers > 1 else None)
+    columns = sweep.axes + [m for m in sweep.records[0]
+                            if m not in sweep.axes] if sweep.records else \
+        sweep.axes
+    print(format_table(columns, sweep.as_rows(columns),
+                       title=f"scenario sweep over {base.display_name()} "
+                             f"({args.workers} worker(s))"))
+    _dump_json(args.json_path, {"spec": base.to_dict(), "axes": sweep.axes,
+                                "records": sweep.records})
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: several systems on one workload."""
+    from repro.api.session import run_scenarios
+    if args.system is not None:
+        raise ValueError("compare selects systems via --systems "
+                         "(comma-separated); --system does not apply")
+    base = build_spec(args)
+    if base.fidelity == "auto":
+        # "auto" resolves per system (cycle for PIM systems, analytic for
+        # the rest); a side-by-side table must measure every system at
+        # ONE fidelity, so pin the common denominator.
+        base = base.override(fidelity="analytic")
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    specs = [base.override(system=system) for system in systems]
+    results = run_scenarios(
+        specs, parallel=args.workers if args.workers > 1 else None)
+    rows = []
+    for system, result in zip(systems, results):
+        rows.append((
+            system,
+            round(result.tokens_per_second),
+            round(result.mean_iteration_cycles / 1e3, 1),
+            f"{result.utilization.get('npu', 0.0):.1%}",
+            f"{result.utilization.get('pim', 0.0):.1%}",
+        ))
+    print(format_table(
+        ["system", "tokens/s", "iteration (us)", "NPU util", "PIM util"],
+        rows, title=f"system comparison on {base.resolve_model().name}"))
+    _dump_json(args.json_path, {
+        "spec": base.to_dict(),
+        "results": {system: result.to_dict()
+                    for system, result in zip(systems, results)},
+    })
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Declarative NeuPIMs scenario runner (see repro.api).")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one scenario and print its RunResult summary")
+    _add_scenario_flags(run_parser)
+    run_parser.set_defaults(handler=cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="sweep axis overrides of a base scenario")
+    _add_scenario_flags(sweep_parser)
+    sweep_parser.add_argument("--axis", action="append", type=parse_axis,
+                              metavar="NAME=V1,V2,...",
+                              help="sweep axis (repeatable)")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="process-pool workers (records are "
+                                   "identical to serial for any count)")
+    sweep_parser.set_defaults(handler=cmd_sweep)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare systems on the same workload")
+    _add_scenario_flags(compare_parser)
+    compare_parser.add_argument(
+        "--systems", default="gpu-only,npu-only,npu-pim,neupims",
+        help="comma-separated system list")
+    compare_parser.add_argument("--workers", type=int, default=1)
+    compare_parser.set_defaults(handler=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,463 @@
+"""Sessions materialize scenario specs and run them to uniform results.
+
+A :class:`Session` turns one :class:`~repro.api.spec.ScenarioSpec` into
+the full simulation stack — device (or multi-device system), request
+pool, per-channel paged KV allocators, iteration scheduler, channel load
+tracker, latency tracker, perf-cache warmup — runs it, and returns a
+:class:`RunResult` whose schema is identical across every simulation
+mode: single measurements, streaming serving runs, baselines and sweep
+cells all report the same latency / throughput / utilization / energy
+fields plus per-iteration records.
+
+The module-level :func:`run_scenario` is the picklable unit of work that
+:func:`run_scenarios` fans across :mod:`repro.exec` backends — specs are
+picklable by construction, so cross-process dispatch needs no ad-hoc
+argument tuples, and parallel results are record-for-record identical to
+serial ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.spec import ScenarioSpec
+from repro.core.config import NeuPimsConfig
+from repro.core.device import IterationResult, NeuPimsDevice
+from repro.core.estimator import MhaLatencyEstimator
+from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.exec.backends import ParallelSpec
+from repro.exec.runner import ParallelRunner
+from repro.exec.warmup import PerfCacheWarmup
+from repro.model.spec import ModelSpec
+from repro.serving.latency import LatencyTracker
+from repro.serving.paging import PagedKvConfig, channel_allocators
+from repro.serving.pool import RequestPool
+from repro.serving.request import InferenceRequest
+from repro.serving.scheduler import IterationScheduler
+from repro.serving.trace import poisson_arrivals, sample_batches, warmed_batch
+
+#: Table-5 per-channel average memory power (mW): the dual-row-buffer PIM
+#: vs a plain HBM channel (see :mod:`repro.dram.power`).
+PIM_CHANNEL_POWER_MW = 634.8
+HBM_CHANNEL_POWER_MW = 364.1
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Uniform outcome of one scenario run.
+
+    ``kind`` is ``"measurement"`` for warmed-batch runs (one iteration
+    per sampled batch; ``tokens_per_second`` is the mean of per-batch
+    throughputs, the paper's §8.1 accounting) and ``"serving"`` for
+    streaming scheduler runs (``tokens_per_second`` is total tokens over
+    the serving makespan).  ``records`` holds one plain dict per
+    iteration/batch, so results serialize to JSON via :meth:`to_dict`.
+    """
+
+    kind: str
+    model: str
+    system: str
+    fidelity: str
+    iterations: int
+    total_tokens: int
+    total_time_cycles: float
+    tokens_per_second: float
+    mean_iteration_cycles: float
+    mean_batch_size: float
+    max_batch_size: int
+    utilization: Dict[str, float] = field(default_factory=dict)
+    energy_per_token_mj: Optional[float] = None
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    records: Tuple[Dict[str, float], ...] = ()
+
+    def summary_rows(self) -> List[Tuple[str, object]]:
+        """(metric, value) rows for table rendering (CLI and examples)."""
+        rows: List[Tuple[str, object]] = [
+            ("kind", self.kind),
+            ("iterations", self.iterations),
+            ("tokens generated", self.total_tokens),
+            ("simulated time (ms)", round(self.total_time_cycles / 1e6, 3)),
+            ("throughput (tokens/s)", round(self.tokens_per_second)),
+            ("mean iteration (us)",
+             round(self.mean_iteration_cycles / 1e3, 2)),
+            ("mean batch size", round(self.mean_batch_size, 1)),
+            ("max batch size", self.max_batch_size),
+        ]
+        for unit in sorted(self.utilization):
+            rows.append((f"{unit} utilization",
+                         f"{self.utilization[unit]:.1%}"))
+        if self.energy_per_token_mj is not None:
+            rows.append(("energy/token (mJ)",
+                         round(self.energy_per_token_mj, 3)))
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Encode as a JSON-serializable plain dict."""
+        return {
+            "kind": self.kind,
+            "model": self.model,
+            "system": self.system,
+            "fidelity": self.fidelity,
+            "iterations": self.iterations,
+            "total_tokens": self.total_tokens,
+            "total_time_cycles": self.total_time_cycles,
+            "tokens_per_second": self.tokens_per_second,
+            "mean_iteration_cycles": self.mean_iteration_cycles,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "utilization": dict(self.utilization),
+            "energy_per_token_mj": self.energy_per_token_mj,
+            "latency_ms": dict(self.latency_ms),
+            "records": [dict(r) for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (round-trips)."""
+        payload = dict(data)
+        payload["utilization"] = dict(payload.get("utilization", {}))
+        payload["latency_ms"] = dict(payload.get("latency_ms", {}))
+        payload["records"] = tuple(dict(r)
+                                   for r in payload.get("records", ()))
+        return cls(**payload)
+
+
+class Session:
+    """Materializes and runs one scenario.
+
+    The constructor only resolves the spec (model, config, fidelity);
+    :meth:`materialize` builds the stack and :meth:`run` executes it,
+    caching the :class:`RunResult`.  The materialized pieces stay
+    reachable (``device`` / ``system`` / ``pool`` / ``scheduler`` /
+    ``allocators`` / ``load_tracker`` / ``latency_tracker``) so examples
+    and tests can step the scheduler or inspect the pool mid-run; a
+    subsequent :meth:`run` simply finishes the remaining iterations.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.model_spec: ModelSpec = spec.resolve_model()
+        self.config: NeuPimsConfig = spec.resolve_config()
+        self.fidelity: str = spec.resolve_fidelity()
+        self.tp: int = spec.resolve_tp()
+        self.system: Optional[NeuPimsSystem] = None
+        self.device: Any = None
+        self.pool: Optional[RequestPool] = None
+        self.scheduler: Optional[IterationScheduler] = None
+        self.allocators = None
+        self.load_tracker = None
+        self.latency_tracker: Optional[LatencyTracker] = None
+        self.arrivals: Tuple[InferenceRequest, ...] = ()
+        self.batches: List[List[InferenceRequest]] = []
+        self._materialized = False
+        self._result: Optional[RunResult] = None
+        # Streaming-run aggregates captured by the executor wrapper.
+        self._busy: Dict[str, float] = {}
+        self._latency_acc = 0.0
+        self._external_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    # Materialization.
+    # ------------------------------------------------------------------
+
+    def calibrated_estimator(self) -> MhaLatencyEstimator:
+        """The cycle-fidelity Algorithm-1 estimator for this scenario.
+
+        Calibrates ``L_tile`` / ``L_GWRITE`` by replaying command-level
+        GEMVs through the cycle-accurate memory controller (memoized per
+        hardware configuration by :mod:`repro.perf`).
+        """
+        from repro.perf.calibration import cached_calibrate
+        latencies = cached_calibrate(self.config.timing, self.config.org,
+                                     self.config.pim_timing,
+                                     self.model_spec.dtype_bytes)
+        return MhaLatencyEstimator(spec=self.model_spec, org=self.config.org,
+                                   latencies=latencies)
+
+    def _build_device(self) -> Any:
+        """Construct the system-under-test's device model."""
+        spec, config = self.model_spec, self.config
+        tp, layers = self.tp, self.spec.layers_resident
+        estimator = (self.calibrated_estimator()
+                     if self.fidelity == "cycle" else None)
+        if self.spec.system in ("neupims", "npu-pim"):
+            return NeuPimsDevice(spec, config, tp=tp, layers_resident=layers,
+                                 estimator=estimator)
+        if self.spec.system == "npu-only":
+            from repro.baselines.npu_only import NpuOnlyDevice
+            return NpuOnlyDevice(spec, config, tp=tp, layers_resident=layers)
+        if self.spec.system == "gpu-only":
+            from repro.baselines.gpu import GpuOnlyDevice
+            return GpuOnlyDevice(spec, tp=tp, layers_resident=layers)
+        from repro.baselines.transpim import TransPimDevice
+        return TransPimDevice(spec, config, layers_resident=layers)
+
+    def materialize(self) -> "Session":
+        """Build the full stack for this scenario (idempotent)."""
+        if self._materialized:
+            return self
+        if self.spec.pp is not None:
+            self.system = NeuPimsSystem(
+                self.model_spec, ParallelismScheme(self.tp, self.spec.pp),
+                config=self.config)
+            self.device = self.system.device
+        else:
+            self.device = self._build_device()
+        traffic = self.spec.traffic
+        if traffic.kind == "warmed":
+            trace = traffic.resolve_dataset()
+            if traffic.num_batches == 1 and not traffic.sample_schedule:
+                self.batches = [warmed_batch(trace, traffic.batch_size,
+                                             seed=traffic.seed)]
+            else:
+                self.batches = sample_batches(trace, traffic.batch_size,
+                                              traffic.num_batches,
+                                              seed=traffic.seed)
+        else:
+            self._materialize_serving(traffic)
+        self._materialized = True
+        return self
+
+    def _materialize_serving(self, traffic) -> None:
+        """Wire the streaming serving stack (pool/allocators/scheduler)."""
+        serving = self.spec.serving
+        if traffic.kind == "poisson":
+            arrivals = poisson_arrivals(
+                traffic.resolve_dataset(), traffic.rate_per_kcycle,
+                traffic.horizon_cycles, seed=traffic.seed)
+            if traffic.max_requests is not None:
+                arrivals = arrivals[:traffic.max_requests]
+        else:
+            arrivals = [
+                InferenceRequest(request_id=i, input_len=inp, output_len=out,
+                                 arrival_time=arrival)
+                for i, (inp, out, arrival) in
+                enumerate(traffic.replay_requests)
+            ]
+        self.arrivals = tuple(arrivals)
+        self.pool = RequestPool()
+        self.pool.submit_all(arrivals)
+        is_neupims = isinstance(self.device, NeuPimsDevice)
+        if serving.paged_kv:
+            channels = self.device.channel_pool if is_neupims else 1
+            layers = getattr(self.device, "layers",
+                             self.model_spec.num_layers)
+            self.allocators = channel_allocators(
+                PagedKvConfig(block_tokens=serving.kv_block_tokens,
+                              capacity_bytes=serving.kv_capacity_bytes),
+                self.model_spec, channels, layers_resident=layers)
+        if serving.load_tracker and is_neupims:
+            self.load_tracker = self.device.attach_load_tracker()
+        self.latency_tracker = LatencyTracker()
+        executor = self.latency_tracker.wrap(self._wrapped_executor())
+        self.scheduler = IterationScheduler(
+            self.pool, executor, max_batch_size=serving.max_batch_size,
+            allocators=self.allocators,
+            assign_channels=(self.device.assign_channels
+                             if is_neupims else None),
+            load_tracker=self.load_tracker)
+
+    def _wrapped_executor(self):
+        """An executor that also aggregates busy/byte accounting."""
+        if self.system is not None:
+            system = self.system
+
+            def run_system(batch: Sequence[InferenceRequest]) -> float:
+                latency = system.iteration_latency(batch)
+                self._latency_acc += latency
+                return latency
+            return run_system
+        device = self.device
+
+        def run(batch: Sequence[InferenceRequest]) -> float:
+            result: IterationResult = device.iteration(batch)
+            self._accumulate(result)
+            return result.latency
+        return run
+
+    def _accumulate(self, result: IterationResult) -> None:
+        """Fold one iteration's busy/byte accounting into the session."""
+        self._latency_acc += result.latency
+        self._external_bytes += result.external_bytes
+        for key, value in result.busy.items():
+            self._busy[key] = self._busy.get(key, 0.0) + value
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run the scenario to completion; the result is cached."""
+        if self._result is not None:
+            return self._result
+        self.materialize()
+        if self.spec.traffic.kind == "warmed":
+            self._result = self._run_measurement()
+        else:
+            self._result = self._run_serving()
+        return self._result
+
+    def _utilization(self) -> Dict[str, float]:
+        """Busy-fraction accounting (the paper's Table-4 methodology)."""
+        latency_acc = self._latency_acc
+        utilization = {
+            key: min(1.0, value / latency_acc) if latency_acc > 0 else 0.0
+            for key, value in self._busy.items()
+        }
+        if self._busy and latency_acc > 0:
+            seconds = latency_acc / 1e9
+            utilization["bandwidth"] = min(
+                1.0, self._external_bytes
+                / (self.config.org.total_bandwidth * seconds))
+        return utilization
+
+    def _energy_per_token(self, tokens: int) -> Optional[float]:
+        """Estimated mJ/token from the aggregated busy profile."""
+        if not self._busy or self._latency_acc <= 0 or tokens <= 0:
+            return None
+        from repro.analysis.energy import EnergyParams, iteration_energy
+        # Table 5 gives two per-channel anchors: the dual-row-buffer PIM
+        # bank and a plain HBM channel.  Systems without an in-memory
+        # compute path (and PIM systems in blocked single-buffer mode,
+        # as a lower-bound approximation) bill at the HBM rate.
+        has_pim = self.spec.system in ("neupims", "npu-pim", "transpim")
+        memory_power = (PIM_CHANNEL_POWER_MW
+                        if has_pim and self.config.dual_row_buffer
+                        else HBM_CHANNEL_POWER_MW)
+        aggregate = IterationResult(latency=self._latency_acc,
+                                    busy=dict(self._busy))
+        report = iteration_energy(
+            aggregate, tokens, memory_power,
+            EnergyParams(channels=self.config.num_channels))
+        return report.energy_per_token_mj
+
+    def _run_measurement(self) -> RunResult:
+        """One generation iteration per warmed batch (paper §8.1)."""
+        records: List[Dict[str, float]] = []
+        throughputs: List[float] = []
+        for index, batch in enumerate(self.batches):
+            if self.system is not None:
+                # One pipeline_pitch() drives both numbers (the system's
+                # own iteration_latency/throughput methods would each
+                # re-simulate the micro-batch).
+                pitch = self.system.pipeline_pitch(batch)
+                latency = pitch * self.system.scheme.pp
+                micro = self.system.micro_batches(batch)[0]
+                throughput = len(micro) / (pitch / 1e9)
+            else:
+                result = self.device.iteration(batch)
+                latency = result.latency
+                throughput = (len(batch) / (latency / 1e9)
+                              if latency > 0 else 0.0)
+                self._accumulate(result)
+            throughputs.append(throughput)
+            records.append({
+                "index": index,
+                "latency": latency,
+                "batch_size": len(batch),
+                "tokens": len(batch),
+                "tokens_per_second": throughput,
+            })
+        batch_sizes = [record["batch_size"] for record in records]
+        total_tokens = sum(record["tokens"] for record in records)
+        latency_sum = sum(record["latency"] for record in records)
+        return RunResult(
+            kind="measurement",
+            model=self.model_spec.name,
+            system=self.spec.system,
+            fidelity=self.fidelity,
+            iterations=len(records),
+            total_tokens=int(total_tokens),
+            total_time_cycles=latency_sum,
+            tokens_per_second=sum(throughputs) / len(throughputs),
+            mean_iteration_cycles=latency_sum / len(records),
+            mean_batch_size=sum(batch_sizes) / len(batch_sizes),
+            max_batch_size=int(max(batch_sizes)),
+            utilization=self._utilization(),
+            energy_per_token_mj=self._energy_per_token(int(total_tokens)),
+            records=tuple(records),
+        )
+
+    def _run_serving(self) -> RunResult:
+        """Drive the iteration-level scheduler until the pool drains."""
+        stats = self.scheduler.run(
+            max_iterations=self.spec.serving.max_iterations)
+        records = tuple({
+            "index": r.index,
+            "start_time": r.start_time,
+            "latency": r.latency,
+            "batch_size": r.batch_size,
+            "tokens": r.tokens_generated,
+            "admitted": r.admitted,
+            "retired": r.retired,
+        } for r in stats.iterations)
+        iterations = len(records)
+        total_tokens = stats.total_tokens
+        total_time = stats.total_time
+        batch_sizes = [r.batch_size for r in stats.iterations]
+        latency_summary = (self.latency_tracker.report().summary()
+                           if self.latency_tracker is not None else {})
+        return RunResult(
+            kind="serving",
+            model=self.model_spec.name,
+            system=self.spec.system,
+            fidelity=self.fidelity,
+            iterations=iterations,
+            total_tokens=total_tokens,
+            total_time_cycles=total_time,
+            tokens_per_second=stats.throughput_tokens_per_second(),
+            mean_iteration_cycles=(self._latency_acc / iterations
+                                   if iterations else 0.0),
+            mean_batch_size=(sum(batch_sizes) / iterations
+                             if iterations else 0.0),
+            max_batch_size=int(max(batch_sizes)) if batch_sizes else 0,
+            utilization=self._utilization(),
+            energy_per_token_mj=self._energy_per_token(total_tokens),
+            latency_ms=latency_summary,
+            records=records,
+        )
+
+
+def run_scenario(spec: Union[ScenarioSpec, Dict[str, Any]]) -> RunResult:
+    """Run one scenario to a :class:`RunResult` (picklable task unit)."""
+    if isinstance(spec, dict):
+        spec = ScenarioSpec.from_dict(spec)
+    return Session(spec).run()
+
+
+def scenario_warmup(specs: Sequence[ScenarioSpec]) -> PerfCacheWarmup:
+    """A per-worker warmup covering the cycle-fidelity configs in specs.
+
+    The calibration cache is keyed on the model's element width too, so
+    the warmup carries every distinct ``dtype_bytes`` alongside the
+    configs.
+    """
+    configs = []
+    dtypes = []
+    for spec in specs:
+        if spec.resolve_fidelity() == "cycle":
+            config = spec.resolve_config()
+            if config not in configs:
+                configs.append(config)
+            dtype = spec.resolve_model().dtype_bytes
+            if dtype not in dtypes:
+                dtypes.append(dtype)
+    return PerfCacheWarmup(configs=tuple(configs),
+                           dtype_bytes=tuple(dtypes) or (2,))
+
+
+def run_scenarios(specs: Sequence[ScenarioSpec],
+                  parallel: ParallelSpec = None,
+                  chunk_size: int = 1) -> List[RunResult]:
+    """Fan scenarios across an execution backend, merging in order.
+
+    Results are record-for-record identical to a serial run (the
+    :mod:`repro.exec` determinism contract); ``parallel`` accepts the
+    usual worker count / backend spec.  Workers pre-warm the perf caches
+    for every distinct cycle-fidelity hardware config in ``specs``.
+    """
+    specs = list(specs)
+    runner = ParallelRunner(parallel, chunk_size=chunk_size,
+                            warmup=scenario_warmup(specs))
+    return runner.map(run_scenario, specs)

@@ -41,14 +41,11 @@ def ablation_device(spec: ModelSpec, *, dual_row_buffer: bool = False,
     """Build an ablation point for Figure 13.
 
     The figure's configurations stack techniques in order: NPU+PIM (all
-    off) -> +DRB -> +DRB+GMLBP -> +DRB+GMLBP+SBI.  The composite ISA ships
-    with the dual-row-buffer bank (it exists to keep the shared C/A bus
-    off the critical path once both flows run concurrently), so it toggles
-    together with ``dual_row_buffer``.
+    off) -> +DRB -> +DRB+GMLBP -> +DRB+GMLBP+SBI.  The DRB/composite-ISA
+    pairing is encoded once in :meth:`NeuPimsConfig.ablation`.
     """
-    config = NeuPimsConfig(
+    config = NeuPimsConfig.ablation(
         dual_row_buffer=dual_row_buffer,
-        composite_isa=dual_row_buffer,
         greedy_binpack=greedy_binpack,
         sub_batch_interleaving=sub_batch_interleaving,
     )

@@ -78,6 +78,24 @@ class NeuPimsConfig:
         return cls(dual_row_buffer=False, composite_isa=False,
                    greedy_binpack=False, sub_batch_interleaving=False)
 
+    @classmethod
+    def ablation(cls, *, dual_row_buffer: bool = False,
+                 greedy_binpack: bool = False,
+                 sub_batch_interleaving: bool = False) -> "NeuPimsConfig":
+        """A Figure-13 ablation point, from the naive starting state.
+
+        The composite ISA ships with the dual-row-buffer bank (it exists
+        to keep the shared C/A bus off the critical path once both flows
+        run concurrently), so it toggles together with
+        ``dual_row_buffer`` — the single place that encodes the pairing.
+        """
+        return cls(
+            dual_row_buffer=dual_row_buffer,
+            composite_isa=dual_row_buffer,
+            greedy_binpack=greedy_binpack,
+            sub_batch_interleaving=sub_batch_interleaving,
+        )
+
     def with_features(self, *, dual_row_buffer: Optional[bool] = None,
                       composite_isa: Optional[bool] = None,
                       greedy_binpack: Optional[bool] = None,

@@ -9,13 +9,11 @@ throughput-optimal configuration, optionally under a latency constraint.
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional, Tuple
 
-from repro.analysis.sweep import SweepAxis, run_sweep
 from repro.core.config import NeuPimsConfig
-from repro.core.system import NeuPimsSystem, ParallelismScheme
+from repro.core.system import ParallelismScheme
 from repro.exec.backends import ParallelSpec
 from repro.model.spec import ModelSpec
 from repro.serving.trace import DatasetTrace, warmed_batch
@@ -80,26 +78,20 @@ class DeploymentPlan:
     best: Optional[PlanPoint]
 
 
-def _evaluate_plan_point(spec: ModelSpec, trace: DatasetTrace,
-                         config: NeuPimsConfig, seed: int,
-                         tp: int, pp: int,
-                         batch_size: int) -> Dict[str, object]:
-    """One planner cell (module level so process workers can import it)."""
-    scheme = ParallelismScheme(tp, pp)
-    batch = warmed_batch(trace, batch_size, seed=seed)
-    avg_seq = max(1, sum(r.seq_len for r in batch) // len(batch))
-    fits_w = weights_fit(spec, scheme, config)
-    fits_kv = kv_fits(spec, scheme, batch_size, avg_seq, config)
-    system = NeuPimsSystem(spec, scheme, config=config)
-    throughput = system.throughput_tokens_per_second(batch)
-    latency_ms = system.iteration_latency(batch) / 1e6
-    return {
-        "devices": tp * pp,
-        "throughput": throughput,
-        "latency_ms": latency_ms,
-        "weights_fit": fits_w,
-        "kv_fits": fits_kv,
-    }
+def plan_scenario(spec: ModelSpec, trace: DatasetTrace,
+                  config: NeuPimsConfig, seed: int,
+                  tp: int, pp: int, batch_size: int):
+    """One planner cell as a :class:`~repro.api.ScenarioSpec`.
+
+    ``pp`` is always set, so the session materializes the multi-device
+    :class:`NeuPimsSystem` engine with pooled TP-group channels.
+    """
+    from repro.api import ScenarioSpec, TrafficSpec
+    return ScenarioSpec(
+        model=spec, system="neupims", config=config, tp=tp, pp=pp,
+        fidelity="analytic",
+        traffic=TrafficSpec.warmed(dataset=trace, batch_size=batch_size,
+                                   seed=seed))
 
 
 def plan_deployment(
@@ -115,10 +107,13 @@ def plan_deployment(
     """Enumerate configurations and pick the best feasible one.
 
     The objective is system throughput; ``max_iteration_latency_ms``
-    optionally bounds per-token latency (a TPOT SLO).  ``parallel``
-    shards the (TP, PP, batch) grid across a :mod:`repro.exec` backend;
-    the plan is identical to a serial run.
+    optionally bounds per-token latency (a TPOT SLO).  Every grid point
+    becomes a declarative :func:`plan_scenario` spec; ``parallel`` fans
+    the specs across a :mod:`repro.exec` backend through
+    :func:`~repro.api.run_scenarios`, and the plan is identical to a
+    serial run.
     """
+    from repro.api import run_scenarios
     if max_devices <= 0:
         raise ValueError("max_devices must be positive")
     config = config or NeuPimsConfig()
@@ -128,23 +123,35 @@ def plan_deployment(
                  if t <= max_devices and spec.num_heads % t == 0]
     pp_values = [p for p in (1, 2, 4, 8) if p <= max_devices]
 
-    def skip(tp: int, pp: int, batch_size: int) -> bool:
-        return tp * pp > max_devices
-
-    sweep = run_sweep(
-        [SweepAxis("tp", tp_values), SweepAxis("pp", pp_values),
-         SweepAxis("batch_size", batch_sizes)],
-        functools.partial(_evaluate_plan_point, spec, trace, config, seed),
-        skip=skip, parallel=parallel)
-
-    points = [
-        PlanPoint(tp=r["tp"], pp=r["pp"], batch_size=r["batch_size"],
-                  devices=r["devices"],
-                  throughput_tokens_per_second=r["throughput"],
-                  iteration_latency_ms=r["latency_ms"],
-                  weights_fit=r["weights_fit"], kv_fits=r["kv_fits"])
-        for r in sweep.records
+    grid: List[Tuple[int, int, int]] = [
+        (tp, pp, batch_size)
+        for tp in tp_values for pp in pp_values
+        for batch_size in batch_sizes
+        if tp * pp <= max_devices
     ]
+    results = run_scenarios(
+        [plan_scenario(spec, trace, config, seed, tp, pp, batch_size)
+         for tp, pp, batch_size in grid],
+        parallel=parallel)
+
+    # The feasibility probe batch depends only on batch_size; sample it
+    # once per size instead of once per (tp, pp, batch_size) point.
+    avg_seq_by_size = {}
+    for batch_size in batch_sizes:
+        batch = warmed_batch(trace, batch_size, seed=seed)
+        avg_seq_by_size[batch_size] = max(
+            1, sum(r.seq_len for r in batch) // len(batch))
+
+    points = []
+    for (tp, pp, batch_size), result in zip(grid, results):
+        scheme = ParallelismScheme(tp, pp)
+        avg_seq = avg_seq_by_size[batch_size]
+        points.append(PlanPoint(
+            tp=tp, pp=pp, batch_size=batch_size, devices=tp * pp,
+            throughput_tokens_per_second=result.tokens_per_second,
+            iteration_latency_ms=result.mean_iteration_cycles / 1e6,
+            weights_fit=weights_fit(spec, scheme, config),
+            kv_fits=kv_fits(spec, scheme, batch_size, avg_seq, config)))
     candidates = [p for p in points if p.feasible]
     if max_iteration_latency_ms is not None:
         candidates = [p for p in candidates

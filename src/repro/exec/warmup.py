@@ -29,6 +29,8 @@ class PerfCacheWarmup:
     specs: Tuple[ModelSpec, ...] = ()
     #: sequence lengths to pre-estimate per (config, spec) pair
     seq_lens: Tuple[int, ...] = ()
+    #: element widths to calibrate per config (part of the cache key)
+    dtype_bytes: Tuple[int, ...] = (2,)
 
     def __call__(self) -> None:
         # Imports stay inside the call so pickling the warmup spec never
@@ -37,7 +39,9 @@ class PerfCacheWarmup:
         from repro.perf.calibration import cached_calibrate, memoized_estimator
 
         for config in self.configs:
-            cached_calibrate(config.timing, config.org, config.pim_timing)
+            for dtype in self.dtype_bytes:
+                cached_calibrate(config.timing, config.org,
+                                 config.pim_timing, dtype)
             if not self.specs or not self.seq_lens:
                 continue
             latencies = analytic_latencies(config.timing, config.org,

@@ -4,6 +4,7 @@ from repro.serving.paging import (
     OutOfMemoryError,
     PagedKvAllocator,
     PagedKvConfig,
+    channel_allocators,
     max_batch_without_paging,
 )
 from repro.serving.pool import RequestPool
@@ -42,6 +43,7 @@ __all__ = [
     "OutOfMemoryError",
     "PagedKvAllocator",
     "PagedKvConfig",
+    "channel_allocators",
     "max_batch_without_paging",
     "RequestPool",
     "InferenceRequest",

@@ -133,6 +133,24 @@ class PagedKvAllocator:
         return sorted(self._allocations)
 
 
+def channel_allocators(config: PagedKvConfig, spec: ModelSpec,
+                       num_channels: int,
+                       layers_resident: Optional[int] = None
+                       ) -> List[PagedKvAllocator]:
+    """One :class:`PagedKvAllocator` per PIM channel.
+
+    A request's KV cache lives entirely in its assigned channel's banks,
+    so every serving stack needs one allocator per channel of the
+    placement pool (``device.channel_pool``).  This is the single
+    fan-out helper used by :class:`repro.api.session.Session` and the
+    examples instead of hand-built list comprehensions.
+    """
+    if num_channels <= 0:
+        raise ValueError("num_channels must be positive")
+    return [PagedKvAllocator(config, spec, layers_resident=layers_resident)
+            for _ in range(num_channels)]
+
+
 def max_batch_without_paging(config: PagedKvConfig, spec: ModelSpec,
                              max_seq_len: int,
                              layers_resident: Optional[int] = None

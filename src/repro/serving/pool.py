@@ -149,7 +149,13 @@ class RequestPool:
         return counts
 
     def format_table(self, limit: Optional[int] = None) -> str:
-        """Render the pool as the paper's table (for examples/debugging)."""
+        """Render the pool as the paper's table (for examples/debugging).
+
+        An empty pool renders as the header row alone; ``limit`` caps
+        the number of rows and must be non-negative.
+        """
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative")
         rows = ["ReqID  InLen  Gen  Chnl  Status"]
         entries = sorted(self._requests.values(), key=lambda r: r.request_id)
         if limit is not None:

@@ -1,0 +1,75 @@
+"""Spec round-tripping reproduces bit-identical RunResults.
+
+``ScenarioSpec.from_dict(spec.to_dict())`` must drive the exact same
+simulation — serially, and when fanned across a process pool (gated on
+available cores, per the CI single-CPU runners).
+"""
+
+import json
+
+import pytest
+
+from repro.api import (ScenarioSpec, ServingSpec, TrafficSpec, run_scenario,
+                       run_scenarios)
+from repro.exec import ProcessPoolBackend, available_workers
+
+#: Small but heterogeneous scenarios covering every run mode.
+SCENARIOS = [
+    ScenarioSpec(model="gpt3-7b", layers_resident=2, fidelity="analytic",
+                 traffic=TrafficSpec.warmed(batch_size=16, seed=3)),
+    ScenarioSpec(model="gpt3-7b", system="npu-pim", layers_resident=2,
+                 fidelity="analytic",
+                 traffic=TrafficSpec.warmed(batch_size=16, num_batches=2,
+                                            seed=3)),
+    ScenarioSpec(model="gpt3-7b", tp=2, pp=2, fidelity="analytic",
+                 traffic=TrafficSpec.warmed(batch_size=16, seed=1)),
+    ScenarioSpec(model="gpt3-7b", layers_resident=8, fidelity="analytic",
+                 traffic=TrafficSpec.poisson(dataset="alpaca",
+                                             rate_per_kcycle=0.02,
+                                             horizon_cycles=5e6, seed=7,
+                                             max_requests=12),
+                 serving=ServingSpec(max_batch_size=8)),
+]
+
+
+def round_tripped(spec):
+    """spec -> dict -> JSON -> dict -> spec."""
+    return ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+
+
+@pytest.mark.parametrize("index", range(len(SCENARIOS)))
+def test_serial_round_trip_bit_identical(index):
+    spec = SCENARIOS[index]
+    restored = round_tripped(spec)
+    assert restored == spec
+    original = run_scenario(spec)
+    replayed = run_scenario(restored)
+    assert replayed == original
+    assert replayed.to_dict() == original.to_dict()
+
+
+def test_serial_fanout_matches_individual_runs():
+    expected = [run_scenario(spec) for spec in SCENARIOS]
+    fanned = run_scenarios([round_tripped(s) for s in SCENARIOS])
+    assert fanned == expected
+
+
+@pytest.mark.skipif(available_workers() < 2,
+                    reason="multi-worker assert needs >= 2 cores")
+def test_process_pool_round_trip_bit_identical():
+    expected = [run_scenario(spec) for spec in SCENARIOS]
+    backend = ProcessPoolBackend(workers=2)
+    pooled = run_scenarios([round_tripped(s) for s in SCENARIOS],
+                           parallel=backend)
+    assert pooled == expected
+
+
+@pytest.mark.skipif(available_workers() < 2,
+                    reason="multi-worker assert needs >= 2 cores")
+def test_process_pool_accepts_spec_dicts():
+    """Worker-side from_dict: raw to_dict payloads are valid task args."""
+    from repro.exec.runner import ParallelRunner
+    payloads = [json.loads(json.dumps(s.to_dict())) for s in SCENARIOS[:2]]
+    runner = ParallelRunner(ProcessPoolBackend(workers=2))
+    results = runner.map(run_scenario, payloads)
+    assert results == [run_scenario(s) for s in SCENARIOS[:2]]

@@ -14,7 +14,7 @@ import repro
 PACKAGES = [
     "repro", "repro.sim", "repro.model", "repro.dram", "repro.pim",
     "repro.npu", "repro.serving", "repro.core", "repro.baselines",
-    "repro.compiler", "repro.analysis", "repro.perf",
+    "repro.compiler", "repro.analysis", "repro.perf", "repro.api",
 ]
 
 

@@ -1,0 +1,57 @@
+"""Empty-row and limit edge cases for the two table renderers."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.serving.pool import RequestPool
+from repro.serving.request import InferenceRequest
+
+
+class TestReportFormatTable:
+    def test_empty_rows_render_header_only(self):
+        table = format_table(["a", "bb"], [])
+        lines = table.splitlines()
+        assert lines == ["a  bb", "-  --"]
+
+    def test_empty_rows_with_title(self):
+        table = format_table(["metric", "value"], [], title="empty sweep")
+        assert table.splitlines()[0] == "empty sweep"
+        assert len(table.splitlines()) == 3
+
+    def test_empty_rows_from_generator(self):
+        table = format_table(["x"], (row for row in []))
+        assert "x" in table
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError, match="at least one header"):
+            format_table([], [])
+
+    def test_row_width_mismatch_still_raises(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestPoolFormatTable:
+    HEADER = "ReqID  InLen  Gen  Chnl  Status"
+
+    def test_empty_pool_renders_header_only(self):
+        assert RequestPool().format_table() == self.HEADER
+        assert RequestPool().format_table(limit=10) == self.HEADER
+
+    def test_limit_zero_renders_header_only(self):
+        pool = RequestPool()
+        pool.submit(InferenceRequest(request_id=1, input_len=4,
+                                     output_len=2))
+        assert pool.format_table(limit=0) == self.HEADER
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RequestPool().format_table(limit=-1)
+
+    def test_limit_caps_rows(self):
+        pool = RequestPool()
+        for rid in range(5):
+            pool.submit(InferenceRequest(request_id=rid, input_len=4,
+                                         output_len=2))
+        assert len(pool.format_table(limit=3).splitlines()) == 4
+        assert len(pool.format_table().splitlines()) == 6
