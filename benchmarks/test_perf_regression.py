@@ -12,6 +12,9 @@ their headline numbers as ``BENCH`` JSON (and ``--benchmark-json``
   memoized estimator and incremental channel-load tracking;
 * the serving iteration hot loop itself, reported as wall time per
   generated token and per iteration;
+* the equivalence-class serving engine — a large-batch (1024-request)
+  decode run at ``grouping="auto"`` vs ``grouping="off"``, asserting
+  bit-identical records and a >=5x wall-clock speedup;
 * the sharded parallel sweep over the extra-ablation grid — serial vs
   1/2/4-worker process pools, with record-for-record identity enforced
   (``ABLATION_WORKERS`` pins a single worker count for CI's matrix).
@@ -194,6 +197,30 @@ def test_iteration_loop_per_token(benchmark):
         "ms_per_iteration": round(wall_seconds * 1e3 / iterations, 3),
     }
     emit("iteration_loop", values)
+    record(benchmark, values)
+
+
+def test_grouped_serving_large_batch(benchmark):
+    """The equivalence-class serving engine's acceptance bar.
+
+    A 1024-request class-friendly decode batch (bucketed lengths — the
+    regime the grouped engine targets) runs at both grouping modes;
+    ``run_serving_bench`` itself raises if records or aggregates diverge,
+    and the wall-clock gate requires the group-commit path to be >=5x
+    the per-request path.  Single-threaded, so no core-count gating.
+    """
+    from repro.api.bench import run_serving_bench
+
+    values = run_serving_bench(num_requests=1024, repeats=3)
+    assert values["records_identical"]
+    assert values["iterations"] > 0 and values["tokens"] > 0
+    assert values["speedup"] >= 5.0, \
+        f"grouped serving only {values['speedup']}x vs per-request"
+
+    benchmark.pedantic(
+        lambda: run_serving_bench(num_requests=64, repeats=1),
+        rounds=1, iterations=1)
+    emit("grouped_serving", values)
     record(benchmark, values)
 
 

@@ -15,16 +15,19 @@ uniform :class:`RunResult`:
 
 Lists of specs fan across :mod:`repro.exec` backends with
 :func:`run_scenarios` (specs are picklable by construction), and the
-same objects power the ``python -m repro`` CLI.  See DESIGN.md §6.
+same objects power the ``python -m repro`` CLI.  See DESIGN.md §7.
 """
 
+from repro.api.bench import run_serving_bench, serving_bench_spec
 from repro.api.session import (RunResult, Session, run_scenario,
                                run_scenarios, scenario_warmup)
-from repro.api.spec import (FIDELITIES, SYSTEMS, TRAFFIC_KINDS, ScenarioSpec,
-                            ServingSpec, TrafficSpec)
+from repro.api.spec import (FIDELITIES, GROUPING_MODES, SYSTEMS,
+                            TRAFFIC_KINDS, ScenarioSpec, ServingSpec,
+                            TrafficSpec)
 
 __all__ = [
     "FIDELITIES",
+    "GROUPING_MODES",
     "RunResult",
     "SYSTEMS",
     "ScenarioSpec",
@@ -34,5 +37,7 @@ __all__ = [
     "TrafficSpec",
     "run_scenario",
     "run_scenarios",
+    "run_serving_bench",
     "scenario_warmup",
+    "serving_bench_spec",
 ]

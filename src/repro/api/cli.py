@@ -1,17 +1,19 @@
 """The ``python -m repro`` command line over the scenario API.
 
-Three subcommands share one scenario vocabulary:
+Four subcommands share one scenario vocabulary:
 
 * ``run`` — execute a single :class:`~repro.api.ScenarioSpec` (built
   from flags or loaded from a JSON file) and print its summary;
 * ``sweep`` — fan axis overrides of a base spec across workers through
   :func:`~repro.analysis.sweep.scenario_sweep` (records identical to a
   serial run for any ``--workers``);
-* ``compare`` — run several systems on the same workload side by side.
+* ``compare`` — run several systems on the same workload side by side;
+* ``bench`` — the large-batch grouped-serving benchmark, with optional
+  comparison against a committed baseline (the CI regression gate).
 
 Every subcommand accepts ``--json PATH`` to dump the uniform
 result/record payloads for artifact pipelines (see the CI
-examples-smoke job).
+examples-smoke and serving-bench jobs).
 """
 
 from __future__ import annotations
@@ -74,6 +76,10 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-requests", type=int, default=None)
     parser.add_argument("--max-batch-size", type=int, default=None,
                         help="serving-loop batch cap")
+    parser.add_argument("--grouping", default=None,
+                        choices=("auto", "on", "off"),
+                        help="equivalence-class group-commit engine for "
+                             "serving runs (default auto)")
     parser.add_argument("--tp", type=int, default=None)
     parser.add_argument("--pp", type=int, default=None)
     parser.add_argument("--layers-resident", type=int, default=None)
@@ -118,10 +124,14 @@ def build_spec(args: argparse.Namespace) -> ScenarioSpec:
     if traffic_updates or traffic is not spec.traffic:
         from dataclasses import replace
         overrides["traffic"] = replace(traffic, **traffic_updates)
+    serving_updates: Dict[str, Any] = {}
     if args.max_batch_size is not None:
+        serving_updates["max_batch_size"] = args.max_batch_size
+    if args.grouping is not None:
+        serving_updates["grouping"] = args.grouping
+    if serving_updates:
         from dataclasses import replace
-        overrides["serving"] = replace(spec.serving,
-                                       max_batch_size=args.max_batch_size)
+        overrides["serving"] = replace(spec.serving, **serving_updates)
     return spec.override(**overrides) if overrides else spec
 
 
@@ -205,6 +215,33 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: the large-batch grouped-serving benchmark.
+
+    Prints one BENCH JSON line (the perf-trajectory seed format); with
+    ``--baseline`` the run is compared against a committed payload and a
+    >``--tolerance`` speedup regression (or any simulated-metric drift)
+    fails the command — the CI contract.
+    """
+    from repro.api.bench import compare_to_baseline, run_serving_bench
+    payload = run_serving_bench(num_requests=args.requests,
+                                repeats=args.repeats)
+    print(f"BENCH {json.dumps(payload, sort_keys=True)}")
+    _dump_json(args.json_path, payload)
+    if args.baseline is not None:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = compare_to_baseline(payload, baseline,
+                                       tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"bench regression: {problem}", file=sys.stderr)
+            return 1
+        print(f"bench within {args.tolerance:.0%} of baseline "
+              f"{args.baseline}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -236,6 +273,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated system list")
     compare_parser.add_argument("--workers", type=int, default=1)
     compare_parser.set_defaults(handler=cmd_compare)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the large-batch grouped-serving benchmark")
+    bench_parser.add_argument("--requests", type=int, default=1024,
+                              help="decode batch size (default 1024)")
+    bench_parser.add_argument("--repeats", type=int, default=3,
+                              help="best-of repeats for the grouped side")
+    bench_parser.add_argument("--baseline", metavar="FILE", default=None,
+                              help="committed baseline payload to compare "
+                                   "against (non-zero exit on regression)")
+    bench_parser.add_argument("--tolerance", type=float, default=0.2,
+                              help="allowed fractional speedup regression "
+                                   "vs the baseline (default 0.2)")
+    bench_parser.add_argument("--json", metavar="FILE", default=None,
+                              dest="json_path",
+                              help="also dump the BENCH payload as JSON")
+    bench_parser.set_defaults(handler=cmd_bench)
     return parser
 
 

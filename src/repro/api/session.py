@@ -30,6 +30,7 @@ from repro.exec.backends import ParallelSpec
 from repro.exec.runner import ParallelRunner
 from repro.exec.warmup import PerfCacheWarmup
 from repro.model.spec import ModelSpec
+from repro.serving.grouping import GroupedExecutor
 from repro.serving.latency import LatencyTracker
 from repro.serving.paging import PagedKvConfig, channel_allocators
 from repro.serving.pool import RequestPool
@@ -133,6 +134,11 @@ class Session:
     ``allocators`` / ``load_tracker`` / ``latency_tracker``) so examples
     and tests can step the scheduler or inspect the pool mid-run; a
     subsequent :meth:`run` simply finishes the remaining iterations.
+    Under the equivalence-class engine (serving spec knob ``grouping``,
+    default ``"auto"``) per-request state is deferred inside steady-state
+    windows — call ``scheduler.sync_grouped()`` before inspecting the
+    pool or requests mid-run (``run`` itself always leaves the stack
+    synchronized).
     """
 
     def __init__(self, spec: ScenarioSpec) -> None:
@@ -256,7 +262,46 @@ class Session:
             allocators=self.allocators,
             assign_channels=(self.device.assign_channels
                              if is_neupims else None),
-            load_tracker=self.load_tracker)
+            load_tracker=self.load_tracker,
+            grouping=serving.grouping,
+            grouped=self._grouped_executor(serving.grouping),
+            latency_tracker=self.latency_tracker)
+
+    def _grouped_executor(self, grouping: str) -> Optional[GroupedExecutor]:
+        """The class-grouped engine for this scenario, if applicable.
+
+        ``"auto"`` returns ``None`` for systems without class-plan support
+        (the scheduler then stays on the per-request path); ``"on"``
+        insists and raises instead.  The returned runner feeds the same
+        busy/byte accumulators as the per-request executor wrapper, so
+        aggregates are identical between paths.
+        """
+        if grouping == "off":
+            return None
+        if self.system is not None:
+            system = self.system
+
+            def run_system_plan(plan, shift: int) -> float:
+                latency = system.iteration_from_plan(plan, shift)
+                self._latency_acc += latency
+                return latency
+            return GroupedExecutor(system.prepare_class_plan,
+                                   run_system_plan)
+        if isinstance(self.device, NeuPimsDevice):
+            device = self.device
+
+            def run_device_plan(plan, shift: int) -> float:
+                result: IterationResult = device.iteration_from_plan(plan,
+                                                                     shift)
+                self._accumulate(result)
+                return result.latency
+            return GroupedExecutor(device.prepare_class_plan,
+                                   run_device_plan)
+        if grouping == "on":
+            raise ValueError(
+                f"system {self.spec.system!r} has no class-grouped engine; "
+                "use grouping='auto' or 'off'")
+        return None
 
     def _wrapped_executor(self):
         """An executor that also aggregates busy/byte accounting."""

@@ -23,6 +23,7 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.core.config import NeuPimsConfig
 from repro.model.spec import MODEL_REGISTRY, ModelSpec, get_model
+from repro.serving.grouping import GROUPING_MODES
 from repro.serving.request import InferenceRequest
 from repro.serving.trace import DATASETS, DatasetTrace, get_dataset
 
@@ -32,7 +33,7 @@ SYSTEMS = ("neupims", "npu-pim", "npu-only", "gpu-only", "transpim")
 #: Traffic kinds a scenario can describe.
 TRAFFIC_KINDS = ("warmed", "poisson", "replay")
 
-#: Fidelity settings (see DESIGN.md §6 for the selection rules).
+#: Fidelity settings (see DESIGN.md §7 for the selection rules).
 FIDELITIES = ("analytic", "cycle", "auto")
 
 
@@ -195,6 +196,10 @@ class ServingSpec:
     #: keep live per-channel loads for Algorithm-2 admission bin packing
     load_tracker: bool = True
     max_iterations: int = 1_000_000
+    #: equivalence-class group-commit engine: ``"auto"`` groups whenever
+    #: the system under test supports class plans (bit-identical records
+    #: either way), ``"on"`` requires support, ``"off"`` never groups
+    grouping: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -203,6 +208,9 @@ class ServingSpec:
             raise ValueError("KV capacity and block size must be positive")
         if self.max_iterations <= 0:
             raise ValueError("max_iterations must be positive")
+        if self.grouping not in GROUPING_MODES:
+            raise ValueError(f"unknown grouping mode {self.grouping!r}; "
+                             f"known: {GROUPING_MODES}")
 
 
 # ----------------------------------------------------------------------
@@ -250,7 +258,7 @@ class ScenarioSpec:
         ``"analytic"`` uses closed-form Algorithm-1 latency constants;
         ``"cycle"`` calibrates them from the command-level DRAM/PIM
         simulation (memoized per hardware config); ``"auto"`` picks per
-        the DESIGN.md §6 rules (cycle for device-level warmed
+        the DESIGN.md §7 rules (cycle for device-level warmed
         measurements on PIM systems, analytic otherwise).
     label:
         Optional display name for tables and sweep records.
@@ -320,7 +328,7 @@ class ScenarioSpec:
             self.resolve_model().tensor_parallel
 
     def resolve_fidelity(self) -> str:
-        """``"analytic"`` or ``"cycle"`` per the DESIGN.md §6 rules."""
+        """``"analytic"`` or ``"cycle"`` per the DESIGN.md §7 rules."""
         if self.fidelity != "auto":
             return self.fidelity
         if (self.system in ("neupims", "npu-pim") and self.pp is None

@@ -32,6 +32,15 @@ class ChannelLoadTracker:
     retirement; the bin packer starts from :attr:`loads` instead of
     re-estimating the resident set.
 
+    The tracker stores a per-channel **seq_len histogram** (integer
+    multiplicities of each equivalence class) and derives loads from it
+    lazily, accumulating ``estimate(seq_len) * count`` in ascending
+    seq_len order.  Integer histogram updates commute, so the loads are a
+    pure function of the resident class multiset — the per-request
+    update path and the grouped engine's batched resync produce
+    bit-identical loads, and :func:`channel_loads` (the scan-based
+    recompute) uses the same canonical accumulation.
+
     Note this is a *behavioral* upgrade where wired in, not only a fast
     path: the untracked scheduler wiring passes no resident set, so
     admission packs against idle channels.  Attaching a tracker makes
@@ -48,14 +57,27 @@ class ChannelLoadTracker:
             raise ValueError("num_channels must be positive")
         self.estimator = estimator
         self.num_channels = num_channels
-        self._loads = [0.0] * num_channels
-        #: request id -> (channel, load contribution)
-        self._contrib: Dict[int, Tuple[int, float]] = {}
+        #: per-channel {seq_len: count} histograms
+        self._hist: List[Dict[int, int]] = [{} for _ in range(num_channels)]
+        #: request id -> (channel, seq_len at last refresh)
+        self._contrib: Dict[int, Tuple[int, int]] = {}
+        #: per-channel cached load (None = recompute from histogram)
+        self._cache: List[Optional[float]] = [0.0] * num_channels
 
     @property
     def loads(self) -> List[float]:
         """Current estimated load per channel (live copy)."""
-        return list(self._loads)
+        return [self._channel_load(c) for c in range(self.num_channels)]
+
+    def _channel_load(self, channel: int) -> float:
+        cached = self._cache[channel]
+        if cached is None:
+            hist = self._hist[channel]
+            cached = 0.0
+            for seq_len in sorted(hist):
+                cached += self.estimator.estimate(seq_len) * hist[seq_len]
+            self._cache[channel] = cached
+        return cached
 
     def __len__(self) -> int:
         return len(self._contrib)
@@ -69,15 +91,33 @@ class ChannelLoadTracker:
             )
         return channel
 
+    def _hist_add(self, channel: int, seq_len: int, count: int = 1) -> None:
+        hist = self._hist[channel]
+        hist[seq_len] = hist.get(seq_len, 0) + count
+        self._cache[channel] = None
+
+    def _hist_remove(self, channel: int, seq_len: int,
+                     count: int = 1) -> None:
+        hist = self._hist[channel]
+        remaining = hist.get(seq_len, 0) - count
+        if remaining < 0:
+            raise ValueError(
+                f"channel {channel} histogram underflow at seq_len {seq_len}")
+        if remaining:
+            hist[seq_len] = remaining
+        else:
+            hist.pop(seq_len, None)
+        self._cache[channel] = None
+
     def add(self, request: InferenceRequest) -> float:
         """Track an admitted request; returns its load contribution."""
         channel = self._check_channel(request)
         if request.request_id in self._contrib:
             raise ValueError(f"request {request.request_id} already tracked")
-        load = self.estimator.estimate(request.seq_len)
-        self._loads[channel] += load
-        self._contrib[request.request_id] = (channel, load)
-        return load
+        seq_len = request.seq_len
+        self._hist_add(channel, seq_len)
+        self._contrib[request.request_id] = (channel, seq_len)
+        return self.estimator.estimate(seq_len)
 
     def update(self, request: InferenceRequest) -> None:
         """Refresh a request's contribution (context grew).
@@ -93,36 +133,65 @@ class ChannelLoadTracker:
             if channel is not None and 0 <= channel < self.num_channels:
                 self.add(request)
             return
-        old_channel, old_load = entry
+        old_channel, old_seq = entry
         if request.channel != old_channel:
             # The request was re-homed (e.g. re-assigned for a smaller
             # channel pool): migrate its contribution.
             self.remove(request)
             self.update(request)
             return
-        new_load = self.estimator.estimate(request.seq_len)
-        self._loads[old_channel] += new_load - old_load
-        self._contrib[request.request_id] = (old_channel, new_load)
+        new_seq = request.seq_len
+        if new_seq == old_seq:
+            return
+        self._hist_remove(old_channel, old_seq)
+        self._hist_add(old_channel, new_seq)
+        self._contrib[request.request_id] = (old_channel, new_seq)
+
+    def sync_member(self, request_id: int, channel: int,
+                    seq_len: int) -> None:
+        """Batched resync from the grouped engine (upserting, like
+        :meth:`update`, but without touching the request object)."""
+        entry = self._contrib.get(request_id)
+        if entry is not None:
+            old_channel, old_seq = entry
+            if (old_channel, old_seq) == (channel, seq_len):
+                return
+            self._hist_remove(old_channel, old_seq)
+        self._hist_add(channel, seq_len)
+        self._contrib[request_id] = (channel, seq_len)
 
     def remove(self, request: InferenceRequest) -> None:
         """Stop tracking a retired request (no-op when untracked)."""
         entry = self._contrib.pop(request.request_id, None)
         if entry is None:
             return
-        channel, load = entry
-        self._loads[channel] -= load
+        channel, seq_len = entry
+        self._hist_remove(channel, seq_len)
+
+    def channel_histogram(self, channel: int) -> Dict[int, int]:
+        """The channel's live {seq_len: count} class histogram (copy)."""
+        if not 0 <= channel < self.num_channels:
+            raise ValueError(f"invalid channel {channel}")
+        return dict(self._hist[channel])
 
     def clear(self) -> None:
         """Forget every tracked request."""
-        self._loads = [0.0] * self.num_channels
+        self._hist = [{} for _ in range(self.num_channels)]
+        self._cache = [0.0] * self.num_channels
         self._contrib.clear()
 
 
 def channel_loads(requests: Iterable[InferenceRequest],
                   estimator: MhaLatencyEstimator,
                   num_channels: int) -> List[float]:
-    """Estimated MHA load (cycles) per channel for assigned requests."""
-    loads = [0.0] * num_channels
+    """Estimated MHA load (cycles) per channel for assigned requests.
+
+    Accumulates per (channel, seq_len) equivalence class in ascending
+    seq_len order — the same canonical arithmetic as
+    :class:`ChannelLoadTracker`, so a scan-based recompute matches the
+    incrementally tracked loads bit for bit.
+    """
+    hists: List[Dict[int, int]] = [{} for _ in range(num_channels)]
     for request in requests:
         if request.channel is None:
             continue
@@ -131,7 +200,12 @@ def channel_loads(requests: Iterable[InferenceRequest],
                 f"request {request.request_id} on invalid channel "
                 f"{request.channel}"
             )
-        loads[request.channel] += estimator.estimate(request.seq_len)
+        hist = hists[request.channel]
+        hist[request.seq_len] = hist.get(request.seq_len, 0) + 1
+    loads = [0.0] * num_channels
+    for channel, hist in enumerate(hists):
+        for seq_len in sorted(hist):
+            loads[channel] += estimator.estimate(seq_len) * hist[seq_len]
     return loads
 
 

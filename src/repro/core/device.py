@@ -39,6 +39,9 @@ from repro.core.partition import partition_batch
 from repro.model.layers import ffn_gemms, projection_gemm, qkv_generation_gemm
 from repro.model.spec import ModelSpec
 from repro.npu.chip import NpuChip
+from repro.serving.grouping import (DeviceClassPlan, MhaHistogram,
+                                    SubBatchClasses, mha_histogram,
+                                    shift_histogram)
 from repro.serving.request import InferenceRequest
 from repro.sim.engine import Resource
 
@@ -159,15 +162,29 @@ class NeuPimsDevice:
         #: assuming idle channels.
         self.load_tracker: Optional[ChannelLoadTracker] = None
         self._rr_cursor = 0
-        # Per-request MHA contributions, keyed by request id and guarded
-        # by the request's current seq_len.  Every contribution (GEMV
-        # estimate, softmax time, internal KV bytes) is a pure function of
-        # seq_len under this device's fixed spec/config/estimator, and is
-        # independent of channel placement — so one iteration's repeated
-        # mha_stage() calls (sub-batches plus the serialized comparison
-        # under adaptive SBI) recompute nothing, and the next iteration
-        # recomputes each request once (its context grew by one token).
-        self._mha_contrib: Dict[int, Tuple[int, float, float, float]] = {}
+        # Per-class MHA contributions, keyed by seq_len.  Every
+        # contribution (GEMV estimate, softmax time, internal KV bytes)
+        # is a pure function of seq_len under this device's fixed
+        # spec/config/estimator and independent of channel placement, so
+        # all requests in a (channel, seq_len) equivalence class share
+        # one entry and repeated mha_stage calls (sub-batches plus the
+        # serialized comparison under adaptive SBI) recompute nothing.
+        self._class_contrib: Dict[int, Tuple[float, float, float]] = {}
+        # Stage/iteration replay memos: GEMM stages are pure in the
+        # sub-batch token count, MHA stages pure in the class histogram,
+        # and whole iteration results pure in the plan signature — so a
+        # batch whose class signature recurs (steady-state decode,
+        # symmetric Algorithm-3 sub-batches, repeated warmed batches)
+        # replays the memoized result instead of re-simulating.
+        self._gemm_memo: Dict[int, GemmStage] = {}
+        self._mha_memo: Dict[MhaHistogram, MhaStageTiming] = {}
+        self._iteration_memo: Dict[Tuple, IterationResult] = {}
+        self._interleave_memo: Dict[Tuple, IterationResult] = {}
+        # Scratch resources for the interleaved list scheduler (reset per
+        # call; busy-interval recording off — only busy totals are read).
+        self._res_npu_s = Resource("npu_s", record_intervals=False)
+        self._res_pim = Resource("pim", record_intervals=False)
+        self._res_npu_v = Resource("npu_v", record_intervals=False)
         # Config-derived MHA constants, hoisted out of the per-request loop.
         overhead = 1.0
         if not self.config.composite_isa:
@@ -225,9 +242,18 @@ class NeuPimsDevice:
     # ------------------------------------------------------------------
 
     def gemm_stage_cycles(self, batch_tokens: int) -> "GemmStage":
-        """GEMM-stage timing for a sub-batch of ``batch_tokens`` tokens."""
+        """GEMM-stage timing for a sub-batch of ``batch_tokens`` tokens.
+
+        Pure in ``batch_tokens`` under the fixed spec/config, so the
+        stage is memoized — steady-state serving recomputes nothing.
+        """
         if batch_tokens <= 0:
             raise ValueError("batch_tokens must be positive")
+        cached = self._gemm_memo.get(batch_tokens)
+        if cached is not None:
+            return cached
+        if len(self._gemm_memo) >= 1024:
+            self._gemm_memo.clear()
         dtype = self.spec.dtype_bytes
         qkv = qkv_generation_gemm(self.spec, batch_tokens, self.tp)
         proj = projection_gemm(self.spec, batch_tokens, self.tp)
@@ -241,78 +267,106 @@ class NeuPimsDevice:
         arrays = self.config.npu.num_systolic_arrays
         ideal = sum(g.flops for g in (qkv, proj, *ffns)) \
             / (2 * sys_cfg.macs_per_cycle * arrays)
-        return GemmStage(qkv_cycles=t_qkv, projffn_cycles=t_proj + t_ffn,
-                         external_bytes=float(bytes_moved),
-                         compute_cycles=float(ideal))
+        stage = GemmStage(qkv_cycles=t_qkv, projffn_cycles=t_proj + t_ffn,
+                          external_bytes=float(bytes_moved),
+                          compute_cycles=float(ideal))
+        self._gemm_memo[batch_tokens] = stage
+        return stage
 
-    def _request_contribution(self, request: InferenceRequest
-                              ) -> Tuple[int, float, float, float]:
-        """This request's (seq_len, estimate, softmax, KV bytes), memoized.
-
-        The entry is reused as long as the request's seq_len is unchanged
-        — i.e. for every mha_stage() call within one iteration — and
-        overwritten in place when the context grows.
-        """
-        seq_len = request.input_len + request.generated
-        entry = self._mha_contrib.get(request.request_id)
-        if entry is None or entry[0] != seq_len:
+    def _class_contribution(self, seq_len: int
+                            ) -> Tuple[float, float, float]:
+        """One seq_len class's (estimate, softmax, KV bytes), memoized."""
+        entry = self._class_contrib.get(seq_len)
+        if entry is None:
+            if len(self._class_contrib) >= 32768:
+                self._class_contrib.clear()
             entry = (
-                seq_len,
                 self.estimator.estimate(seq_len),
                 self.npu.softmax_latency(seq_len, self.spec.num_heads),
                 2.0 * seq_len * self.spec.d_model * self.spec.dtype_bytes,
             )
-            self._mha_contrib[request.request_id] = entry
+            self._class_contrib[seq_len] = entry
         return entry
-
-    def _prune_mha_contributions(self,
-                                 requests: Sequence[InferenceRequest]) -> None:
-        """Bound the contribution memo to the resident batch's ids."""
-        if len(self._mha_contrib) > max(256, 4 * len(requests)):
-            live = {r.request_id for r in requests}
-            self._mha_contrib = {rid: entry
-                                 for rid, entry in self._mha_contrib.items()
-                                 if rid in live}
 
     def mha_stage(self, requests: Sequence[InferenceRequest]) -> MhaStageTiming:
         """MHA timing for a sub-batch already assigned to channels."""
-        if not requests:
+        return self.mha_stage_classes(mha_histogram(requests))
+
+    def mha_stage_classes(self, hist: MhaHistogram) -> MhaStageTiming:
+        """MHA timing from a canonical class histogram.
+
+        This is the **single** arithmetic for both serving paths: the
+        per-request path builds ``hist`` by scanning the batch, the
+        grouped path maintains it incrementally, and the sums accumulate
+        in the histogram's canonical ``(channel, seq_len)`` order either
+        way — so identical histograms give bit-identical timings.
+        """
+        if not hist:
             return MhaStageTiming(0.0, 0.0, 0.0, 0.0)
+        cached = self._mha_memo.get(hist)
+        if cached is not None:
+            return cached
         loads: Dict[int, float] = {}
         raw_total = 0.0
         softmax_total = 0.0
         internal_bytes = 0.0
+        batch_size = 0
         overhead = self._mha_overhead
         dual_row_buffer = self.config.dual_row_buffer
         transfer_per_request = self._transfer_per_request
-        for request in requests:
-            channel = request.channel if request.channel is not None else 0
-            _, estimate, softmax, kv_bytes = \
-                self._request_contribution(request)
-            raw_total += estimate
+        for channel, seq_len, count in hist:
+            estimate, softmax, kv_bytes = self._class_contribution(seq_len)
+            batch_size += count
+            raw_total += estimate * count
             load = estimate * overhead
             if not dual_row_buffer:
                 load += transfer_per_request
-            loads[channel] = loads.get(channel, 0.0) + load
-            softmax_total += softmax
-            internal_bytes += kv_bytes
+            loads[channel] = loads.get(channel, 0.0) + load * count
+            softmax_total += softmax * count
+            internal_bytes += kv_bytes * count
         pim_cycles = max(loads.values())
         transfers = (0.0 if dual_row_buffer
-                     else transfer_per_request * len(requests)
+                     else transfer_per_request * batch_size
                      / self.channel_pool)
         # PIM *compute* utilization averages the in-bank units across all
         # channels (Table 4's accounting), so busy time is the mean
         # stall-free channel load.
         mean_raw = raw_total / self.channel_pool
-        return MhaStageTiming(pim_cycles=pim_cycles,
-                              softmax_cycles=softmax_total,
-                              transfer_cycles=transfers,
-                              internal_bytes=internal_bytes,
-                              pim_busy_cycles=mean_raw)
+        result = MhaStageTiming(pim_cycles=pim_cycles,
+                                softmax_cycles=softmax_total,
+                                transfer_cycles=transfers,
+                                internal_bytes=internal_bytes,
+                                pim_busy_cycles=mean_raw)
+        if len(self._mha_memo) >= 4096:
+            self._mha_memo.clear()
+        self._mha_memo[hist] = result
+        return result
 
     # ------------------------------------------------------------------
     # Iteration execution.
     # ------------------------------------------------------------------
+
+    def prepare_class_plan(self, requests: Sequence[InferenceRequest]
+                           ) -> DeviceClassPlan:
+        """Freeze the batch's class structure at a batch boundary.
+
+        Assigns channels to unplaced requests (exactly as a per-request
+        iteration would), then captures the full class histogram and —
+        when sub-batch interleaving applies — the Algorithm-3 split.
+        Between boundaries the plan is reused with a uniform seq_len
+        shift (the batch membership and channel placement are fixed, so
+        the split is translation-invariant).
+        """
+        if not requests:
+            raise ValueError("empty batch")
+        self._ensure_assigned(requests)
+        split = None
+        if self.config.sub_batch_interleaving and len(requests) >= 2:
+            sb1, sb2 = partition_batch(requests, self.channel_pool)
+            split = (SubBatchClasses(len(sb1), mha_histogram(sb1)),
+                     SubBatchClasses(len(sb2), mha_histogram(sb2)))
+        return DeviceClassPlan(batch_size=len(requests),
+                               hist=mha_histogram(requests), split=split)
 
     def iteration(self, requests: Sequence[InferenceRequest]) -> IterationResult:
         """Execute one generation iteration over the batch.
@@ -322,25 +376,54 @@ class NeuPimsDevice:
         same latency model and keeps the faster one (``adaptive_sbi``);
         the paper notes SBI's pipelining penalty can outweigh its benefit
         below batch 256, which this fallback avoids paying.
-        """
-        if not requests:
-            raise ValueError("empty batch")
-        self._ensure_assigned(requests)
-        self._prune_mha_contributions(requests)
-        if self.config.sub_batch_interleaving and len(requests) >= 2:
-            interleaved = self._interleaved_iteration(requests)
-            if not self.config.adaptive_sbi:
-                return interleaved
-            serialized = self._serialized_iteration(requests)
-            return (interleaved if interleaved.latency <= serialized.latency
-                    else serialized)
-        return self._serialized_iteration(requests)
 
-    def _serialized_iteration(self, requests: Sequence[InferenceRequest]
-                              ) -> IterationResult:
+        The per-request batch is reduced to its class histogram first and
+        all timing flows through :meth:`iteration_from_plan`, so this
+        path and the grouped serving engine share one arithmetic.
+        """
+        return self.iteration_from_plan(self.prepare_class_plan(requests), 0)
+
+    def iteration_from_plan(self, plan: DeviceClassPlan,
+                            shift: int = 0) -> IterationResult:
+        """One iteration of a planned batch after ``shift`` decode steps.
+
+        Results are memoized by the shifted class signature (the
+        iteration replay cache): when a signature recurs the memoized
+        :class:`IterationResult` is returned as-is, which is exact
+        because the result is a pure function of the signature under this
+        device's fixed configuration.
+        """
+        hist = shift_histogram(plan.hist, shift)
+        if plan.split is not None and plan.split[0].size \
+                and plan.split[1].size:
+            sb1, sb2 = plan.split
+            sub1 = (sb1.size, shift_histogram(sb1.hist, shift))
+            sub2 = (sb2.size, shift_histogram(sb2.hist, shift))
+            signature = (plan.batch_size, hist, sub1, sub2)
+            cached = self._iteration_memo.get(signature)
+            if cached is not None:
+                return cached
+            result = self._interleaved_classes(sub1, sub2)
+            if self.config.adaptive_sbi:
+                serialized = self._serialized_classes(plan.batch_size, hist)
+                if serialized.latency < result.latency:
+                    result = serialized
+        else:
+            signature = (plan.batch_size, hist)
+            cached = self._iteration_memo.get(signature)
+            if cached is not None:
+                return cached
+            result = self._serialized_classes(plan.batch_size, hist)
+        if len(self._iteration_memo) >= 2048:
+            self._iteration_memo.clear()
+        self._iteration_memo[signature] = result
+        return result
+
+    def _serialized_classes(self, batch_tokens: int,
+                            hist: MhaHistogram) -> IterationResult:
         """Figure 11(a): QKV -> MHA -> Proj&FFN per block, serialized."""
-        gemm = self.gemm_stage_cycles(len(requests))
-        mha = self.mha_stage(requests)
+        gemm = self.gemm_stage_cycles(batch_tokens)
+        mha = self.mha_stage_classes(hist)
         t_mha = mha.duration(self.config.dual_row_buffer)
         per_block = gemm.qkv_cycles + t_mha + gemm.projffn_cycles
         latency = per_block * self.layers
@@ -356,28 +439,38 @@ class NeuPimsDevice:
             internal_pim_bytes=mha.internal_bytes * self.layers,
         )
 
-    def _interleaved_iteration(self, requests: Sequence[InferenceRequest]
-                               ) -> IterationResult:
-        """Figure 11(b): two sub-batches pipelined across NPU-S and PIM."""
-        sb1, sb2 = partition_batch(requests, self.channel_pool)
-        if not sb1 or not sb2:
-            return self._serialized_iteration(requests)
+    def _interleaved_classes(self, sub1: Tuple[int, MhaHistogram],
+                             sub2: Tuple[int, MhaHistogram]
+                             ) -> IterationResult:
+        """Figure 11(b): two sub-batches pipelined across NPU-S and PIM.
 
+        The list-scheduled timeline is a pure function of the two
+        sub-batches' frozen stage timings, so it is memoized on them —
+        decode plateaus where the stage scalars repeat (MHA hidden under
+        the GEMM stages) replay the schedule instead of re-running it.
+        """
         stage_plans: List[Tuple[GemmStage, MhaStageTiming]] = []
         gemm_bytes = 0.0
         internal_bytes = 0.0
         compute_busy = 0.0
-        for sub_batch in (sb1, sb2):
-            gemm = self.gemm_stage_cycles(len(sub_batch))
-            mha = self.mha_stage(sub_batch)
+        for size, hist in (sub1, sub2):
+            gemm = self.gemm_stage_cycles(size)
+            mha = self.mha_stage_classes(hist)
             stage_plans.append((gemm, mha))
             gemm_bytes += gemm.external_bytes * self.layers
             internal_bytes += mha.internal_bytes * self.layers
             compute_busy += gemm.compute_cycles * self.layers
+        memo_key = (stage_plans[0], stage_plans[1])
+        cached = self._interleave_memo.get(memo_key)
+        if cached is not None:
+            return cached
 
-        npu_s = Resource("npu_s")
-        pim = Resource("pim")
-        npu_v = Resource("npu_v")
+        npu_s = self._res_npu_s
+        pim = self._res_pim
+        npu_v = self._res_npu_v
+        npu_s.reset()
+        pim.reset()
+        npu_v.reset()
 
         # Build each sub-batch's operator sequence over the resident layers.
         sequences: List[List[Tuple[str, float]]] = []
@@ -422,12 +515,16 @@ class NeuPimsDevice:
             "npu_vector": npu_v.busy_time,
             "pim": pim_busy,
         }
-        return IterationResult(
+        result = IterationResult(
             latency=latency,
             busy=busy,
             external_bytes=gemm_bytes,
             internal_pim_bytes=internal_bytes,
         )
+        if len(self._interleave_memo) >= 2048:
+            self._interleave_memo.clear()
+        self._interleave_memo[memo_key] = result
+        return result
 
     # ------------------------------------------------------------------
 

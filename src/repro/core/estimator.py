@@ -106,5 +106,16 @@ class MhaLatencyEstimator:
         return self.logit_latency(seq_len) + self.attend_latency(seq_len)
 
     def estimate_batch(self, seq_lens: Iterable[int]) -> float:
-        """Sum of estimates — the per-channel load metric of Algorithm 2."""
-        return sum(self.estimate(s) for s in seq_lens)
+        """Sum of estimates — the per-channel load metric of Algorithm 2.
+
+        Accumulates per seq_len equivalence class in ascending order (the
+        serving stack's canonical grouped arithmetic), so the result
+        matches the class-histogram load computations bit for bit.
+        """
+        counts: dict = {}
+        for seq_len in seq_lens:
+            counts[seq_len] = counts.get(seq_len, 0) + 1
+        total = 0.0
+        for seq_len in sorted(counts):
+            total += self.estimate(seq_len) * counts[seq_len]
+        return total

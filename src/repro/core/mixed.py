@@ -66,7 +66,6 @@ def mixed_iteration(device: NeuPimsDevice, batch: MixedBatch
 
     if batch.decode:
         device._ensure_assigned(batch.decode)
-        device._prune_mha_contributions(batch.decode)
         mha = device.mha_stage(batch.decode)
         t_mha = mha.duration(device.config.dual_row_buffer)
         softmax = mha.softmax_cycles

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 from repro.core.config import NeuPimsConfig
 from repro.core.device import NeuPimsDevice
 from repro.model.spec import ModelSpec
+from repro.serving.grouping import SystemClassPlan
 from repro.serving.request import InferenceRequest
 
 
@@ -129,6 +130,36 @@ class NeuPimsSystem:
         micro-batch per pitch; a full batch iteration spans ``pp`` pitches.
         """
         return self.pipeline_pitch(requests) * self.scheme.pp
+
+    # ------------------------------------------------------------------
+    # Class-grouped execution (see repro.serving.grouping).
+    # ------------------------------------------------------------------
+
+    def prepare_class_plan(self, requests: Sequence[InferenceRequest]
+                           ) -> SystemClassPlan:
+        """Freeze the batch's class structure for the pipeline engine.
+
+        Steady-state pipeline timing is driven by the leading micro-batch
+        (the same slice :meth:`pipeline_pitch` simulates), so the plan
+        wraps that micro-batch's device plan plus its size for the
+        all-reduce term.
+        """
+        if not requests:
+            raise ValueError("empty batch")
+        micro = self.micro_batches(requests)[0]
+        return SystemClassPlan(inner=self.device.prepare_class_plan(micro),
+                               micro_size=len(micro))
+
+    def iteration_from_plan(self, plan: SystemClassPlan,
+                            shift: int = 0) -> float:
+        """Full-batch iteration latency after ``shift`` decode steps.
+
+        Mirrors :meth:`iteration_latency` arithmetic exactly:
+        ``(device latency + exposed all-reduce) * pp``.
+        """
+        result = self.device.iteration_from_plan(plan.inner, shift)
+        comm = self._allreduce_cycles(plan.micro_size) * self.layers_per_stage
+        return (result.latency + comm) * self.scheme.pp
 
     def throughput_tokens_per_second(self, requests: Sequence[InferenceRequest],
                                      clock_hz: float = 1e9) -> float:

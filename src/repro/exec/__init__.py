@@ -1,4 +1,4 @@
-"""Sharded parallel execution subsystem (see DESIGN.md §5).
+"""Sharded parallel execution subsystem (see DESIGN.md §6).
 
 Shards independent simulation units — sweep points, ablation grids,
 multi-config benchmark cells — across workers with chunked dispatch,

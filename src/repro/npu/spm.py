@@ -8,7 +8,7 @@ the DESIGN.md calibration notes depend on:
   panel, output panel) fit, enabling double buffering?
 * can a whole layer's weights persist across sub-batches (they cannot for
   the evaluated models — which is why sub-batch interleaving re-streams
-  weights, see DESIGN.md §6)?
+  weights, see DESIGN.md §2)?
 
 The allocator is a simple region allocator with explicit lifetimes, enough
 to validate capacity claims without modelling banking conflicts.

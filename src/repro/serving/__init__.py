@@ -7,6 +7,16 @@ from repro.serving.paging import (
     channel_allocators,
     max_batch_without_paging,
 )
+from repro.serving.grouping import (
+    GROUPING_MODES,
+    DeviceClassPlan,
+    GroupedExecutor,
+    GroupedScheduleState,
+    SystemClassPlan,
+    class_histogram,
+    mha_histogram,
+    shift_histogram,
+)
 from repro.serving.pool import RequestPool
 from repro.serving.request import InferenceRequest, RequestStatus
 from repro.serving.scheduler import (
@@ -45,6 +55,14 @@ __all__ = [
     "PagedKvConfig",
     "channel_allocators",
     "max_batch_without_paging",
+    "DeviceClassPlan",
+    "GROUPING_MODES",
+    "GroupedExecutor",
+    "GroupedScheduleState",
+    "SystemClassPlan",
+    "class_histogram",
+    "mha_histogram",
+    "shift_histogram",
     "RequestPool",
     "InferenceRequest",
     "RequestStatus",

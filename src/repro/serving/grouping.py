@@ -1,0 +1,316 @@
+"""Equivalence-class decomposition of decode batches (group-commit engine).
+
+A continuously-batched decode workload collapses into a handful of
+request equivalence classes: requests that share ``(channel, seq_len,
+remaining_decode)`` are indistinguishable to the iteration latency model
+(MHA cost and KV traffic depend on ``seq_len`` and channel placement
+only), advance in lockstep (every running request generates one token
+per iteration) and finish together (same ``remaining_decode``).  This
+module captures that decomposition so the serving stack can do per-class
+work instead of per-request work:
+
+* :func:`class_histogram` / :func:`mha_histogram` build the canonical
+  sorted ``(channel, seq_len[, remaining]) -> multiplicity`` views that
+  :meth:`repro.core.device.NeuPimsDevice.mha_stage_classes` consumes.
+  **Both** the per-request path and the grouped path compute iteration
+  latencies from these histograms, which is what makes the two paths
+  bit-identical by construction (same sums in the same canonical order).
+* :class:`DeviceClassPlan` / :class:`SystemClassPlan` freeze a batch's
+  class structure — full histogram, Algorithm-3 sub-batch split, pipeline
+  micro-batch — at a *batch boundary*.  Between boundaries the structure
+  is translation-invariant: advancing the whole batch by one token shifts
+  every ``seq_len`` uniformly (:func:`shift_histogram`), so the plan is
+  reused with an arithmetic shift instead of being rebuilt (the
+  iteration-level analog of ``MemoryController.drain_fast``'s
+  translation-invariant replay).
+* :class:`GroupedScheduleState` is the scheduler-side live state: the
+  class groups with their member lists, the current shift, and the lazy
+  synchronization that writes the deferred per-request effects (token
+  counts, paged-KV allocations, channel-load contributions, latency
+  bookkeeping) back at the next boundary.
+
+A *boundary* is any event that breaks translation invariance: a class
+reaching ``remaining == 0``, a waiting request becoming admissible, or a
+channel without enough free KV blocks for the batched growth.  The
+scheduler then falls back to the per-request path for that iteration —
+which, because the arithmetic is shared, produces exactly the record the
+grouped path would have — and rebuilds the plan afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
+
+from repro.serving.request import InferenceRequest, RequestStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.core.binpack import ChannelLoadTracker
+    from repro.serving.latency import LatencyTracker
+    from repro.serving.paging import PagedKvAllocator
+
+#: Valid values of the serving/scheduler ``grouping`` knob.
+GROUPING_MODES = ("auto", "on", "off")
+
+#: Sorted ``(channel, seq_len, count)`` triples — the canonical MHA view.
+MhaHistogram = Tuple[Tuple[int, int, int], ...]
+
+#: Full class key ``(channel, seq_len, remaining_decode)``.
+ClassKey = Tuple[int, int, int]
+
+
+def request_class_key(request: InferenceRequest) -> ClassKey:
+    """The request's equivalence class ``(channel, seq_len, remaining)``."""
+    channel = request.channel if request.channel is not None else 0
+    return (channel, request.seq_len,
+            request.output_len - request.generated)
+
+
+def mha_histogram(requests: Sequence[InferenceRequest]) -> MhaHistogram:
+    """Canonical ``(channel, seq_len) -> count`` histogram of a batch.
+
+    The tuple is sorted by ``(channel, seq_len)``; every latency
+    computation that consumes it accumulates in this order, so any two
+    batches with equal histograms produce bit-identical timings however
+    the histogram was obtained (per-request scan or incremental classes).
+    """
+    counts: Dict[Tuple[int, int], int] = {}
+    for request in requests:
+        channel = request.channel if request.channel is not None else 0
+        key = (channel, request.seq_len)
+        counts[key] = counts.get(key, 0) + 1
+    return tuple((channel, seq_len, count)
+                 for (channel, seq_len), count in sorted(counts.items()))
+
+
+def class_histogram(requests: Sequence[InferenceRequest]
+                    ) -> Dict[ClassKey, int]:
+    """Multiplicity of every ``(channel, seq_len, remaining)`` class."""
+    counts: Dict[ClassKey, int] = {}
+    for request in requests:
+        key = request_class_key(request)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def shift_histogram(hist: MhaHistogram, shift: int) -> MhaHistogram:
+    """The histogram after every request generated ``shift`` more tokens.
+
+    A uniform shift preserves the canonical ``(channel, seq_len)`` sort
+    order, so the result is built in one pass.
+    """
+    if shift == 0:
+        return hist
+    return tuple([(channel, seq_len + shift, count)
+                  for channel, seq_len, count in hist])
+
+
+# ----------------------------------------------------------------------
+# Frozen per-boundary plans.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SubBatchClasses:
+    """One Algorithm-3 sub-batch as (size, histogram) at shift 0."""
+
+    size: int
+    hist: MhaHistogram
+
+
+@dataclass(frozen=True)
+class DeviceClassPlan:
+    """A device batch's class structure, frozen at a batch boundary.
+
+    ``hist`` (and the sub-batch histograms, when sub-batch interleaving
+    applies) are stored at shift 0; :func:`shift_histogram` derives the
+    view for any later iteration of the same window.
+    """
+
+    batch_size: int
+    hist: MhaHistogram
+    #: Algorithm-3 split (``None`` when SBI is off or the batch is < 2).
+    split: Optional[Tuple[SubBatchClasses, SubBatchClasses]] = None
+
+
+@dataclass(frozen=True)
+class SystemClassPlan:
+    """A multi-device system's plan: the leading micro-batch's classes."""
+
+    inner: DeviceClassPlan
+    micro_size: int
+
+
+class GroupedExecutor:
+    """Pairs a plan builder with a plan runner for the scheduler.
+
+    ``prepare(batch)`` freezes the class structure of an id-ordered
+    running batch (assigning channels to any unplaced request, exactly as
+    the per-request path would); ``run(plan, shift)`` returns the
+    iteration latency for the batch after ``shift`` uniform decode steps.
+    The session wraps ``run`` so busy-time/byte accounting accumulates
+    identically to the per-request executor.
+    """
+
+    def __init__(self, prepare: Callable[[Sequence[InferenceRequest]], Any],
+                 run: Callable[[Any, int], float]) -> None:
+        self.prepare = prepare
+        self.run = run
+
+
+# ----------------------------------------------------------------------
+# Scheduler-side live state.
+# ----------------------------------------------------------------------
+
+@dataclass
+class _ClassGroup:
+    """One equivalence class and its members (id-ordered)."""
+
+    channel: int
+    seq_len: int     #: at shift 0
+    remaining: int   #: at shift 0
+    members: List[InferenceRequest]
+
+
+class GroupedScheduleState:
+    """Class decomposition of the running batch between boundaries.
+
+    Member request objects are **not** touched while iterations commit;
+    the state tracks the accumulated ``shift`` and :meth:`sync` writes
+    every deferred effect back in one pass — generated-token counts,
+    ``DONE`` transitions (which fire the pool's status observers), paged
+    KV allocation bookkeeping, channel-load tracker contributions and
+    per-request latency completions.
+    """
+
+    def __init__(self, batch: Sequence[InferenceRequest], plan: Any) -> None:
+        self.batch = list(batch)
+        self.plan = plan
+        self.shift = 0
+        groups: Dict[ClassKey, _ClassGroup] = {}
+        for request in self.batch:
+            key = request_class_key(request)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = _ClassGroup(key[0], key[1], key[2], [request])
+            else:
+                group.members.append(request)
+        self._groups = [groups[key] for key in sorted(groups)]
+        self._min_remaining = min(g.remaining for g in self._groups)
+        #: members that have not produced a first token yet (latency
+        #: bookkeeping parity with the per-request executor wrapper)
+        self._fresh: List[InferenceRequest] = []
+        #: lazily built block-crossing schedule (see :meth:`block_need`)
+        self._block_plan: Optional[Dict[Tuple[int, int],
+                                        List[Tuple[int, int]]]] = None
+        self._block_sizes: List[int] = []
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.batch)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._groups)
+
+    def steps_until_finish(self) -> int:
+        """Iterations until the shortest-remaining class completes."""
+        return self._min_remaining - self.shift
+
+    def advance(self) -> None:
+        """Commit one uniform decode step (all requests, one token)."""
+        self.shift += 1
+
+    # -- paged-KV batched growth ----------------------------------------
+
+    def block_need(self, allocators: Sequence["PagedKvAllocator"]
+                   ) -> Dict[int, int]:
+        """New KV blocks per channel for the *next* uniform step.
+
+        Growing a context from ``s`` to ``s + 1`` tokens adds exactly one
+        block iff ``s`` is a block-size multiple (``ceil`` difference), so
+        a class only contributes on its block-crossing steps — those with
+        ``shift = -seq_len (mod block_tokens)``.  The crossing schedule
+        is precomputed per class, making the per-step check O(1) on
+        non-crossing steps.
+        """
+        if self._block_plan is None:
+            plan: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+            sizes = set()
+            for group in self._groups:
+                block_tokens = \
+                    allocators[group.channel].config.block_tokens
+                sizes.add(block_tokens)
+                residue = (-group.seq_len) % block_tokens
+                plan.setdefault((block_tokens, residue), []).append(
+                    (group.channel, len(group.members)))
+            self._block_plan = plan
+            self._block_sizes = sorted(sizes)
+        need: Dict[int, int] = {}
+        for block_tokens in self._block_sizes:
+            crossing = self._block_plan.get(
+                (block_tokens, self.shift % block_tokens))
+            if crossing:
+                for channel, count in crossing:
+                    need[channel] = need.get(channel, 0) + count
+        return need
+
+    # -- latency bookkeeping --------------------------------------------
+
+    def collect_fresh(self, tracker: Optional["LatencyTracker"]) -> None:
+        """Find members the latency tracker has not seen run yet."""
+        if tracker is None:
+            return
+        self._fresh = [r for r in self.batch
+                       if not tracker.has_first_token(r.request_id)]
+
+    def flush_fresh(self, tracker: Optional["LatencyTracker"],
+                    end: float) -> None:
+        """Record first-token times after the window's first iteration."""
+        if tracker is None or not self._fresh:
+            return
+        for request in self._fresh:
+            tracker.observe_running(request, end)
+        self._fresh = []
+
+    # -- boundary synchronization ---------------------------------------
+
+    def sync(self, allocators: Optional[Sequence["PagedKvAllocator"]],
+             load_tracker: Optional["ChannelLoadTracker"],
+             latency_tracker: Optional["LatencyTracker"],
+             clock_end: float) -> None:
+        """Write all deferred per-request effects back to the live stack.
+
+        Safe to call at any shift (``shift == 0`` is a no-op apart from
+        latency completions, which the per-request executor wrapper would
+        have refreshed every iteration anyway).
+        """
+        shift = self.shift
+        for group in self._groups:
+            seq_len = group.seq_len + shift
+            finished = group.remaining - shift == 0
+            blocks = (allocators[group.channel].blocks_for(seq_len)
+                      if allocators is not None else 0)
+            for request in group.members:
+                if shift:
+                    request.generated += shift
+                    if allocators is not None:
+                        allocators[group.channel].set_allocation(
+                            request.request_id, blocks)
+                    if load_tracker is not None:
+                        # Mirrors the per-request path's per-iteration
+                        # ``tracker.update`` (including adoption of
+                        # pre-warmed requests it has never seen).
+                        load_tracker.sync_member(request.request_id,
+                                                 group.channel, seq_len)
+                if (latency_tracker is not None and latency_tracker
+                        .has_first_token(request.request_id)):
+                    latency_tracker.note_completion(request.request_id,
+                                                    clock_end)
+                if finished:
+                    # Fires the pool's status observer (bucket move).
+                    request.status = RequestStatus.DONE
+        self.shift = 0
+        self._min_remaining = 0  # state is spent; callers rebuild

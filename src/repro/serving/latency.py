@@ -120,23 +120,52 @@ class LatencyTracker:
         self._completion: Dict[int, float] = {}
         self._arrivals: Dict[int, float] = {}
         self._outputs: Dict[int, int] = {}
+        #: execution clock: the end time of the last observed iteration
+        self._clock = 0.0
+
+    @property
+    def clock(self) -> float:
+        """End time of the last observed iteration (cycles)."""
+        return self._clock
+
+    def advance_clock(self, latency: float) -> float:
+        """Account one executed iteration; returns its end time."""
+        self._clock += latency
+        return self._clock
+
+    def observe_running(self, request, end: float) -> None:
+        """Record that ``request`` ran in an iteration finishing at ``end``."""
+        rid = request.request_id
+        self._arrivals.setdefault(rid, request.arrival_time)
+        self._outputs[rid] = request.output_len
+        self._first_token.setdefault(rid, end)
+        # generated advances after the executor returns; the last
+        # iteration a request appears in is its completion.
+        self._completion[rid] = end
+
+    def has_first_token(self, request_id: int) -> bool:
+        """Whether the request has produced its first token yet."""
+        return request_id in self._first_token
+
+    def note_completion(self, request_id: int, end: float) -> None:
+        """Refresh a request's completion time (grouped-engine sync)."""
+        self._completion[request_id] = end
 
     def wrap(self, executor, clock_start: float = 0.0):
-        """Wrap a BatchExecutor, recording per-request progress."""
-        now = [clock_start]
+        """Wrap a BatchExecutor, recording per-request progress.
+
+        The clock lives on the tracker (not in the closure) so the
+        grouped serving engine — which bypasses the per-request executor
+        during steady-state windows — advances the same clock via
+        :meth:`advance_clock` and both paths stay consistent.
+        """
+        self._clock = clock_start
 
         def run(batch):
             latency = executor(batch)
-            end = now[0] + latency
-            now[0] = end
+            end = self.advance_clock(latency)
             for request in batch:
-                rid = request.request_id
-                self._arrivals.setdefault(rid, request.arrival_time)
-                self._outputs[rid] = request.output_len
-                self._first_token.setdefault(rid, end)
-                # generated advances after the executor returns; the last
-                # iteration a request appears in is its completion.
-                self._completion[rid] = end
+                self.observe_running(request, end)
             return latency
         return run
 

@@ -116,6 +116,43 @@ class PagedKvAllocator:
         self._allocations[request_id] = target
         return needed
 
+    def bulk_reserve(self, blocks: int) -> None:
+        """Reserve ``blocks`` free blocks as one batched operation.
+
+        Used by the grouped serving engine to commit a whole equivalence
+        class's (or window's) KV growth at once; the per-request
+        ``_allocations`` entries are fixed up later via
+        :meth:`set_allocation` when the engine synchronizes at a batch
+        boundary, restoring the ``free == total - sum(allocations)``
+        invariant.
+        """
+        if blocks < 0:
+            raise ValueError("blocks must be non-negative")
+        if blocks > self._free_blocks:
+            raise OutOfMemoryError(
+                f"bulk reserve of {blocks} blocks exceeds "
+                f"{self._free_blocks} free"
+            )
+        self._free_blocks -= blocks
+
+    def set_allocation(self, request_id: int, blocks: int) -> None:
+        """Record a request's block count without touching the free pool.
+
+        Counterpart of :meth:`bulk_reserve`: the grouped engine reserves
+        blocks in bulk mid-window and writes the per-request ledger back
+        here at the boundary, so a later :meth:`release` frees the exact
+        amount.  Never call this outside that pairing — it intentionally
+        does not adjust ``free_blocks``.
+        """
+        if blocks < 0:
+            raise ValueError("blocks must be non-negative")
+        self._allocations[request_id] = blocks
+
+    def ledger_consistent(self) -> bool:
+        """Whether ``free == total - sum(allocations)`` holds (tests)."""
+        allocated = sum(self._allocations.values())
+        return self._free_blocks == int(self.total_blocks) - allocated
+
     def release(self, request_id: int) -> int:
         """Free all blocks of a finished request; returns blocks freed."""
         blocks = self._allocations.pop(request_id, 0)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional
 
+from repro.serving.grouping import ClassKey, class_histogram
 from repro.serving.request import InferenceRequest, RequestStatus
 
 
@@ -81,9 +82,22 @@ class RequestPool:
     # ------------------------------------------------------------------
 
     def submit(self, request: InferenceRequest) -> None:
-        """Add a new request to the pool."""
+        """Add a new request to the pool.
+
+        A request may belong to at most one pool at a time: accepting a
+        request that still carries another pool's status observer would
+        silently orphan that pool's buckets (its observer gets replaced,
+        so later transitions never reach it).  Evict or retire first.
+        """
         if request.request_id in self._requests:
             raise ValueError(f"duplicate request id {request.request_id}")
+        observer = request.__dict__.get("_status_observer")
+        if observer is not None and getattr(observer, "__self__",
+                                            None) is not self:
+            raise ValueError(
+                f"request {request.request_id} is still tracked by another "
+                "pool; evict it there before re-submitting"
+            )
         self._requests[request.request_id] = request
         self._buckets[request.status][request.request_id] = request
         self._sorted[request.status] = None
@@ -111,6 +125,12 @@ class RequestPool:
             return list(view)
         return view[:bisect_right(self._waiting_arrivals, now)]
 
+    def has_waiting_arrived(self, now: float) -> bool:
+        """Whether any waiting request has arrived by ``now`` (O(1) after
+        the cached arrival-sorted view is built)."""
+        view = self._bucket_sorted(RequestStatus.WAITING)
+        return bool(view) and self._waiting_arrivals[0] <= now
+
     def running(self) -> List[InferenceRequest]:
         """Requests currently in the generation batch."""
         return list(self._bucket_sorted(RequestStatus.RUNNING))
@@ -133,6 +153,31 @@ class RequestPool:
         for request in done:
             self._drop(request)
         return done
+
+    def evict(self, request_id: int) -> InferenceRequest:
+        """Remove a request in any status, detaching its observer.
+
+        This is the supported way to hand a request to another pool (or
+        drop it entirely, e.g. preempting to a different device's pool):
+        after eviction the request carries no stale callback, so its
+        later status transitions cannot corrupt this pool's buckets.
+        """
+        request = self._requests.get(request_id)
+        if request is None:
+            raise KeyError(f"unknown request id {request_id}")
+        self._drop(request)
+        return request
+
+    def class_histogram(self, status: RequestStatus = RequestStatus.RUNNING
+                        ) -> Dict[ClassKey, int]:
+        """Equivalence classes of one status bucket, with multiplicities.
+
+        Keys are ``(channel, seq_len, remaining_decode)`` — the grouping
+        the serving engine and Algorithm-2 admission consume (requests in
+        one class are indistinguishable to the iteration latency model
+        and finish together).
+        """
+        return class_histogram(list(self._buckets[status].values()))
 
     def __len__(self) -> int:
         return len(self._requests)

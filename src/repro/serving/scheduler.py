@@ -15,14 +15,17 @@ This is how the same serving loop drives NeuPIMs and every baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
+from repro.serving.grouping import (GROUPING_MODES, GroupedExecutor,
+                                    GroupedScheduleState)
 from repro.serving.paging import OutOfMemoryError, PagedKvAllocator
 from repro.serving.pool import RequestPool
 from repro.serving.request import InferenceRequest, RequestStatus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.binpack import ChannelLoadTracker
+    from repro.serving.latency import LatencyTracker
 
 #: Maps the generation batch to the latency (cycles) of one iteration.
 BatchExecutor = Callable[[Sequence[InferenceRequest]], float]
@@ -93,6 +96,23 @@ class IterationScheduler:
         refreshed and retired requests removed, so admission-time bin
         packing starts from up-to-date per-channel loads without
         re-estimating the whole resident set each iteration.
+    grouping / grouped:
+        The equivalence-class fast path.  With ``grouping`` ``"auto"`` or
+        ``"on"`` and a :class:`~repro.serving.grouping.GroupedExecutor`,
+        steady-state iterations (no retirements, no admissible arrivals,
+        enough KV blocks for the batched growth) commit through the
+        class-grouped engine: the iteration latency comes from the frozen
+        class plan plus a uniform seq_len shift, request objects are left
+        untouched until the next boundary, and paged-KV growth, load
+        tracking and latency bookkeeping happen as batched per-class
+        operations.  Because the per-request path computes latencies from
+        the same class histograms, records and aggregates are
+        bit-identical between modes.  ``"off"`` (the default for
+        hand-built schedulers) never groups.
+    latency_tracker:
+        The :class:`~repro.serving.latency.LatencyTracker` whose clock
+        the grouped path must keep advancing (the per-request path goes
+        through the tracker's executor wrapper instead).
     """
 
     def __init__(
@@ -103,17 +123,29 @@ class IterationScheduler:
         allocators: Optional[List[PagedKvAllocator]] = None,
         assign_channels: Optional[ChannelAssigner] = None,
         load_tracker: Optional["ChannelLoadTracker"] = None,
+        grouping: str = "off",
+        grouped: Optional[GroupedExecutor] = None,
+        latency_tracker: Optional["LatencyTracker"] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
+        if grouping not in GROUPING_MODES:
+            raise ValueError(f"unknown grouping mode {grouping!r}; "
+                             f"known: {GROUPING_MODES}")
+        if grouping == "on" and grouped is None:
+            raise ValueError("grouping='on' requires a GroupedExecutor")
         self.pool = pool
         self.executor = executor
         self.max_batch_size = max_batch_size
         self.allocators = allocators
         self.assign_channels = assign_channels
         self.load_tracker = load_tracker
+        self.grouping = grouping
+        self.grouped = grouped
+        self.latency_tracker = latency_tracker
         self.stats = ServingStats()
         self._now = 0.0
+        self._grouped_state: Optional[GroupedScheduleState] = None
 
     @property
     def now(self) -> float:
@@ -172,12 +204,123 @@ class IterationScheduler:
                 self.load_tracker.remove(request)
         return len(done)
 
-    def run_iteration(self) -> Optional[IterationRecord]:
+    # ------------------------------------------------------------------
+    # Class-grouped fast path.
+    # ------------------------------------------------------------------
+
+    def _grouping_active(self) -> bool:
+        return self.grouping != "off" and self.grouped is not None
+
+    def sync_grouped(self) -> None:
+        """Write any deferred grouped-window state back to the live stack.
+
+        Harmless when nothing is deferred.  :meth:`run` calls this before
+        returning; callers stepping :meth:`run_iteration` by hand under
+        grouping should call it before inspecting pool or request state.
+        """
+        state = self._grouped_state
+        if state is None:
+            return
+        clock = (self.latency_tracker.clock
+                 if self.latency_tracker is not None else self._now)
+        state.sync(self.allocators, self.load_tracker,
+                   self.latency_tracker, clock)
+        self._grouped_state = None
+
+    def _grouped_steps(self, max_steps: int) -> Optional[IterationRecord]:
+        """Commit up to ``max_steps`` iterations through the class engine.
+
+        Returns the last committed record, or ``None`` when the grouped
+        path cannot run this iteration (a boundary is pending); in that
+        case all deferred state has been synchronized and the per-request
+        path — whose arithmetic is identical — takes over.
+        """
+        if self.pool.has_finished():
+            self.sync_grouped()
+            return None
+        space = self.max_batch_size - self.pool.running_count()
+        # Any arrived waiting request (with batch space) is a boundary
+        # even if admission would end up rejecting it: an admission
+        # *attempt* has observable side effects — the round-robin cursor
+        # advances and greedy placement reads the live channel loads —
+        # so pre-screening admissibility here would diverge from the
+        # per-request path.  Under sustained KV pressure with a starved
+        # arrival this pins the loop to the per-request path (correct,
+        # just not fast) until blocks free up.
+        if space > 0 and self.pool.has_waiting_arrived(self._now):
+            self.sync_grouped()
+            return None
+        state = self._grouped_state
+        if state is None:
+            batch = self.pool.running()
+            if not batch:
+                return None
+            state = GroupedScheduleState(batch, self.grouped.prepare(batch))
+            state.collect_fresh(self.latency_tracker)
+            self._grouped_state = state
+        last: Optional[IterationRecord] = None
+        steps = 0
+        boundary = False
+        while steps < max_steps:
+            if state.steps_until_finish() <= 0:
+                boundary = True
+                break
+            if space > 0 and self.pool.has_waiting_arrived(self._now):
+                boundary = True
+                break
+            need: Dict[int, int] = {}
+            if self.allocators is not None:
+                need = state.block_need(self.allocators)
+                if any(self.allocators[channel].free_blocks < blocks
+                       for channel, blocks in need.items()):
+                    # Not enough KV for the batched growth: the
+                    # per-request path owns this iteration (including its
+                    # exact mid-generation OOM semantics).
+                    boundary = True
+                    break
+            latency = self.grouped.run(state.plan, state.shift)
+            if latency <= 0:
+                raise ValueError("executor returned non-positive latency")
+            for channel, blocks in need.items():
+                self.allocators[channel].bulk_reserve(blocks)
+            state.advance()
+            if self.latency_tracker is not None:
+                end = self.latency_tracker.advance_clock(latency)
+            else:
+                end = self._now + latency
+            state.flush_fresh(self.latency_tracker, end)
+            record = IterationRecord(
+                index=len(self.stats.iterations),
+                start_time=self._now,
+                latency=latency,
+                batch_size=state.batch_size,
+                tokens_generated=state.batch_size,
+                admitted=0,
+                retired=0,
+            )
+            self.stats.iterations.append(record)
+            self._now += latency
+            last = record
+            steps += 1
+        if boundary or steps == 0 or state.steps_until_finish() <= 0:
+            self.sync_grouped()
+        return last
+
+    def run_iteration(self, max_steps: int = 1) -> Optional[IterationRecord]:
         """Execute one iteration; returns ``None`` when nothing is runnable.
 
         When the batch is empty but requests are still due to arrive, the
-        scheduler idles forward to the earliest arrival time.
+        scheduler idles forward to the earliest arrival time.  Under
+        grouping, up to ``max_steps`` steady-state iterations may commit
+        in one call (group-commit); the returned record is the last one.
         """
+        if self._grouping_active():
+            record = self._grouped_steps(max_steps)
+            if record is not None:
+                return record
+            # A boundary is pending (retirement, admission, KV pressure)
+            # or the batch is empty: fall through to the per-request path
+            # with all deferred state already synchronized.
         retired = self._retire()
         admitted = self._admit()
         batch = self.pool.running()
@@ -223,7 +366,9 @@ class IterationScheduler:
 
     def run(self, max_iterations: int = 1_000_000) -> ServingStats:
         """Run until the pool drains or ``max_iterations`` is hit."""
-        for _ in range(max_iterations):
-            if self.run_iteration() is None:
+        while len(self.stats.iterations) < max_iterations:
+            budget = max_iterations - len(self.stats.iterations)
+            if self.run_iteration(max_steps=budget) is None:
                 break
+        self.sync_grouped()
         return self.stats

@@ -136,3 +136,50 @@ class TestBuildSpec:
         assert spec.model == "gpt3-7b"
         assert spec.traffic.batch_size == 32
         assert spec.fidelity == "analytic"
+
+
+class TestBench:
+    def test_bench_emits_payload_and_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--requests", "48", "--repeats", "1",
+                     "--json", str(out)]) == 0
+        line = [l for l in capsys.readouterr().out.splitlines()
+                if l.startswith("BENCH ")][0]
+        payload = json.loads(line[len("BENCH "):])
+        assert payload["records_identical"] is True
+        assert payload["requests"] == 48
+        assert read_json(out) == payload
+
+    def test_bench_baseline_gate(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--requests", "48", "--repeats", "1",
+                     "--json", str(out)]) == 0
+        payload = read_json(out)
+        # A matching baseline passes ...
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({
+            "requests": payload["requests"],
+            "iterations": payload["iterations"],
+            "tokens": payload["tokens"],
+            "sim_tokens_per_s": payload["sim_tokens_per_s"],
+            "speedup": 0.01,
+        }))
+        assert main(["bench", "--requests", "48", "--repeats", "1",
+                     "--baseline", str(good)]) == 0
+        # ... and a drifted simulated metric or unreachable speedup fails.
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "sim_tokens_per_s": payload["sim_tokens_per_s"] * 2,
+            "speedup": 10_000.0,
+        }))
+        assert main(["bench", "--requests", "48", "--repeats", "1",
+                     "--baseline", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "sim_tokens_per_s" in err
+        assert "speedup regression" in err
+
+    def test_grouping_flag_routes_to_serving_spec(self):
+        from repro.api.cli import build_parser
+        args = build_parser().parse_args(
+            ["run", *FAST_RUN, "--grouping", "off"])
+        assert build_spec(args).serving.grouping == "off"

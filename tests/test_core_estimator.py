@@ -95,7 +95,7 @@ class TestAlgorithm1:
 
 class TestCalibrationCrossCheck:
     """The analytic constants agree with the command-level measurement —
-    the link between the two simulation granularities (DESIGN.md §5)."""
+    the link between the two simulation granularities (DESIGN.md §2)."""
 
     def test_measured_l_tile_close_to_analytic(self):
         from repro.pim.engine import calibrate

