@@ -15,6 +15,9 @@ their headline numbers as ``BENCH`` JSON (and ``--benchmark-json``
 * the equivalence-class serving engine — a large-batch (1024-request)
   decode run at ``grouping="auto"`` vs ``grouping="off"``, asserting
   bit-identical records and a >=5x wall-clock speedup;
+* the observer path — a batch-mode ``Session.run()`` with the event bus
+  attached but unsubscribed vs one with the bus detached entirely,
+  gating the zero-overhead-when-empty contract at <5% slowdown;
 * the sharded parallel sweep over the extra-ablation grid — serial vs
   1/2/4-worker process pools, with record-for-record identity enforced
   (``ABLATION_WORKERS`` pins a single worker count for CI's matrix).
@@ -221,6 +224,74 @@ def test_grouped_serving_large_batch(benchmark):
         lambda: run_serving_bench(num_requests=64, repeats=1),
         rounds=1, iterations=1)
     emit("grouped_serving", values)
+    record(benchmark, values)
+
+
+def test_observer_overhead_batch_run(benchmark):
+    """The zero-overhead observer contract behind the streaming API.
+
+    Batch-mode ``run()`` leaves the session's event bus unsubscribed, so
+    the serving loop's emission sites reduce to a ``None``/``active``
+    branch and no event object is ever constructed.  This run must stay
+    within 5% of a run with the bus detached from the scheduler
+    entirely — i.e. of the pre-redesign serving-bench loop the committed
+    baseline anchors.  Per-request mode (``grouping="off"``) maximizes
+    guard-site executions per wall second; both sides take interleaved
+    best-of-5 minima so the ratio is robust to shared-runner noise.
+    """
+    from repro.api.bench import serving_bench_spec
+    from repro.api.session import Session
+
+    def run_once(detach_bus):
+        session = Session(serving_bench_spec(512, "off"))
+        session.materialize()
+        assert session.scheduler.events is session.events
+        assert not session.events.active  # no subscribers in batch mode
+        if detach_bus:
+            session.scheduler.events = None
+        start = time.perf_counter()
+        result = session.run()
+        return result, time.perf_counter() - start
+
+    with_bus = float("inf")
+    without_bus = float("inf")
+    bus_result = bare_result = None
+    for _ in range(5):
+        result, seconds = run_once(detach_bus=True)
+        without_bus = min(without_bus, seconds)
+        bare_result = result
+        result, seconds = run_once(detach_bus=False)
+        with_bus = min(with_bus, seconds)
+        bus_result = result
+
+    # The idle bus must not change a single simulated number ...
+    assert bus_result.to_dict() == bare_result.to_dict()
+    # ... and may cost at most 5% wall clock (the ISSUE gate).
+    overhead = with_bus / max(without_bus, 1e-9) - 1.0
+    assert overhead < 0.05, \
+        f"idle event bus costs {overhead:.1%} (>5%) on batch run()"
+
+    # Informational: the same run with a subscriber attached (the price
+    # of actually observing; not gated).
+    session = Session(serving_bench_spec(512, "off"))
+    events_seen = []
+    session.events.subscribe(None, events_seen.append)
+    start = time.perf_counter()
+    session.run()
+    subscribed = time.perf_counter() - start
+
+    benchmark.pedantic(lambda: run_once(detach_bus=False), rounds=1,
+                       iterations=1)
+    values = {
+        "requests": 512,
+        "iterations": bus_result.iterations,
+        "no_bus_s": round(without_bus, 3),
+        "idle_bus_s": round(with_bus, 3),
+        "idle_overhead_pct": round(overhead * 100, 2),
+        "subscribed_s": round(subscribed, 3),
+        "events_delivered": len(events_seen),
+    }
+    emit("observer_overhead", values)
     record(benchmark, values)
 
 

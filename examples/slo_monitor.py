@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Live SLO control: a streaming session driving an admission throttle.
+
+Demonstrates the two pillars of the pluggable API on one serving
+scenario:
+
+* a **registered component** — ``SloThrottleScheduler`` is a custom
+  iteration-scheduler policy registered as ``"slo-throttle"``; the spec
+  selects it by name (``scheduler="slo-throttle"``) and passes its knob
+  through ``scheduler_options``, exactly like a built-in;
+* the **streaming Session API** — ``Session.stream()`` yields typed
+  events (``IterationCompleted``, ``RequestAdmitted``/``Retired``,
+  ``KvPressure``) that a monitor folds into a live TPOT estimate, and
+  ``Session.run_until()`` early-stops a run from a predicate.
+
+The throttle holds admissions whenever the recent per-token pacing
+(iteration latency — every running request gains one token per
+iteration) exceeds the SLO, trading throughput for tail latency.
+
+Run:  python examples/slo_monitor.py
+"""
+
+from collections import Counter
+
+from repro.analysis.report import format_table
+from repro.api import ScenarioSpec, ServingSpec, Session, TrafficSpec
+from repro.registry import REGISTRY
+from repro.serving.events import (IterationCompleted, KvPressure,
+                                  RequestAdmitted, RequestRetired)
+from repro.serving.scheduler import IterationScheduler
+
+TPOT_SLO_MS = 1.0  # per-token pacing target at the 1 GHz model clock
+
+
+class SloThrottleScheduler(IterationScheduler):
+    """Iteration-level scheduling with an SLO-aware admission gate.
+
+    Standard Orca-style scheduling, except that waiting requests are
+    only admitted while the mean iteration latency over the last
+    ``window`` iterations is within ``tpot_slo_ms`` — under pressure
+    the batch is left to drain instead of growing, which shortens
+    iterations and pulls the pacing back under the target.
+    """
+
+    def __init__(self, *, tpot_slo_ms: float = TPOT_SLO_MS,
+                 window: int = 8, **wiring) -> None:
+        super().__init__(**wiring)
+        self.tpot_slo_ms = tpot_slo_ms
+        self.window = window
+        self.throttled_boundaries = 0
+
+    def _over_slo(self) -> bool:
+        recent = self.stats.iterations[-self.window:]
+        if not recent:
+            return False
+        mean_cycles = sum(r.latency for r in recent) / len(recent)
+        return mean_cycles > self.tpot_slo_ms * 1e6
+
+    def _admit(self) -> int:
+        if self._over_slo():
+            self.throttled_boundaries += 1
+            return 0
+        return super()._admit()
+
+
+REGISTRY.register(
+    "scheduler", "slo-throttle", SloThrottleScheduler,
+    description="admission throttle driven by the live TPOT estimate",
+    option_names=("tpot_slo_ms", "window"))
+
+
+def build_spec(scheduler: str, **scheduler_options) -> ScenarioSpec:
+    """Streaming ShareGPT traffic hot enough to violate the SLO."""
+    return ScenarioSpec(
+        model="gpt3-7b",
+        tp=4,
+        layers_resident=8,
+        fidelity="analytic",
+        traffic=TrafficSpec.poisson(dataset="sharegpt",
+                                    rate_per_kcycle=0.08,
+                                    horizon_cycles=4e6, seed=11,
+                                    max_requests=96),
+        serving=ServingSpec(max_batch_size=64, paged_kv=False,
+                            load_tracker=False),
+        scheduler=scheduler,
+        scheduler_options=scheduler_options,
+        label=scheduler,
+    )
+
+
+def monitored_run(spec: ScenarioSpec):
+    """Drive one session through the event stream, folding live stats."""
+    session = Session(spec)
+    counts = Counter()
+    worst_pacing_ms = 0.0
+    for event in session.stream():
+        counts[type(event).__name__] += 1
+        if isinstance(event, IterationCompleted):
+            pacing_ms = event.record.latency / 1e6
+            worst_pacing_ms = max(worst_pacing_ms, pacing_ms)
+        elif isinstance(event, (RequestAdmitted, RequestRetired,
+                                KvPressure)):
+            pass  # counted above; a live dashboard would render these
+    result = session.result()
+    report = session.latency_tracker.report()
+    return session, result, report, counts, worst_pacing_ms
+
+
+def main() -> None:
+    rows = []
+    for name, options in (("iteration", {}),
+                          ("slo-throttle", {"tpot_slo_ms": TPOT_SLO_MS,
+                                            "window": 8})):
+        session, result, report, counts, worst = monitored_run(
+            build_spec(name, **options))
+        attainment = report.slo_attainment(tpot_cycles=TPOT_SLO_MS * 1e6)
+        throttled = getattr(session.scheduler, "throttled_boundaries", 0)
+        rows.append((
+            name,
+            counts["IterationCompleted"],
+            counts["RequestAdmitted"],
+            round(result.latency_ms["tpot_p99_ms"], 3),
+            round(worst, 3),
+            f"{attainment:.0%}",
+            throttled,
+            round(result.tokens_per_second / 1e3, 1),
+        ))
+
+    print(format_table(
+        ["scheduler", "iterations", "admitted", "TPOT p99 (ms)",
+         "worst pacing (ms)", f"TPOT<{TPOT_SLO_MS}ms", "throttled",
+         "k tokens/s"],
+        rows, title="Streaming SLO monitor: plain vs throttled admission"))
+
+    # Early stop from a predicate: cut the throttled run after its first
+    # 200 iterations and read the partial result — run_until leaves the
+    # stack synchronized and resumable.
+    session = Session(build_spec("slo-throttle",
+                                 tpot_slo_ms=TPOT_SLO_MS))
+    partial = session.run_until(
+        lambda s: len(s.scheduler.stats.iterations) >= 200)
+    full = session.run()
+    print(f"\nEarly stop at {partial.iterations} iterations "
+          f"({partial.total_tokens} tokens); resumed run finished at "
+          f"{full.iterations} iterations ({full.total_tokens} tokens).")
+
+    print("\nThe throttle admits nothing while the recent pacing is over")
+    print("the SLO, so p99 TPOT drops at some throughput cost — a live")
+    print("policy built entirely on registered components and the event")
+    print("stream, with zero overhead when nobody subscribes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,8 +20,17 @@ constants vs ``cycle`` command-level calibration) — then let a
 Specs are picklable and JSON round-trippable (``to_dict`` /
 ``from_dict``); :func:`run_scenarios` fans spec lists across the
 :mod:`repro.exec` process-pool backends with deterministic merges, and
-``python -m repro run|sweep|compare`` exposes the same objects on the
-command line.
+``python -m repro run|sweep|compare|components`` exposes the same
+objects on the command line.
+
+Scenario ingredients are pluggable: :mod:`repro.registry` maps
+component names (system, scheduler, traffic, KV allocator, fidelity
+engine) to factories, and :func:`register` adds your own — a custom
+scheduler policy then sweeps like any built-in.  Sessions stream too:
+``Session.stream()`` yields typed serving events
+(:mod:`repro.serving.events`), and ``Session.step()`` /
+``Session.run_until()`` drive step-wise execution and early stop for
+live-policy experiments (``examples/slo_monitor.py``).
 
 Layer map
 ---------
@@ -48,6 +57,7 @@ from repro.api import (
     run_scenario,
     run_scenarios,
 )
+from repro.registry import register
 from repro.core import (
     MhaLatencyEstimator,
     NeuPimsConfig,
@@ -68,6 +78,7 @@ __all__ = [
     "TrafficSpec",
     "run_scenario",
     "run_scenarios",
+    "register",
     "MhaLatencyEstimator",
     "NeuPimsConfig",
     "NeuPimsDevice",

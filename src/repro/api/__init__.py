@@ -13,9 +13,22 @@ uniform :class:`RunResult`:
     result = Session(spec).run()
     print(result.tokens_per_second)
 
+Scenario ingredients are **registered components** (see
+:mod:`repro.registry`): ``system``, ``scheduler``, ``traffic.kind``,
+``kv`` and ``fidelity`` are plain names resolved at materialization,
+each with an optional JSON-round-tripping option dict
+(``system_options`` etc.) — so a ``@register``-ed user policy sweeps
+like any built-in.  Sessions also **stream**: ``Session.stream()``
+yields typed events (:mod:`repro.serving.events`) from the serving
+loop, ``Session.step()`` / ``Session.run_until(pred)`` give step-wise
+execution and early stop, and the batch ``run()`` is the no-subscriber
+drain of the same loop (records bit-identical, zero observer overhead).
+
 Lists of specs fan across :mod:`repro.exec` backends with
 :func:`run_scenarios` (specs are picklable by construction), and the
-same objects power the ``python -m repro`` CLI.  See DESIGN.md §7.
+same objects power the ``python -m repro`` CLI — including
+``python -m repro components``, which prints the registry.  See
+DESIGN.md §7–§8.
 """
 
 from repro.api.bench import run_serving_bench, serving_bench_spec

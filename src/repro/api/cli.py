@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line over the scenario API.
 
-Four subcommands share one scenario vocabulary:
+Five subcommands share one scenario vocabulary:
 
 * ``run`` — execute a single :class:`~repro.api.ScenarioSpec` (built
   from flags or loaded from a JSON file) and print its summary;
@@ -9,7 +9,15 @@ Four subcommands share one scenario vocabulary:
   serial run for any ``--workers``);
 * ``compare`` — run several systems on the same workload side by side;
 * ``bench`` — the large-batch grouped-serving benchmark, with optional
-  comparison against a committed baseline (the CI regression gate).
+  comparison against a committed baseline (the CI regression gate);
+* ``components`` — list the :mod:`repro.registry` component table
+  (systems, schedulers, traffic models, KV allocators, fidelity
+  engines), including anything user code registered before invoking
+  the CLI programmatically.
+
+``--system`` and ``--scheduler`` accept any *registered* name — not
+just the built-ins — so a module that ``@register``\\ s a policy and
+then calls :func:`main` gets CLI sweeps over it for free.
 
 Every subcommand accepts ``--json PATH`` to dump the uniform
 result/record payloads for artifact pipelines (see the CI
@@ -60,10 +68,15 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
                         help="load the base ScenarioSpec from a JSON file "
                              "(flags below override its fields)")
     parser.add_argument("--model", default=None, help="model registry name")
-    parser.add_argument("--system", default=None, choices=SYSTEMS)
+    parser.add_argument("--system", default=None,
+                        help="registered system name "
+                             f"(built-ins: {', '.join(SYSTEMS)})")
+    parser.add_argument("--scheduler", default=None,
+                        help="registered scheduler name "
+                             "(default: iteration)")
     parser.add_argument("--traffic", default=None,
-                        choices=("warmed", "poisson"),
-                        help="traffic kind (replay is JSON-spec only)")
+                        help="registered traffic kind (built-ins: warmed, "
+                             "poisson; replay is JSON-spec only)")
     parser.add_argument("--dataset", default=None,
                         help="dataset trace name (sharegpt/alpaca)")
     parser.add_argument("--batch-size", type=int, default=None)
@@ -98,6 +111,7 @@ def build_spec(args: argparse.Namespace) -> ScenarioSpec:
         spec = ScenarioSpec()
     overrides: Dict[str, Any] = {}
     for flag, field_name in (("model", "model"), ("system", "system"),
+                             ("scheduler", "scheduler"),
                              ("tp", "tp"), ("pp", "pp"),
                              ("layers_resident", "layers_resident"),
                              ("fidelity", "fidelity")):
@@ -108,8 +122,13 @@ def build_spec(args: argparse.Namespace) -> ScenarioSpec:
     if args.traffic is not None and args.traffic != traffic.kind:
         if args.traffic == "warmed":
             traffic = TrafficSpec.warmed(dataset=traffic.dataset)
-        else:
+        elif args.traffic == "poisson":
             traffic = TrafficSpec.poisson(dataset=traffic.dataset)
+        else:
+            # Any other registered traffic kind (the spec layer
+            # validates the name and lists alternatives on a miss).
+            traffic = TrafficSpec(kind=args.traffic,
+                                  dataset=traffic.dataset)
     traffic_updates: Dict[str, Any] = {}
     for flag, field_name in (("dataset", "dataset"),
                              ("batch_size", "batch_size"),
@@ -242,6 +261,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_components(args: argparse.Namespace) -> int:
+    """``repro components``: the registered component table."""
+    from repro.registry import describe_components
+    components = describe_components(args.kind)  # raises on bad kind
+    rows = [(c.kind, c.name,
+             ",".join(c.option_names) if c.option_names else "-",
+             c.description) for c in components]
+    print(format_table(["kind", "name", "options", "description"], rows,
+                       title="registered components (repro.registry)"))
+    _dump_json(args.json_path, [
+        {"kind": c.kind, "name": c.name, "description": c.description,
+         "options": list(c.option_names)} for c in components])
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -290,6 +324,17 @@ def build_parser() -> argparse.ArgumentParser:
                               dest="json_path",
                               help="also dump the BENCH payload as JSON")
     bench_parser.set_defaults(handler=cmd_bench)
+
+    components_parser = subparsers.add_parser(
+        "components", help="list the registered scenario components")
+    components_parser.add_argument("--kind", default=None,
+                                   help="restrict to one component kind "
+                                        "(system/scheduler/traffic/kv/"
+                                        "fidelity)")
+    components_parser.add_argument("--json", metavar="FILE", default=None,
+                                   dest="json_path",
+                                   help="also dump the table as JSON")
+    components_parser.set_defaults(handler=cmd_components)
     return parser
 
 

@@ -1,25 +1,43 @@
 """Sessions materialize scenario specs and run them to uniform results.
 
 A :class:`Session` turns one :class:`~repro.api.spec.ScenarioSpec` into
-the full simulation stack — device (or multi-device system), request
-pool, per-channel paged KV allocators, iteration scheduler, channel load
-tracker, latency tracker, perf-cache warmup — runs it, and returns a
-:class:`RunResult` whose schema is identical across every simulation
-mode: single measurements, streaming serving runs, baselines and sweep
-cells all report the same latency / throughput / utilization / energy
-fields plus per-iteration records.
+the full simulation stack — every ingredient resolved by name through
+:mod:`repro.registry` (system/device, traffic model, KV allocators,
+scheduler, fidelity engine) — runs it, and returns a :class:`RunResult`
+whose schema is identical across every simulation mode: single
+measurements, streaming serving runs, baselines and sweep cells all
+report the same latency / throughput / utilization / energy fields plus
+per-iteration records.
+
+Execution comes in two granularities sharing one stepping core:
+
+* **batch** — :meth:`Session.run` drives the loop to completion with no
+  subscribers on the event bus, so no event object is ever constructed
+  (the zero-overhead contract); it is the no-observer drain of the same
+  loop :meth:`Session.stream` drives.
+* **streaming** — :meth:`Session.stream` yields the typed events of
+  :mod:`repro.serving.events` as the loop advances;
+  :meth:`Session.step` executes one iteration at a time and
+  :meth:`Session.run_until` stops early on a live predicate (SLO
+  monitors, admission throttles — see ``examples/slo_monitor.py``).
+
+Records and aggregates are bit-identical between the two, and identical
+to the pre-registry wiring for built-in component names (pinned in
+``tests/test_api_session.py`` / ``tests/test_api_stream.py``).
 
 The module-level :func:`run_scenario` is the picklable unit of work that
 :func:`run_scenarios` fans across :mod:`repro.exec` backends — specs are
-picklable by construction, so cross-process dispatch needs no ad-hoc
-argument tuples, and parallel results are record-for-record identical to
-serial ones.
+picklable by construction (component references are plain names), so
+cross-process dispatch needs no ad-hoc argument tuples, and parallel
+results are record-for-record identical to serial ones.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.api.spec import ScenarioSpec
 from repro.core.config import NeuPimsConfig
@@ -28,15 +46,16 @@ from repro.core.estimator import MhaLatencyEstimator
 from repro.core.system import NeuPimsSystem, ParallelismScheme
 from repro.exec.backends import ParallelSpec
 from repro.exec.runner import ParallelRunner
-from repro.exec.warmup import PerfCacheWarmup
+from repro.exec.warmup import PerfCacheWarmup, WarmupChain
 from repro.model.spec import ModelSpec
+from repro.registry import REGISTRY, Workload
+from repro.serving.events import IterationCompleted, ServingEvent
 from repro.serving.grouping import GroupedExecutor
 from repro.serving.latency import LatencyTracker
-from repro.serving.paging import PagedKvConfig, channel_allocators
 from repro.serving.pool import RequestPool
 from repro.serving.request import InferenceRequest
-from repro.serving.scheduler import IterationScheduler
-from repro.serving.trace import poisson_arrivals, sample_batches, warmed_batch
+from repro.serving.scheduler import IterationRecord, IterationScheduler
+from repro.sim.events import EventBus
 
 #: Table-5 per-channel average memory power (mW): the dual-row-buffer PIM
 #: vs a plain HBM channel (see :mod:`repro.dram.power`).
@@ -128,17 +147,24 @@ class Session:
     """Materializes and runs one scenario.
 
     The constructor only resolves the spec (model, config, fidelity);
-    :meth:`materialize` builds the stack and :meth:`run` executes it,
-    caching the :class:`RunResult`.  The materialized pieces stay
-    reachable (``device`` / ``system`` / ``pool`` / ``scheduler`` /
-    ``allocators`` / ``load_tracker`` / ``latency_tracker``) so examples
-    and tests can step the scheduler or inspect the pool mid-run; a
-    subsequent :meth:`run` simply finishes the remaining iterations.
-    Under the equivalence-class engine (serving spec knob ``grouping``,
-    default ``"auto"``) per-request state is deferred inside steady-state
+    :meth:`materialize` builds the stack — resolving the system, traffic
+    model, KV allocators, fidelity engine and scheduler by name through
+    :mod:`repro.registry` — and :meth:`run` executes it, caching the
+    :class:`RunResult`.  The materialized pieces stay reachable
+    (``device`` / ``system`` / ``pool`` / ``scheduler`` /
+    ``allocators`` / ``load_tracker`` / ``latency_tracker`` /
+    ``events``) so examples and tests can step the scheduler, subscribe
+    observers or inspect the pool mid-run; a subsequent :meth:`run`
+    simply finishes the remaining iterations.
+
+    Step-wise execution: :meth:`step` runs one iteration,
+    :meth:`run_until` stops on a live predicate, and :meth:`stream`
+    yields typed events while the loop advances.  Under the
+    equivalence-class engine (serving spec knob ``grouping``, default
+    ``"auto"``) per-request state is deferred inside steady-state
     windows — call ``scheduler.sync_grouped()`` before inspecting the
-    pool or requests mid-run (``run`` itself always leaves the stack
-    synchronized).
+    pool or requests mid-run (``run`` and ``run_until`` always leave
+    the stack synchronized).
     """
 
     def __init__(self, spec: ScenarioSpec) -> None:
@@ -154,10 +180,18 @@ class Session:
         self.allocators = None
         self.load_tracker = None
         self.latency_tracker: Optional[LatencyTracker] = None
+        #: typed serving events (zero-overhead while unsubscribed)
+        self.events = EventBus()
+        self.workload: Optional[Workload] = None
         self.arrivals: Tuple[InferenceRequest, ...] = ()
         self.batches: List[List[InferenceRequest]] = []
         self._materialized = False
         self._result: Optional[RunResult] = None
+        # Measurement-mode stepping state (one warmed batch per step).
+        self._batch_cursor = 0
+        self._measure_records: List[Dict[str, float]] = []
+        self._measure_throughputs: List[float] = []
+        self._measure_clock = 0.0
         # Streaming-run aggregates captured by the executor wrapper.
         self._busy: Dict[str, float] = {}
         self._latency_acc = 0.0
@@ -182,25 +216,24 @@ class Session:
                                    latencies=latencies)
 
     def _build_device(self) -> Any:
-        """Construct the system-under-test's device model."""
-        spec, config = self.model_spec, self.config
-        tp, layers = self.tp, self.spec.layers_resident
-        estimator = (self.calibrated_estimator()
-                     if self.fidelity == "cycle" else None)
-        if self.spec.system in ("neupims", "npu-pim"):
-            return NeuPimsDevice(spec, config, tp=tp, layers_resident=layers,
-                                 estimator=estimator)
-        if self.spec.system == "npu-only":
-            from repro.baselines.npu_only import NpuOnlyDevice
-            return NpuOnlyDevice(spec, config, tp=tp, layers_resident=layers)
-        if self.spec.system == "gpu-only":
-            from repro.baselines.gpu import GpuOnlyDevice
-            return GpuOnlyDevice(spec, tp=tp, layers_resident=layers)
-        from repro.baselines.transpim import TransPimDevice
-        return TransPimDevice(spec, config, layers_resident=layers)
+        """Construct the system-under-test through the registry."""
+        estimator = REGISTRY.create("fidelity", self.fidelity, self,
+                                    **self.spec.options_for("fidelity"))
+        return REGISTRY.create(
+            "system", self.spec.system, self.model_spec, self.config,
+            tp=self.tp, layers_resident=self.spec.layers_resident,
+            estimator=estimator, **self.spec.options_for("system"))
 
     def materialize(self) -> "Session":
-        """Build the full stack for this scenario (idempotent)."""
+        """Build the full stack for this scenario (idempotent).
+
+        Every component resolves by name through :mod:`repro.registry`:
+        the system under test (unless the ``pp`` knob selects the
+        multi-device :class:`~repro.core.system.NeuPimsSystem` engine),
+        the traffic model (warmed batches or streaming arrivals), and —
+        for streaming workloads — the KV allocator family and the
+        scheduler.
+        """
         if self._materialized:
             return self
         if self.spec.pp is not None:
@@ -211,61 +244,47 @@ class Session:
         else:
             self.device = self._build_device()
         traffic = self.spec.traffic
-        if traffic.kind == "warmed":
-            trace = traffic.resolve_dataset()
-            if traffic.num_batches == 1 and not traffic.sample_schedule:
-                self.batches = [warmed_batch(trace, traffic.batch_size,
-                                             seed=traffic.seed)]
-            else:
-                self.batches = sample_batches(trace, traffic.batch_size,
-                                              traffic.num_batches,
-                                              seed=traffic.seed)
+        self.workload = REGISTRY.create(
+            "traffic", traffic.kind, traffic,
+            **self.spec.options_for("traffic"))
+        if self.workload.streaming:
+            self._materialize_serving(self.workload)
         else:
-            self._materialize_serving(traffic)
+            self.batches = [list(batch) for batch in self.workload.batches]
         self._materialized = True
         return self
 
-    def _materialize_serving(self, traffic) -> None:
+    def _materialize_serving(self, workload: Workload) -> None:
         """Wire the streaming serving stack (pool/allocators/scheduler)."""
         serving = self.spec.serving
-        if traffic.kind == "poisson":
-            arrivals = poisson_arrivals(
-                traffic.resolve_dataset(), traffic.rate_per_kcycle,
-                traffic.horizon_cycles, seed=traffic.seed)
-            if traffic.max_requests is not None:
-                arrivals = arrivals[:traffic.max_requests]
-        else:
-            arrivals = [
-                InferenceRequest(request_id=i, input_len=inp, output_len=out,
-                                 arrival_time=arrival)
-                for i, (inp, out, arrival) in
-                enumerate(traffic.replay_requests)
-            ]
-        self.arrivals = tuple(arrivals)
+        self.arrivals = tuple(workload.arrivals)
         self.pool = RequestPool()
-        self.pool.submit_all(arrivals)
+        self.pool.submit_all(self.arrivals)
         is_neupims = isinstance(self.device, NeuPimsDevice)
         if serving.paged_kv:
             channels = self.device.channel_pool if is_neupims else 1
             layers = getattr(self.device, "layers",
                              self.model_spec.num_layers)
-            self.allocators = channel_allocators(
-                PagedKvConfig(block_tokens=serving.kv_block_tokens,
-                              capacity_bytes=serving.kv_capacity_bytes),
-                self.model_spec, channels, layers_resident=layers)
+            self.allocators = REGISTRY.create(
+                "kv", self.spec.kv, self.model_spec, serving, channels,
+                layers_resident=layers, **self.spec.options_for("kv"))
         if serving.load_tracker and is_neupims:
             self.load_tracker = self.device.attach_load_tracker()
         self.latency_tracker = LatencyTracker()
         executor = self.latency_tracker.wrap(self._wrapped_executor())
-        self.scheduler = IterationScheduler(
-            self.pool, executor, max_batch_size=serving.max_batch_size,
+        self.scheduler = REGISTRY.create(
+            "scheduler", self.spec.scheduler,
+            pool=self.pool, executor=executor,
+            max_batch_size=serving.max_batch_size,
             allocators=self.allocators,
             assign_channels=(self.device.assign_channels
                              if is_neupims else None),
             load_tracker=self.load_tracker,
             grouping=serving.grouping,
             grouped=self._grouped_executor(serving.grouping),
-            latency_tracker=self.latency_tracker)
+            latency_tracker=self.latency_tracker,
+            events=self.events,
+            **self.spec.options_for("scheduler"))
 
     def _grouped_executor(self, grouping: str) -> Optional[GroupedExecutor]:
         """The class-grouped engine for this scenario, if applicable.
@@ -332,16 +351,118 @@ class Session:
     # Execution.
     # ------------------------------------------------------------------
 
+    def _iterations_done(self) -> int:
+        """Iterations executed so far (either execution mode)."""
+        if self.workload is not None and self.workload.streaming:
+            return len(self.scheduler.stats.iterations)
+        return self._batch_cursor
+
+    def _iteration_limit(self, max_iterations: Optional[int] = None) -> int:
+        """The stop bound for the stepping loop."""
+        if max_iterations is not None:
+            return max_iterations
+        if self.workload is not None and self.workload.streaming:
+            return self.spec.serving.max_iterations
+        return len(self.batches)
+
+    def step(self, max_steps: int = 1) -> Optional[IterationRecord]:
+        """Execute one iteration; ``None`` when nothing is runnable.
+
+        Measurement scenarios run the next warmed batch; serving
+        scenarios advance the iteration scheduler (under grouping, up to
+        ``max_steps`` steady-state iterations may group-commit in one
+        call, exactly as inside :meth:`run`).  Returns the last executed
+        :class:`~repro.serving.scheduler.IterationRecord`.  Mid-run
+        state may be deferred under grouping — call
+        ``scheduler.sync_grouped()`` before inspecting the pool.
+        """
+        self.materialize()
+        if self.workload.streaming:
+            return self.scheduler.run_iteration(max_steps=max_steps)
+        return self._measure_step()
+
+    def run_until(self, predicate: Callable[["Session"], bool],
+                  max_iterations: Optional[int] = None) -> RunResult:
+        """Step until ``predicate(session)`` holds or the run drains.
+
+        The predicate is evaluated after every iteration with the stack
+        synchronized (grouped windows flushed), so it can inspect the
+        pool, the latency tracker or the last records — the hook for
+        early stop and live-policy experiments.  Returns the result of
+        the iterations executed so far *without* caching it: a later
+        :meth:`run` resumes and finishes the remaining work.
+        """
+        self.materialize()
+        limit = self._iteration_limit(max_iterations)
+        while self._iterations_done() < limit:
+            if self.step() is None:
+                break
+            if self.scheduler is not None:
+                self.scheduler.sync_grouped()
+            if predicate(self):
+                break
+        return self._build_result()
+
+    def stream(self, max_iterations: Optional[int] = None
+               ) -> Iterator[ServingEvent]:
+        """Drive the run, yielding typed events as they occur.
+
+        Subscribes to :attr:`events` for the duration of the generator
+        and yields every :mod:`repro.serving.events` event the loop
+        publishes — ``IterationCompleted`` per iteration (both paths),
+        admission/retirement, KV pressure, grouped-window commits.  The
+        iteration schedule is identical to :meth:`run` (same group-commit
+        budgets), so records and aggregates are bit-identical to a batch
+        run; after exhaustion :meth:`result` returns them.
+        """
+        self.materialize()
+        buffer: "deque[ServingEvent]" = deque()
+        unsubscribe = self.events.subscribe(None, buffer.append)
+        try:
+            limit = self._iteration_limit(max_iterations)
+            while self._iterations_done() < limit:
+                record = self.step(max_steps=limit - self._iterations_done())
+                while buffer:
+                    yield buffer.popleft()
+                if record is None:
+                    break
+            if self.scheduler is not None:
+                self.scheduler.sync_grouped()
+                while buffer:
+                    yield buffer.popleft()
+        finally:
+            unsubscribe()
+
+    def result(self) -> RunResult:
+        """The result of the iterations executed so far (uncached)."""
+        self.materialize()
+        return self._build_result()
+
     def run(self) -> RunResult:
-        """Run the scenario to completion; the result is cached."""
+        """Run the scenario to completion; the result is cached.
+
+        This is the batch mode: the no-subscriber drain of the same
+        stepping loop :meth:`stream` drives.  With nothing subscribed to
+        :attr:`events` no event object is constructed (the zero-overhead
+        observer contract, gated by the perf-regression bench).
+        """
         if self._result is not None:
             return self._result
         self.materialize()
-        if self.spec.traffic.kind == "warmed":
-            self._result = self._run_measurement()
-        else:
-            self._result = self._run_serving()
+        limit = self._iteration_limit()
+        while self._iterations_done() < limit:
+            if self.step(max_steps=limit - self._iterations_done()) is None:
+                break
+        if self.scheduler is not None:
+            self.scheduler.sync_grouped()
+        self._result = self._build_result()
         return self._result
+
+    def _build_result(self) -> RunResult:
+        """Assemble the uniform result from the executed iterations."""
+        if self.workload is not None and self.workload.streaming:
+            return self._build_serving_result()
+        return self._build_measurement_result()
 
     def _utilization(self) -> Dict[str, float]:
         """Busy-fraction accounting (the paper's Table-4 methodology)."""
@@ -377,57 +498,74 @@ class Session:
             EnergyParams(channels=self.config.num_channels))
         return report.energy_per_token_mj
 
-    def _run_measurement(self) -> RunResult:
-        """One generation iteration per warmed batch (paper §8.1)."""
-        records: List[Dict[str, float]] = []
-        throughputs: List[float] = []
-        for index, batch in enumerate(self.batches):
-            if self.system is not None:
-                # One pipeline_pitch() drives both numbers (the system's
-                # own iteration_latency/throughput methods would each
-                # re-simulate the micro-batch).
-                pitch = self.system.pipeline_pitch(batch)
-                latency = pitch * self.system.scheme.pp
-                micro = self.system.micro_batches(batch)[0]
-                throughput = len(micro) / (pitch / 1e9)
-            else:
-                result = self.device.iteration(batch)
-                latency = result.latency
-                throughput = (len(batch) / (latency / 1e9)
-                              if latency > 0 else 0.0)
-                self._accumulate(result)
-            throughputs.append(throughput)
-            records.append({
-                "index": index,
-                "latency": latency,
-                "batch_size": len(batch),
-                "tokens": len(batch),
-                "tokens_per_second": throughput,
-            })
+    def _measure_step(self) -> Optional[IterationRecord]:
+        """Run the next warmed batch (one generation iteration, §8.1)."""
+        if self._batch_cursor >= len(self.batches):
+            return None
+        index = self._batch_cursor
+        batch = self.batches[index]
+        if self.system is not None:
+            # One pipeline_pitch() drives both numbers (the system's
+            # own iteration_latency/throughput methods would each
+            # re-simulate the micro-batch).
+            pitch = self.system.pipeline_pitch(batch)
+            latency = pitch * self.system.scheme.pp
+            micro = self.system.micro_batches(batch)[0]
+            throughput = len(micro) / (pitch / 1e9)
+        else:
+            result = self.device.iteration(batch)
+            latency = result.latency
+            throughput = (len(batch) / (latency / 1e9)
+                          if latency > 0 else 0.0)
+            self._accumulate(result)
+        self._measure_throughputs.append(throughput)
+        self._measure_records.append({
+            "index": index,
+            "latency": latency,
+            "batch_size": len(batch),
+            "tokens": len(batch),
+            "tokens_per_second": throughput,
+        })
+        self._batch_cursor += 1
+        record = IterationRecord(
+            index=index, start_time=self._measure_clock, latency=latency,
+            batch_size=len(batch), tokens_generated=len(batch),
+            admitted=0, retired=0)
+        self._measure_clock += latency
+        events = self.events
+        if events.active:
+            events.emit(IterationCompleted(time=record.end_time,
+                                           record=record))
+        return record
+
+    def _build_measurement_result(self) -> RunResult:
+        """Assemble the per-batch measurement aggregates (paper §8.1)."""
+        records = list(self._measure_records)
+        throughputs = self._measure_throughputs
         batch_sizes = [record["batch_size"] for record in records]
         total_tokens = sum(record["tokens"] for record in records)
         latency_sum = sum(record["latency"] for record in records)
+        count = len(records)
         return RunResult(
             kind="measurement",
             model=self.model_spec.name,
             system=self.spec.system,
             fidelity=self.fidelity,
-            iterations=len(records),
+            iterations=count,
             total_tokens=int(total_tokens),
             total_time_cycles=latency_sum,
-            tokens_per_second=sum(throughputs) / len(throughputs),
-            mean_iteration_cycles=latency_sum / len(records),
-            mean_batch_size=sum(batch_sizes) / len(batch_sizes),
-            max_batch_size=int(max(batch_sizes)),
+            tokens_per_second=(sum(throughputs) / count if count else 0.0),
+            mean_iteration_cycles=(latency_sum / count if count else 0.0),
+            mean_batch_size=(sum(batch_sizes) / count if count else 0.0),
+            max_batch_size=int(max(batch_sizes)) if batch_sizes else 0,
             utilization=self._utilization(),
             energy_per_token_mj=self._energy_per_token(int(total_tokens)),
             records=tuple(records),
         )
 
-    def _run_serving(self) -> RunResult:
-        """Drive the iteration-level scheduler until the pool drains."""
-        stats = self.scheduler.run(
-            max_iterations=self.spec.serving.max_iterations)
+    def _build_serving_result(self) -> RunResult:
+        """Assemble aggregates over the scheduler's executed iterations."""
+        stats = self.scheduler.stats
         records = tuple({
             "index": r.index,
             "start_time": r.start_time,
@@ -494,15 +632,26 @@ def scenario_warmup(specs: Sequence[ScenarioSpec]) -> PerfCacheWarmup:
 
 def run_scenarios(specs: Sequence[ScenarioSpec],
                   parallel: ParallelSpec = None,
-                  chunk_size: int = 1) -> List[RunResult]:
+                  chunk_size: int = 1,
+                  start_method: Optional[str] = None,
+                  warmup: Optional[Callable[[], None]] = None
+                  ) -> List[RunResult]:
     """Fan scenarios across an execution backend, merging in order.
 
     Results are record-for-record identical to a serial run (the
     :mod:`repro.exec` determinism contract); ``parallel`` accepts the
     usual worker count / backend spec.  Workers pre-warm the perf caches
-    for every distinct cycle-fidelity hardware config in ``specs``.
+    for every distinct cycle-fidelity hardware config in ``specs``;
+    ``warmup`` chains an extra per-worker initializer — pass a
+    :class:`~repro.exec.warmup.RegistryWarmup` when specs name
+    user-registered components and the pool may use the ``spawn`` start
+    method (fork workers inherit the parent's registry for free).
+    A backend *instance* passed as ``parallel`` keeps its own warmup.
     """
     specs = list(specs)
+    initializer: Callable[[], None] = scenario_warmup(specs)
+    if warmup is not None:
+        initializer = WarmupChain((warmup, initializer))
     runner = ParallelRunner(parallel, chunk_size=chunk_size,
-                            warmup=scenario_warmup(specs))
+                            start_method=start_method, warmup=initializer)
     return runner.map(run_scenario, specs)

@@ -23,17 +23,21 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.core.config import NeuPimsConfig
 from repro.model.spec import MODEL_REGISTRY, ModelSpec, get_model
+from repro.registry import (FrozenOptions, component_names, freeze_options,
+                            get_component, thaw_options)
 from repro.serving.grouping import GROUPING_MODES
 from repro.serving.request import InferenceRequest
 from repro.serving.trace import DATASETS, DatasetTrace, get_dataset
 
-#: Systems a scenario can target (device builders live in the Session).
+#: The built-in systems (the full set lives in :mod:`repro.registry`;
+#: specs accept any registered name).
 SYSTEMS = ("neupims", "npu-pim", "npu-only", "gpu-only", "transpim")
 
-#: Traffic kinds a scenario can describe.
+#: The built-in traffic kinds (registry kind ``"traffic"``).
 TRAFFIC_KINDS = ("warmed", "poisson", "replay")
 
-#: Fidelity settings (see DESIGN.md §7 for the selection rules).
+#: The built-in fidelity settings (see DESIGN.md §7 for the selection
+#: rules); ``"auto"`` resolves to a registered fidelity engine.
 FIDELITIES = ("analytic", "cycle", "auto")
 
 
@@ -119,9 +123,18 @@ class TrafficSpec:
     replay_requests: Tuple[Tuple[int, int, float], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in TRAFFIC_KINDS:
+        if not isinstance(self.kind, str):
+            raise ValueError(f"traffic kind must be a string, got "
+                             f"{type(self.kind).__name__}; registered: "
+                             f"{sorted(component_names('traffic'))}")
+        # Registry lookups are case-insensitive; normalize the stored
+        # kind so the downstream replay/poisson branches (and equality)
+        # agree with what the registry will resolve.
+        object.__setattr__(self, "kind", self.kind.lower())
+        if self.kind not in component_names("traffic"):
             raise ValueError(f"unknown traffic kind {self.kind!r}; "
-                             f"known: {TRAFFIC_KINDS}")
+                             f"registered: "
+                             f"{sorted(component_names('traffic'))}")
         if self.kind != "replay":
             if isinstance(self.dataset, str):
                 get_dataset(self.dataset)  # validates the name
@@ -226,6 +239,12 @@ _CONFIG_FLAGS = frozenset((
     "dual_row_buffer", "composite_isa", "greedy_binpack",
     "sub_batch_interleaving", "adaptive_sbi",
 ))
+#: Per-component option-dict fields (stored as canonical frozen pairs).
+_OPTION_FIELDS = ("system_options", "scheduler_options",
+                  "traffic_options", "kv_options", "fidelity_options")
+#: Component-name fields omitted from ``to_dict`` at their defaults so
+#: built-in-only specs keep their pre-registry JSON shape.
+_COMPONENT_DEFAULTS = (("scheduler", "iteration"), ("kv", "paged"))
 
 
 @dataclass(frozen=True)
@@ -260,6 +279,19 @@ class ScenarioSpec:
         simulation (memoized per hardware config); ``"auto"`` picks per
         the DESIGN.md §7 rules (cycle for device-level warmed
         measurements on PIM systems, analytic otherwise).
+    scheduler / kv:
+        Registered component names for the serving scheduler and the
+        paged-KV allocator family (``kv`` applies when
+        ``serving.paged_kv`` is set).  Like ``system`` and
+        ``traffic.kind``, these resolve through :mod:`repro.registry`,
+        so a ``@register("scheduler", "my-policy")`` class sweeps like
+        any built-in.
+    system_options / scheduler_options / traffic_options / kv_options /
+    fidelity_options:
+        Per-component option dicts forwarded to the factories at
+        materialization.  Accepted as plain dicts, stored as canonical
+        frozen pairs (specs stay hashable/picklable), and JSON
+        round-tripped as dicts by :meth:`to_dict` / :meth:`from_dict`.
     label:
         Optional display name for tables and sweep records.
     """
@@ -273,15 +305,33 @@ class ScenarioSpec:
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
     serving: ServingSpec = field(default_factory=ServingSpec)
     fidelity: str = "auto"
+    scheduler: str = "iteration"
+    kv: str = "paged"
+    system_options: FrozenOptions = ()
+    scheduler_options: FrozenOptions = ()
+    traffic_options: FrozenOptions = ()
+    kv_options: FrozenOptions = ()
+    fidelity_options: FrozenOptions = ()
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.system not in SYSTEMS:
-            raise ValueError(f"unknown system {self.system!r}; "
-                             f"known: {SYSTEMS}")
-        if self.fidelity not in FIDELITIES:
-            raise ValueError(f"unknown fidelity {self.fidelity!r}; "
-                             f"known: {FIDELITIES}")
+        # Component names normalize to lower case (registry lookups are
+        # case-insensitive) so the downstream comparisons — energy
+        # anchors, feature forcing, fidelity rules — see one spelling.
+        for name in ("system", "scheduler", "kv", "fidelity"):
+            value = getattr(self, name)
+            if not isinstance(value, str):
+                raise ValueError(f"{name} must be a component name "
+                                 f"string, got {type(value).__name__}")
+            object.__setattr__(self, name, value.lower())
+        get_component("system", self.system)  # raises with known names
+        get_component("scheduler", self.scheduler)
+        get_component("kv", self.kv)
+        if self.fidelity != "auto":
+            get_component("fidelity", self.fidelity)
+        for name in _OPTION_FIELDS:
+            object.__setattr__(self, name,
+                               freeze_options(getattr(self, name)))
         if isinstance(self.model, str) and self.model.lower() not in \
                 MODEL_REGISTRY:
             get_model(self.model)  # raises with the known-model list
@@ -299,8 +349,11 @@ class ScenarioSpec:
             if self.fidelity == "cycle":
                 raise ValueError("cycle fidelity is device-level only; "
                                  "use fidelity='analytic' with pp")
-        if self.fidelity == "cycle" and self.system not in ("neupims",
-                                                            "npu-pim"):
+        # The built-in non-PIM baselines have nothing to calibrate; a
+        # user-registered system decides for itself (its factory rejects
+        # the estimator if unsupported, per the registration contract).
+        if self.fidelity == "cycle" and self.system in (
+                "npu-only", "gpu-only", "transpim"):
             raise ValueError(f"system {self.system!r} has no PIM estimator "
                              "to calibrate; cycle fidelity does not apply")
 
@@ -326,6 +379,19 @@ class ScenarioSpec:
         """The effective tensor-parallel degree."""
         return self.tp if self.tp is not None else \
             self.resolve_model().tensor_parallel
+
+    def options_for(self, kind: str) -> Dict[str, Any]:
+        """The plain option dict for one component kind.
+
+        ``kind`` is one of ``"system"``, ``"scheduler"``, ``"traffic"``
+        or ``"kv"``; the stored frozen pairs thaw back into the dict a
+        factory call consumes.
+        """
+        field_name = f"{kind}_options"
+        if field_name not in _OPTION_FIELDS:
+            raise ValueError(f"no options for component kind {kind!r}; "
+                             f"known: {[f.split('_')[0] for f in _OPTION_FIELDS]}")
+        return thaw_options(getattr(self, field_name))
 
     def resolve_fidelity(self) -> str:
         """``"analytic"`` or ``"cycle"`` per the DESIGN.md §7 rules."""
@@ -388,8 +454,25 @@ class ScenarioSpec:
     # -- serialization --------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Encode as a JSON-serializable plain dict."""
-        return _encode(self)
+        """Encode as a JSON-serializable plain dict.
+
+        Component fields at their defaults (``scheduler="iteration"``,
+        ``kv="paged"``, empty option dicts) are omitted, so specs that
+        use only built-in components keep the exact JSON shape they had
+        before the registry existed — old payloads load unchanged and
+        new payloads stay diff-clean.
+        """
+        data = _encode(self)
+        for name in _OPTION_FIELDS:
+            frozen = getattr(self, name)
+            if frozen:
+                data[name] = thaw_options(frozen)
+            else:
+                del data[name]
+        for name, default in _COMPONENT_DEFAULTS:
+            if data[name] == default:
+                del data[name]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
@@ -425,7 +508,14 @@ class ScenarioSpec:
         elif "config" in data:
             kwargs["config"] = None
         for name in ("system", "tp", "pp", "layers_resident", "fidelity",
-                     "label"):
+                     "scheduler", "kv", "label"):
             if name in data:
                 kwargs[name] = data[name]
+        for name in _OPTION_FIELDS:
+            if name in data:
+                options = data[name]
+                if not isinstance(options, dict):
+                    raise TypeError(f"{name} must be a mapping, got "
+                                    f"{type(options).__name__}")
+                kwargs[name] = options
         return cls(**kwargs)

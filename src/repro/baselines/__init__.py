@@ -1,4 +1,12 @@
-"""Baseline device models: GPU-only, NPU-only, naive NPU+PIM, TransPIM."""
+"""Baseline device models: GPU-only, NPU-only, naive NPU+PIM, TransPIM.
+
+Each baseline is a registered ``system`` component — ``"gpu-only"``,
+``"npu-only"``, ``"npu-pim"``, ``"transpim"`` in :mod:`repro.registry`
+— so scenario specs select them by name and constructor keywords pass
+through ``ScenarioSpec.system_options`` (e.g. a custom
+:class:`~repro.baselines.gpu.GpuModel` via ``{"gpu": ...}``).  The
+classes stay public for hand wiring.
+"""
 
 from repro.baselines.gpu import (
     A100_40GB,

@@ -11,7 +11,11 @@ parallel output is record-for-record identical to serial output.
   backends, normalized from ``parallel=`` specs by
   :func:`~repro.exec.backends.resolve_backend`;
 * :class:`~repro.exec.task.TaskSpec` — the picklable unit of work;
-* :class:`~repro.exec.warmup.PerfCacheWarmup` — per-worker cache warming.
+* :class:`~repro.exec.warmup.PerfCacheWarmup` /
+  :class:`~repro.exec.warmup.RegistryWarmup` /
+  :class:`~repro.exec.warmup.WarmupChain` — per-worker initializers
+  (cache warming, component-registration imports for spawn workers,
+  composition).
 """
 
 from repro.exec.backends import (ExecutionBackend, ParallelSpec,
@@ -19,7 +23,7 @@ from repro.exec.backends import (ExecutionBackend, ParallelSpec,
                                  available_workers, resolve_backend)
 from repro.exec.runner import ParallelRunner
 from repro.exec.task import TaskSpec, is_picklable
-from repro.exec.warmup import PerfCacheWarmup
+from repro.exec.warmup import PerfCacheWarmup, RegistryWarmup, WarmupChain
 
 __all__ = [
     "ExecutionBackend",
@@ -27,8 +31,10 @@ __all__ = [
     "ParallelSpec",
     "PerfCacheWarmup",
     "ProcessPoolBackend",
+    "RegistryWarmup",
     "SerialBackend",
     "TaskSpec",
+    "WarmupChain",
     "available_workers",
     "is_picklable",
     "resolve_backend",

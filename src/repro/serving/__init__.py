@@ -17,6 +17,14 @@ from repro.serving.grouping import (
     mha_histogram,
     shift_histogram,
 )
+from repro.serving.events import (
+    IterationCompleted,
+    KvPressure,
+    RequestAdmitted,
+    RequestRetired,
+    ServingEvent,
+    WindowCommitted,
+)
 from repro.serving.pool import RequestPool
 from repro.serving.request import InferenceRequest, RequestStatus
 from repro.serving.scheduler import (
@@ -63,6 +71,12 @@ __all__ = [
     "class_histogram",
     "mha_histogram",
     "shift_histogram",
+    "IterationCompleted",
+    "KvPressure",
+    "RequestAdmitted",
+    "RequestRetired",
+    "ServingEvent",
+    "WindowCommitted",
     "RequestPool",
     "InferenceRequest",
     "RequestStatus",

@@ -1,0 +1,86 @@
+"""Typed events the serving loop publishes (the streaming taxonomy).
+
+The iteration-level scheduler emits these through a
+:class:`~repro.sim.events.EventBus` when one is attached *and* has
+subscribers (zero-overhead-when-empty; see :mod:`repro.sim.events`).
+``Session.stream()`` turns them into a generator; live policies (SLO
+monitors, admission throttles) subscribe directly.
+
+All events are frozen dataclasses carrying ``time`` — the scheduler
+clock in cycles at emission.  The taxonomy:
+
+* :class:`RequestAdmitted` / :class:`RequestRetired` — pool transitions
+  at iteration boundaries.
+* :class:`IterationCompleted` — one executed generation iteration, with
+  its full :class:`~repro.serving.scheduler.IterationRecord`.  Emitted
+  on both the per-request path and the grouped fast path (one event per
+  committed iteration), so subscribers see an identical stream either
+  way.
+* :class:`KvPressure` — a channel could not supply the KV blocks an
+  iteration needed (grouped-window boundary or mid-generation OOM).
+* :class:`WindowCommitted` — a group-commit steady-state window was
+  synchronized back to per-request state (grouped engine only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.serving.scheduler import IterationRecord
+
+
+@dataclass(frozen=True)
+class ServingEvent:
+    """Base class: every serving event is stamped with the clock."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class RequestAdmitted(ServingEvent):
+    """A waiting request entered the generation batch."""
+
+    request_id: int
+    channel: int
+
+
+@dataclass(frozen=True)
+class RequestRetired(ServingEvent):
+    """A finished request left the pool and freed its KV blocks."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class IterationCompleted(ServingEvent):
+    """One generation iteration executed (``time`` is its end time)."""
+
+    record: "IterationRecord"
+
+
+@dataclass(frozen=True)
+class KvPressure(ServingEvent):
+    """A channel lacked free KV blocks for an iteration's growth."""
+
+    channel: int
+    needed_blocks: int
+    free_blocks: int
+
+
+@dataclass(frozen=True)
+class WindowCommitted(ServingEvent):
+    """A grouped steady-state window synchronized (``iterations`` deep)."""
+
+    iterations: int
+
+
+__all__ = [
+    "IterationCompleted",
+    "KvPressure",
+    "RequestAdmitted",
+    "RequestRetired",
+    "ServingEvent",
+    "WindowCommitted",
+]

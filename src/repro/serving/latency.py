@@ -133,6 +133,19 @@ class LatencyTracker:
         self._clock += latency
         return self._clock
 
+    def sync_clock(self, now: float) -> None:
+        """Catch the clock up to the scheduler's ``now`` (idle jumps).
+
+        The executor wrapper only accumulates iteration latencies; when
+        the scheduler idles forward to the next arrival the wrapped
+        clock would lag behind, stamping first-token times *earlier*
+        than the request's arrival (and :meth:`report` would reject the
+        reconstructed latency as out of order).  The scheduler calls
+        this at every idle jump; the clock never moves backwards.
+        """
+        if now > self._clock:
+            self._clock = now
+
     def observe_running(self, request, end: float) -> None:
         """Record that ``request`` ran in an iteration finishing at ``end``."""
         rid = request.request_id

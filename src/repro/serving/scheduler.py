@@ -17,6 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
+from repro.serving.events import (IterationCompleted, KvPressure,
+                                  RequestAdmitted, RequestRetired,
+                                  WindowCommitted)
 from repro.serving.grouping import (GROUPING_MODES, GroupedExecutor,
                                     GroupedScheduleState)
 from repro.serving.paging import OutOfMemoryError, PagedKvAllocator
@@ -26,6 +29,7 @@ from repro.serving.request import InferenceRequest, RequestStatus
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.binpack import ChannelLoadTracker
     from repro.serving.latency import LatencyTracker
+    from repro.sim.events import EventBus
 
 #: Maps the generation batch to the latency (cycles) of one iteration.
 BatchExecutor = Callable[[Sequence[InferenceRequest]], float]
@@ -113,6 +117,12 @@ class IterationScheduler:
         The :class:`~repro.serving.latency.LatencyTracker` whose clock
         the grouped path must keep advancing (the per-request path goes
         through the tracker's executor wrapper instead).
+    events:
+        Optional :class:`~repro.sim.events.EventBus` receiving the
+        typed serving events of :mod:`repro.serving.events`.  Every
+        emission is guarded by ``events.active``, so a bus with no
+        subscribers costs one branch per site and constructs nothing
+        (the zero-overhead contract the observer bench gates).
     """
 
     def __init__(
@@ -126,6 +136,7 @@ class IterationScheduler:
         grouping: str = "off",
         grouped: Optional[GroupedExecutor] = None,
         latency_tracker: Optional["LatencyTracker"] = None,
+        events: Optional["EventBus"] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -143,6 +154,7 @@ class IterationScheduler:
         self.grouping = grouping
         self.grouped = grouped
         self.latency_tracker = latency_tracker
+        self.events = events
         self.stats = ServingStats()
         self._now = 0.0
         self._grouped_state: Optional[GroupedScheduleState] = None
@@ -189,6 +201,11 @@ class IterationScheduler:
             if self.load_tracker is not None:
                 self.load_tracker.add(request)
             admitted += 1
+            events = self.events
+            if events is not None and events.active:
+                events.emit(RequestAdmitted(time=self._now,
+                                            request_id=request.request_id,
+                                            channel=channel))
         return admitted
 
     def _retire(self) -> int:
@@ -202,6 +219,10 @@ class IterationScheduler:
                 self.allocators[request.channel].release(request.request_id)
             if self.load_tracker is not None:
                 self.load_tracker.remove(request)
+            events = self.events
+            if events is not None and events.active:
+                events.emit(RequestRetired(time=self._now,
+                                           request_id=request.request_id))
         return len(done)
 
     # ------------------------------------------------------------------
@@ -223,6 +244,10 @@ class IterationScheduler:
             return
         clock = (self.latency_tracker.clock
                  if self.latency_tracker is not None else self._now)
+        events = self.events
+        if state.shift > 0 and events is not None and events.active:
+            events.emit(WindowCommitted(time=self._now,
+                                        iterations=state.shift))
         state.sync(self.allocators, self.load_tracker,
                    self.latency_tracker, clock)
         self._grouped_state = None
@@ -271,11 +296,21 @@ class IterationScheduler:
             need: Dict[int, int] = {}
             if self.allocators is not None:
                 need = state.block_need(self.allocators)
-                if any(self.allocators[channel].free_blocks < blocks
-                       for channel, blocks in need.items()):
+                starved = [(channel, blocks)
+                           for channel, blocks in need.items()
+                           if self.allocators[channel].free_blocks < blocks]
+                if starved:
                     # Not enough KV for the batched growth: the
                     # per-request path owns this iteration (including its
                     # exact mid-generation OOM semantics).
+                    events = self.events
+                    if events is not None and events.active:
+                        for channel, blocks in starved:
+                            events.emit(KvPressure(
+                                time=self._now, channel=channel,
+                                needed_blocks=blocks,
+                                free_blocks=self.allocators[channel]
+                                .free_blocks))
                     boundary = True
                     break
             latency = self.grouped.run(state.plan, state.shift)
@@ -300,6 +335,10 @@ class IterationScheduler:
             )
             self.stats.iterations.append(record)
             self._now += latency
+            events = self.events
+            if events is not None and events.active:
+                events.emit(IterationCompleted(time=record.end_time,
+                                               record=record))
             last = record
             steps += 1
         if boundary or steps == 0 or state.steps_until_finish() <= 0:
@@ -330,6 +369,8 @@ class IterationScheduler:
                 return None
             self._now = max(self._now,
                             min(r.arrival_time for r in pending))
+            if self.latency_tracker is not None:
+                self.latency_tracker.sync_clock(self._now)
             admitted += self._admit()
             batch = self.pool.running()
             if not batch:
@@ -351,6 +392,13 @@ class IterationScheduler:
                     # experiments are sized to avoid this).
                     request.generated = request.output_len
                     request.status = RequestStatus.DONE
+                    events = self.events
+                    if events is not None and events.active:
+                        events.emit(KvPressure(
+                            time=self._now, channel=request.channel,
+                            needed_blocks=1,
+                            free_blocks=self.allocators[request.channel]
+                            .free_blocks))
         record = IterationRecord(
             index=len(self.stats.iterations),
             start_time=self._now,
@@ -362,6 +410,10 @@ class IterationScheduler:
         )
         self.stats.iterations.append(record)
         self._now += latency
+        events = self.events
+        if events is not None and events.active:
+            events.emit(IterationCompleted(time=record.end_time,
+                                           record=record))
         return record
 
     def run(self, max_iterations: int = 1_000_000) -> ServingStats:

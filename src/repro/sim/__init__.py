@@ -1,6 +1,7 @@
 """Discrete-event simulation kernel and statistics utilities."""
 
 from repro.sim.engine import EventEngine, Resource, SimulationError
+from repro.sim.events import ClockAdvanced, EventBus
 from repro.sim.stats import (
     Counter,
     StatsRegistry,
@@ -13,6 +14,8 @@ from repro.sim.stats import (
 )
 
 __all__ = [
+    "ClockAdvanced",
+    "EventBus",
     "EventEngine",
     "Resource",
     "SimulationError",

@@ -18,6 +18,8 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.sim.events import ClockAdvanced
+
 
 class SimulationError(RuntimeError):
     """Raised when the engine is driven inconsistently (e.g. past events)."""
@@ -71,6 +73,18 @@ class EventEngine:
         #: live count of scheduled, non-cancelled events — kept so
         #: :meth:`pending` is O(1) instead of a full queue scan.
         self._pending = 0
+        #: optional observer bus; ``None`` keeps :meth:`step` branch-cheap
+        self._events = None
+
+    def attach_events(self, bus) -> None:
+        """Attach an observer :class:`~repro.sim.events.EventBus`.
+
+        The engine publishes :class:`~repro.sim.events.ClockAdvanced`
+        after each executed callback — but only while the bus has
+        subscribers, so an attached-but-idle bus costs one branch per
+        step (the zero-overhead-when-empty contract).
+        """
+        self._events = bus
 
     @property
     def now(self) -> float:
@@ -121,6 +135,9 @@ class EventEngine:
             event.executed = True
             self._pending -= 1
             event.callback()
+            events = self._events
+            if events is not None and events.active:
+                events.emit(ClockAdvanced(time=time))
             return True
         return False
 

@@ -183,3 +183,55 @@ class TestBench:
         args = build_parser().parse_args(
             ["run", *FAST_RUN, "--grouping", "off"])
         assert build_spec(args).serving.grouping == "off"
+
+
+class TestComponents:
+    def test_lists_builtin_components(self, tmp_path, capsys):
+        out = tmp_path / "components.json"
+        assert main(["components", "--json", str(out)]) == 0
+        table = capsys.readouterr().out
+        for name in ("neupims", "iteration", "poisson", "paged", "cycle"):
+            assert name in table
+        payload = read_json(out)
+        kinds = {entry["kind"] for entry in payload}
+        assert kinds == {"system", "scheduler", "traffic", "kv",
+                         "fidelity"}
+
+    def test_kind_filter_and_bad_kind(self, capsys):
+        assert main(["components", "--kind", "scheduler"]) == 0
+        table = capsys.readouterr().out
+        assert "iteration" in table
+        assert "neupims" not in table
+        assert main(["components", "--kind", "bogus"]) == 2
+        assert "unknown component kind" in capsys.readouterr().err
+
+    def test_lists_user_registered_components(self, capsys):
+        from repro.registry import REGISTRY
+        REGISTRY.register("traffic", "cli-test-burst", lambda spec: None,
+                          description="test traffic", replace=True)
+        try:
+            assert main(["components", "--kind", "traffic"]) == 0
+            assert "cli-test-burst" in capsys.readouterr().out
+        finally:
+            REGISTRY.unregister("traffic", "cli-test-burst")
+
+    def test_scheduler_flag_routes_to_spec(self):
+        from repro.api.cli import build_parser
+        args = build_parser().parse_args(
+            ["run", *FAST_RUN, "--scheduler", "iteration"])
+        assert build_spec(args).scheduler == "iteration"
+
+    def test_unregistered_system_flag_reports_alternatives(self, capsys):
+        assert main(["run", *FAST_RUN, "--system", "tpu"]) == 2
+        err = capsys.readouterr().err
+        assert "tpu" in err and "neupims" in err
+
+    def test_unregistered_traffic_flag_reports_alternatives(self, capsys):
+        assert main(["run", *FAST_RUN, "--traffic", "burst"]) == 2
+        err = capsys.readouterr().err
+        assert "burst" in err and "poisson" in err
+
+    def test_replay_traffic_flag_fails_with_clear_error(self, capsys):
+        # replay stays JSON-spec only: no flags can carry the triples.
+        assert main(["run", *FAST_RUN, "--traffic", "replay"]) == 2
+        assert "replay_requests" in capsys.readouterr().err

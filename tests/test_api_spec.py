@@ -197,3 +197,75 @@ class TestSerialization:
         spec = ScenarioSpec(config=NeuPimsConfig(),
                             traffic=TrafficSpec.poisson(max_requests=3))
         assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestComponentFields:
+    def round_trip(self, spec):
+        encoded = json.loads(json.dumps(spec.to_dict()))
+        return ScenarioSpec.from_dict(encoded)
+
+    def test_unknown_component_names_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            ScenarioSpec(scheduler="fifo")
+        with pytest.raises(ValueError, match="unknown kv"):
+            ScenarioSpec(kv="slab")
+
+    def test_builtin_only_specs_keep_their_json_shape(self):
+        # The registry redesign must not disturb existing payloads: a
+        # spec using only built-in component names serializes exactly as
+        # it did before the component fields existed.
+        payload = ScenarioSpec(fidelity="analytic").to_dict()
+        for name in ("scheduler", "kv", "system_options",
+                     "scheduler_options", "traffic_options",
+                     "kv_options", "fidelity_options"):
+            assert name not in payload
+        explicit_defaults = ScenarioSpec(fidelity="analytic",
+                                         scheduler="iteration",
+                                         kv="paged",
+                                         scheduler_options={})
+        assert explicit_defaults.to_dict() == payload
+
+    def test_option_dicts_round_trip_as_dicts(self):
+        spec = ScenarioSpec(
+            system_options={"channel_pool": 8},
+            scheduler_options={"window": 4, "nested": {"a": [1, 2]}},
+            kv_options={"block_tokens": 32},
+            fidelity="analytic")
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert payload["scheduler_options"] == {"window": 4,
+                                                "nested": {"a": [1, 2]}}
+        restored = self.round_trip(spec)
+        assert restored == spec
+        assert restored.options_for("scheduler") == {
+            "window": 4, "nested": {"a": [1, 2]}}
+        # And the round trip is a fixed point at the JSON level too.
+        assert restored.to_dict() == spec.to_dict()
+
+    def test_options_are_order_insensitive_and_hashable(self):
+        one = ScenarioSpec(scheduler_options={"a": 1, "b": 2})
+        other = ScenarioSpec(scheduler_options={"b": 2, "a": 1})
+        assert one == other
+        assert hash(one) == hash(other)
+
+    def test_override_routes_component_fields(self):
+        derived = ScenarioSpec().override(
+            scheduler_options={"window": 3}, kv_options={"block_tokens": 8})
+        assert derived.options_for("scheduler") == {"window": 3}
+        assert derived.options_for("kv") == {"block_tokens": 8}
+        with pytest.raises(ValueError, match="no options for"):
+            derived.options_for("serving")
+
+    def test_unknown_keys_still_rejected_with_component_fields(self):
+        # Regression: from_dict must never silently ignore a bad key —
+        # including around the new component fields.
+        payload = ScenarioSpec(scheduler_options={"window": 3}).to_dict()
+        payload["sched_options"] = {"window": 3}
+        with pytest.raises(ValueError, match="sched_options"):
+            ScenarioSpec.from_dict(payload)
+        with pytest.raises(TypeError, match="must be a mapping"):
+            ScenarioSpec.from_dict({"scheduler_options": [1, 2]})
+
+    def test_component_fields_pickle(self):
+        spec = ScenarioSpec(scheduler_options={"window": 3},
+                            system_options={"channel_pool": 4})
+        assert pickle.loads(pickle.dumps(spec)) == spec

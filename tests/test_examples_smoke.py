@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "pim_microbench.py",
     "compile_model.py",
     "serving_simulation.py",
+    "slo_monitor.py",
 ]
 
 

@@ -61,7 +61,14 @@ class TestBinPackProperties:
     @given(lengths=seq_lens,
            channels=st.integers(min_value=1, max_value=16))
     @settings(max_examples=50)
-    def test_greedy_never_worse_than_round_robin(self, lengths, channels):
+    def test_greedy_within_largest_item_of_round_robin(self, lengths,
+                                                       channels):
+        # Online greedy does NOT strictly dominate round robin — for
+        # some arrival orders RR lands a fraction of a percent better
+        # (hypothesis found lengths=[1724, 6, 1135, 1723, 1, 1134] on 2
+        # channels, greedy 0.03% worse).  The provable relation is via
+        # list scheduling: greedy_max <= mean + largest item, and
+        # rr_max >= mean, so greedy_max <= rr_max + largest item.
         greedy_reqs = [make_request(i, input_len=n)
                        for i, n in enumerate(lengths)]
         rr_reqs = [make_request(i, input_len=n)
@@ -70,7 +77,8 @@ class TestBinPackProperties:
         round_robin_assign(rr_reqs, channels)
         greedy_max = max(channel_loads(greedy_reqs, ESTIMATOR, channels))
         rr_max = max(channel_loads(rr_reqs, ESTIMATOR, channels))
-        assert greedy_max <= rr_max * 1.0001
+        largest = max(ESTIMATOR.estimate(r.seq_len) for r in greedy_reqs)
+        assert greedy_max <= rr_max + largest * 1.0001
 
     @given(lengths=seq_lens, channels=st.integers(min_value=1, max_value=16))
     @settings(max_examples=50)

@@ -117,6 +117,28 @@ class TestLatencyTracker:
         by_id = {r.request_id: r for r in report.requests}
         assert by_id[1].first_token_time >= by_id[0].first_token_time
 
+    def test_idle_gap_keeps_first_token_after_arrival(self):
+        # Regression: when the pool drains and the scheduler idles
+        # forward to a late arrival, the tracker clock must jump with it
+        # — otherwise the late request's first token is stamped before
+        # its arrival and report() rejects the reconstruction.
+        device = NeuPimsDevice(GPT3_7B, tp=4, layers_resident=2)
+        pool = RequestPool()
+        early = InferenceRequest(0, input_len=16, output_len=2)
+        late = InferenceRequest(1, input_len=16, output_len=2,
+                                arrival_time=1e9)
+        pool.submit_all([early, late])
+        tracker = LatencyTracker()
+        scheduler = IterationScheduler(
+            pool, tracker.wrap(device.executor()), max_batch_size=8,
+            assign_channels=device.assign_channels,
+            latency_tracker=tracker)
+        scheduler.run()
+        report = tracker.report()  # must not raise
+        by_id = {r.request_id: r for r in report.requests}
+        assert by_id[1].first_token_time > 1e9
+        assert by_id[1].ttft >= 0
+
 
 class TestStatsHelpers:
     def _stats(self):
