@@ -346,3 +346,30 @@ def test_parallel_sweep_scaling(benchmark):
         rounds=1, iterations=1)
     emit("parallel_sweep", values)
     record(benchmark, values)
+
+
+def test_faults_disabled_serving_baseline(benchmark):
+    """The resilience layer's zero-overhead-when-disabled gate.
+
+    The serving bench runs with everything this PR added left at its
+    default (``faults="none"``, no deadlines/retries/shedding): the
+    simulated metrics must stay bit-identical to the committed baseline
+    — proving the fault branches never perturb the default path — and
+    the grouped-engine wall-clock speedup must stay within 5% of the
+    baseline anchor (the single-``is not None``-branch overhead budget).
+    """
+    from repro.api.bench import compare_to_baseline, run_serving_bench
+
+    baseline_path = os.path.join(os.path.dirname(__file__),
+                                 "serving_bench_baseline.json")
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    values = run_serving_bench(num_requests=1024, repeats=3)
+    problems = compare_to_baseline(values, baseline, tolerance=0.05)
+    assert not problems, "; ".join(problems)
+
+    benchmark.pedantic(
+        lambda: run_serving_bench(num_requests=64, repeats=1),
+        rounds=1, iterations=1)
+    emit("faults_disabled_serving", values)
+    record(benchmark, values)

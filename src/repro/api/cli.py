@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line over the scenario API.
 
-Five subcommands share one scenario vocabulary:
+Six subcommands share one scenario vocabulary:
 
 * ``run`` — execute a single :class:`~repro.api.ScenarioSpec` (built
   from flags or loaded from a JSON file) and print its summary;
@@ -10,10 +10,13 @@ Five subcommands share one scenario vocabulary:
 * ``compare`` — run several systems on the same workload side by side;
 * ``bench`` — the large-batch grouped-serving benchmark, with optional
   comparison against a committed baseline (the CI regression gate);
+* ``chaos`` — seeded fault sweeps through the serving stack with hard
+  conservation/determinism invariants (the CI chaos-smoke gate; see
+  :mod:`repro.faults.chaos`);
 * ``components`` — list the :mod:`repro.registry` component table
   (systems, schedulers, traffic models, KV allocators, fidelity
-  engines), including anything user code registered before invoking
-  the CLI programmatically.
+  engines, fault plans), including anything user code registered
+  before invoking the CLI programmatically.
 
 ``--system`` and ``--scheduler`` accept any *registered* name — not
 just the built-ins — so a module that ``@register``\\ s a policy and
@@ -261,6 +264,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: seeded fault sweeps with hard invariants.
+
+    Runs the chaos harness (:mod:`repro.faults.chaos`): every fault seed
+    is swept across grouping ``auto | off`` and ``batch | stream``
+    consumption, conservation/monotonicity invariants are checked on
+    each cell, and the four result payloads must be bit-identical.  Any
+    violation prints to stderr and fails the command — the CI
+    ``chaos-smoke`` contract.
+    """
+    from repro.faults.chaos import run_chaos
+    report = run_chaos(seeds=args.seeds, requests=args.requests)
+    rows = [(cell["fault_seed"], cell["grouping"], cell["mode"],
+             cell["requests"], cell["completed"], cell["timed_out"],
+             cell["shed"], cell["aborted"], cell["retries"],
+             cell["faults"]) for cell in report["cells"]]
+    print(format_table(
+        ["seed", "grouping", "mode", "requests", "completed",
+         "timed_out", "shed", "aborted", "retries", "faults"],
+        rows, title="chaos harness (seeded fault sweeps)"))
+    _dump_json(args.json_path, report)
+    if report["violations"]:
+        for violation in report["violations"]:
+            print(f"invariant violation: {violation}", file=sys.stderr)
+        return 1
+    print(f"chaos: {len(report['cells'])} cells across {args.seeds} "
+          f"seed(s); all invariants hold")
+    return 0
+
+
 def cmd_components(args: argparse.Namespace) -> int:
     """``repro components``: the registered component table."""
     from repro.registry import describe_components
@@ -325,12 +358,25 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also dump the BENCH payload as JSON")
     bench_parser.set_defaults(handler=cmd_bench)
 
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="sweep seeded fault scenarios and check "
+                      "conservation invariants")
+    chaos_parser.add_argument("--seeds", type=int, default=3,
+                              help="fault seeds to sweep (default 3)")
+    chaos_parser.add_argument("--requests", type=int, default=16,
+                              help="requests per chaos cell (default 16)")
+    chaos_parser.add_argument("--json", metavar="FILE", default=None,
+                              dest="json_path",
+                              help="also dump the invariant report as "
+                                   "JSON")
+    chaos_parser.set_defaults(handler=cmd_chaos)
+
     components_parser = subparsers.add_parser(
         "components", help="list the registered scenario components")
     components_parser.add_argument("--kind", default=None,
                                    help="restrict to one component kind "
                                         "(system/scheduler/traffic/kv/"
-                                        "fidelity)")
+                                        "fidelity/faults)")
     components_parser.add_argument("--json", metavar="FILE", default=None,
                                    dest="json_path",
                                    help="also dump the table as JSON")

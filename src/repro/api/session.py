@@ -47,12 +47,15 @@ from repro.core.system import NeuPimsSystem, ParallelismScheme
 from repro.exec.backends import ParallelSpec
 from repro.exec.runner import ParallelRunner
 from repro.exec.warmup import PerfCacheWarmup, WarmupChain
+from repro.faults.resilience import (ResiliencePolicy, ResilienceRuntime,
+                                     resilient_executor)
 from repro.model.spec import ModelSpec
 from repro.registry import REGISTRY, Workload
 from repro.serving.events import IterationCompleted, ServingEvent
 from repro.serving.grouping import GroupedExecutor
 from repro.serving.latency import LatencyTracker
 from repro.serving.pool import RequestPool
+from repro.serving.preemption import PreemptingAllocatorPool
 from repro.serving.request import InferenceRequest
 from repro.serving.scheduler import IterationRecord, IterationScheduler
 from repro.sim.events import EventBus
@@ -73,6 +76,14 @@ class RunResult:
     streaming scheduler runs (``tokens_per_second`` is total tokens over
     the serving makespan).  ``records`` holds one plain dict per
     iteration/batch, so results serialize to JSON via :meth:`to_dict`.
+
+    ``requests`` holds one ``{"request_id", "status"}`` dict per retired
+    request of a serving run (terminal statuses ``completed`` /
+    ``timed_out`` / ``shed`` / ``aborted``, default ``completed``) and
+    ``resilience`` the fault/retry/shed/timeout counters when a
+    resilience runtime was active; both are empty — and omitted from
+    :meth:`to_dict` — when not applicable, so pre-resilience payloads
+    keep their exact shape.
     """
 
     kind: str
@@ -90,6 +101,8 @@ class RunResult:
     energy_per_token_mj: Optional[float] = None
     latency_ms: Dict[str, float] = field(default_factory=dict)
     records: Tuple[Dict[str, float], ...] = ()
+    requests: Tuple[Dict[str, Any], ...] = ()
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     def summary_rows(self) -> List[Tuple[str, object]]:
         """(metric, value) rows for table rendering (CLI and examples)."""
@@ -113,8 +126,13 @@ class RunResult:
         return rows
 
     def to_dict(self) -> Dict[str, Any]:
-        """Encode as a JSON-serializable plain dict."""
-        return {
+        """Encode as a JSON-serializable plain dict.
+
+        The resilience fields (``requests`` / ``resilience``) only
+        appear when populated, so pre-resilience payloads keep their
+        exact shape.
+        """
+        data: Dict[str, Any] = {
             "kind": self.kind,
             "model": self.model,
             "system": self.system,
@@ -131,6 +149,11 @@ class RunResult:
             "latency_ms": dict(self.latency_ms),
             "records": [dict(r) for r in self.records],
         }
+        if self.requests:
+            data["requests"] = [dict(r) for r in self.requests]
+        if self.resilience:
+            data["resilience"] = dict(self.resilience)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
@@ -140,6 +163,9 @@ class RunResult:
         payload["latency_ms"] = dict(payload.get("latency_ms", {}))
         payload["records"] = tuple(dict(r)
                                    for r in payload.get("records", ()))
+        payload["requests"] = tuple(dict(r)
+                                    for r in payload.get("requests", ()))
+        payload["resilience"] = dict(payload.get("resilience", {}))
         return cls(**payload)
 
 
@@ -180,6 +206,10 @@ class Session:
         self.allocators = None
         self.load_tracker = None
         self.latency_tracker: Optional[LatencyTracker] = None
+        #: fault injector from the ``faults`` component (``None`` off)
+        self.fault_injector = None
+        #: resilience runtime; only built when faults or knobs are set
+        self.resilience: Optional[ResilienceRuntime] = None
         #: typed serving events (zero-overhead while unsubscribed)
         self.events = EventBus()
         self.workload: Optional[Workload] = None
@@ -261,8 +291,8 @@ class Session:
         self.pool = RequestPool()
         self.pool.submit_all(self.arrivals)
         is_neupims = isinstance(self.device, NeuPimsDevice)
+        channels = self.device.channel_pool if is_neupims else 1
         if serving.paged_kv:
-            channels = self.device.channel_pool if is_neupims else 1
             layers = getattr(self.device, "layers",
                              self.model_spec.num_layers)
             self.allocators = REGISTRY.create(
@@ -270,8 +300,34 @@ class Session:
                 layers_resident=layers, **self.spec.options_for("kv"))
         if serving.load_tracker and is_neupims:
             self.load_tracker = self.device.attach_load_tracker()
+        self.fault_injector = REGISTRY.create(
+            "faults", self.spec.faults, serving, channels,
+            **self.spec.options_for("faults"))
+        policy = ResiliencePolicy(
+            deadline_cycles=serving.deadline_cycles,
+            max_retries=serving.max_retries,
+            retry_backoff_cycles=serving.retry_backoff_cycles,
+            shed_wait_cycles=serving.shed_wait_cycles)
+        if self.fault_injector is not None or policy.active:
+            preempting = None
+            if self.allocators:
+                preempting = PreemptingAllocatorPool(
+                    self.allocators, self.model_spec.kv_bytes_per_token())
+            self.resilience = ResilienceRuntime(
+                policy, injector=self.fault_injector,
+                preempting=preempting)
         self.latency_tracker = LatencyTracker()
-        executor = self.latency_tracker.wrap(self._wrapped_executor())
+        inner = self._wrapped_executor()
+        if self.resilience is not None:
+            # Compose inside the tracker wrap so fault penalties and
+            # restore costs move the latency clock like device cycles.
+            inner = resilient_executor(self.resilience, inner)
+        executor = self.latency_tracker.wrap(inner)
+        wiring: Dict[str, Any] = {}
+        if self.resilience is not None:
+            # Only passed when active so hand-registered schedulers
+            # without the parameter keep working on the default path.
+            wiring["resilience"] = self.resilience
         self.scheduler = REGISTRY.create(
             "scheduler", self.spec.scheduler,
             pool=self.pool, executor=executor,
@@ -284,6 +340,7 @@ class Session:
             grouped=self._grouped_executor(serving.grouping),
             latency_tracker=self.latency_tracker,
             events=self.events,
+            **wiring,
             **self.spec.options_for("scheduler"))
 
     def _grouped_executor(self, grouping: str) -> Optional[GroupedExecutor]:
@@ -581,6 +638,17 @@ class Session:
         batch_sizes = [r.batch_size for r in stats.iterations]
         latency_summary = (self.latency_tracker.report().summary()
                            if self.latency_tracker is not None else {})
+        outcomes = getattr(self.scheduler, "outcomes", {})
+        request_records = tuple(
+            {"request_id": rid, "status": outcomes[rid]}
+            for rid in sorted(outcomes))
+        resilience_summary: Dict[str, int] = {}
+        if self.resilience is not None:
+            resilience_summary = {
+                key: self.resilience.counters[key]
+                for key in sorted(self.resilience.counters)}
+            resilience_summary["completed"] = sum(
+                1 for status in outcomes.values() if status == "completed")
         return RunResult(
             kind="serving",
             model=self.model_spec.name,
@@ -599,6 +667,8 @@ class Session:
             energy_per_token_mj=self._energy_per_token(total_tokens),
             latency_ms=latency_summary,
             records=records,
+            requests=request_records,
+            resilience=resilience_summary,
         )
 
 

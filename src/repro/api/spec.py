@@ -213,6 +213,16 @@ class ServingSpec:
     #: the system under test supports class plans (bit-identical records
     #: either way), ``"on"`` requires support, ``"off"`` never groups
     grouping: str = "auto"
+    #: per-request deadline in cycles for *running* requests (measured
+    #: from arrival, re-based after each retry); ``None`` disables
+    deadline_cycles: Optional[float] = None
+    #: bounded re-admissions per request after a timeout or KV failure
+    max_retries: int = 0
+    #: base of the exponential backoff added to retry arrival times
+    retry_backoff_cycles: float = 0.0
+    #: shed waiting requests never admitted within this window;
+    #: ``None`` disables graceful-degradation shedding
+    shed_wait_cycles: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -224,6 +234,14 @@ class ServingSpec:
         if self.grouping not in GROUPING_MODES:
             raise ValueError(f"unknown grouping mode {self.grouping!r}; "
                              f"known: {GROUPING_MODES}")
+        if self.deadline_cycles is not None and self.deadline_cycles <= 0:
+            raise ValueError("deadline_cycles must be positive when set")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_cycles < 0:
+            raise ValueError("retry_backoff_cycles must be >= 0")
+        if self.shed_wait_cycles is not None and self.shed_wait_cycles <= 0:
+            raise ValueError("shed_wait_cycles must be positive when set")
 
 
 # ----------------------------------------------------------------------
@@ -241,10 +259,17 @@ _CONFIG_FLAGS = frozenset((
 ))
 #: Per-component option-dict fields (stored as canonical frozen pairs).
 _OPTION_FIELDS = ("system_options", "scheduler_options",
-                  "traffic_options", "kv_options", "fidelity_options")
+                  "traffic_options", "kv_options", "fidelity_options",
+                  "faults_options")
 #: Component-name fields omitted from ``to_dict`` at their defaults so
 #: built-in-only specs keep their pre-registry JSON shape.
-_COMPONENT_DEFAULTS = (("scheduler", "iteration"), ("kv", "paged"))
+_COMPONENT_DEFAULTS = (("scheduler", "iteration"), ("kv", "paged"),
+                       ("faults", "none"))
+#: ServingSpec resilience fields omitted from ``to_dict`` at their
+#: defaults so pre-resilience serving payloads keep their JSON shape.
+_SERVING_PRUNED_DEFAULTS = (("deadline_cycles", None), ("max_retries", 0),
+                            ("retry_backoff_cycles", 0.0),
+                            ("shed_wait_cycles", None))
 
 
 @dataclass(frozen=True)
@@ -279,15 +304,17 @@ class ScenarioSpec:
         simulation (memoized per hardware config); ``"auto"`` picks per
         the DESIGN.md §7 rules (cycle for device-level warmed
         measurements on PIM systems, analytic otherwise).
-    scheduler / kv:
-        Registered component names for the serving scheduler and the
+    scheduler / kv / faults:
+        Registered component names for the serving scheduler, the
         paged-KV allocator family (``kv`` applies when
-        ``serving.paged_kv`` is set).  Like ``system`` and
-        ``traffic.kind``, these resolve through :mod:`repro.registry`,
-        so a ``@register("scheduler", "my-policy")`` class sweeps like
-        any built-in.
+        ``serving.paged_kv`` is set) and the fault-injection plan
+        (``"none"`` disables injection at zero overhead; ``"seeded"``
+        draws a deterministic plan from ``faults_options["seed"]``).
+        Like ``system`` and ``traffic.kind``, these resolve through
+        :mod:`repro.registry`, so a ``@register("scheduler",
+        "my-policy")`` class sweeps like any built-in.
     system_options / scheduler_options / traffic_options / kv_options /
-    fidelity_options:
+    fidelity_options / faults_options:
         Per-component option dicts forwarded to the factories at
         materialization.  Accepted as plain dicts, stored as canonical
         frozen pairs (specs stay hashable/picklable), and JSON
@@ -307,18 +334,20 @@ class ScenarioSpec:
     fidelity: str = "auto"
     scheduler: str = "iteration"
     kv: str = "paged"
+    faults: str = "none"
     system_options: FrozenOptions = ()
     scheduler_options: FrozenOptions = ()
     traffic_options: FrozenOptions = ()
     kv_options: FrozenOptions = ()
     fidelity_options: FrozenOptions = ()
+    faults_options: FrozenOptions = ()
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Component names normalize to lower case (registry lookups are
         # case-insensitive) so the downstream comparisons — energy
         # anchors, feature forcing, fidelity rules — see one spelling.
-        for name in ("system", "scheduler", "kv", "fidelity"):
+        for name in ("system", "scheduler", "kv", "fidelity", "faults"):
             value = getattr(self, name)
             if not isinstance(value, str):
                 raise ValueError(f"{name} must be a component name "
@@ -327,6 +356,7 @@ class ScenarioSpec:
         get_component("system", self.system)  # raises with known names
         get_component("scheduler", self.scheduler)
         get_component("kv", self.kv)
+        get_component("faults", self.faults)
         if self.fidelity != "auto":
             get_component("fidelity", self.fidelity)
         for name in _OPTION_FIELDS:
@@ -472,6 +502,11 @@ class ScenarioSpec:
         for name, default in _COMPONENT_DEFAULTS:
             if data[name] == default:
                 del data[name]
+        serving_data = data.get("serving")
+        if isinstance(serving_data, dict):
+            for name, default in _SERVING_PRUNED_DEFAULTS:
+                if name in serving_data and serving_data[name] == default:
+                    del serving_data[name]
         return data
 
     @classmethod
@@ -508,7 +543,7 @@ class ScenarioSpec:
         elif "config" in data:
             kwargs["config"] = None
         for name in ("system", "tp", "pp", "layers_resident", "fidelity",
-                     "scheduler", "kv", "label"):
+                     "scheduler", "kv", "faults", "label"):
             if name in data:
                 kwargs[name] = data[name]
         for name in _OPTION_FIELDS:

@@ -11,6 +11,10 @@ parallel output is record-for-record identical to serial output.
   backends, normalized from ``parallel=`` specs by
   :func:`~repro.exec.backends.resolve_backend`;
 * :class:`~repro.exec.task.TaskSpec` — the picklable unit of work;
+  failures come back as :class:`~repro.exec.task.TaskError` carrying the
+  task index and spec digest;
+* :class:`~repro.exec.faulty.FaultyBackend` — deterministic
+  crash-injecting test double so recovery is itself under test;
 * :class:`~repro.exec.warmup.PerfCacheWarmup` /
   :class:`~repro.exec.warmup.RegistryWarmup` /
   :class:`~repro.exec.warmup.WarmupChain` — per-worker initializers
@@ -21,20 +25,24 @@ parallel output is record-for-record identical to serial output.
 from repro.exec.backends import (ExecutionBackend, ParallelSpec,
                                  ProcessPoolBackend, SerialBackend,
                                  available_workers, resolve_backend)
+from repro.exec.faulty import FaultyBackend, WorkerCrash
 from repro.exec.runner import ParallelRunner
-from repro.exec.task import TaskSpec, is_picklable
+from repro.exec.task import TaskError, TaskSpec, is_picklable
 from repro.exec.warmup import PerfCacheWarmup, RegistryWarmup, WarmupChain
 
 __all__ = [
     "ExecutionBackend",
+    "FaultyBackend",
     "ParallelRunner",
     "ParallelSpec",
     "PerfCacheWarmup",
     "ProcessPoolBackend",
     "RegistryWarmup",
     "SerialBackend",
+    "TaskError",
     "TaskSpec",
     "WarmupChain",
+    "WorkerCrash",
     "available_workers",
     "is_picklable",
     "resolve_backend",

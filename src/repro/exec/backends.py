@@ -11,21 +11,36 @@ inside one worker, so per-worker caches (see
 :class:`repro.exec.warmup.PerfCacheWarmup`) stay warm across the chunk
 and per-task IPC overhead amortizes.  Chunks are consumed lazily from the
 task iterable — a large sweep grid is never materialized up front.
+
+Failure handling follows a two-tier policy.  A task that *raises* is a
+deterministic bug: it comes back as :class:`~repro.exec.task.TaskError`
+(carrying the task index and spec digest) and is never retried — it
+would fail identically on any worker.  A chunk that *vanishes* (worker
+killed, result pipe broken, per-task timeout exceeded) is
+infrastructure: it is re-dispatched up to ``max_retries`` times and
+finally salvaged by running the chunk in the parent process, so one
+flaky worker cannot sink a thousand-cell sweep.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+from collections import deque
 from itertools import islice
-from typing import (Any, Callable, Iterable, Iterator, List, Optional,
+from typing import (Any, Callable, Deque, Iterable, Iterator, List, Optional,
                     Sequence, Tuple, Union)
 
-from repro.exec.task import TaskSpec
+from repro.exec.task import TaskError, TaskSpec
 
 #: Accepted ``parallel=`` values: ``None``/``False``/worker count/backend
 #: name (``"serial"``, ``"process"``, ``"process:N"``) or an instance.
 ParallelSpec = Union[None, bool, int, str, "ExecutionBackend"]
+
+#: Exceptions from ``AsyncResult.get`` that mean "the chunk's result was
+#: lost" rather than "the chunk's code raised": per-chunk timeout plus
+#: the pipe errors a dying worker leaves behind.
+_LOST_CHUNK_ERRORS = (multiprocessing.TimeoutError, OSError, EOFError)
 
 
 def available_workers() -> int:
@@ -42,6 +57,7 @@ class ExecutionBackend:
     name = "abstract"
 
     def run(self, tasks: Iterable[TaskSpec]) -> List[Any]:
+        """Execute every task, returning results in submission order."""
         raise NotImplementedError
 
     def starmap(self, fn: Callable[..., Any],
@@ -57,7 +73,8 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def run(self, tasks: Iterable[TaskSpec]) -> List[Any]:
-        return [task() for task in tasks]
+        """Execute tasks one after another in the calling process."""
+        return _run_chunk(list(tasks))
 
 
 def _chunk_tasks(tasks: Iterable[TaskSpec],
@@ -76,8 +93,19 @@ def _init_worker(warmup: Optional[Callable[[], None]]) -> None:
         warmup()
 
 
-def _run_chunk(chunk: Sequence[TaskSpec]) -> List[Any]:
-    return [task() for task in chunk]
+def _run_chunk(chunk: Sequence[TaskSpec], base_index: int = 0) -> List[Any]:
+    """Run one chunk serially, wrapping any task failure in
+    :class:`TaskError` with the task's global submission index."""
+    results: List[Any] = []
+    for offset, task in enumerate(chunk):
+        try:
+            results.append(task())
+        except TaskError:
+            raise
+        except Exception as exc:
+            raise TaskError(base_index + offset, task.digest(),
+                            f"{type(exc).__name__}: {exc}") from exc
+    return results
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -98,23 +126,66 @@ class ProcessPoolBackend(ExecutionBackend):
     warmup:
         Picklable nullary callable run once in every worker before any
         task (e.g. :class:`repro.exec.warmup.PerfCacheWarmup`).
+    task_timeout:
+        Seconds of wall-clock each task may take before its chunk is
+        declared lost (a chunk's budget is ``task_timeout * len(chunk)``).
+        ``None`` (default) waits forever — note that crash recovery needs
+        a timeout, because a killed worker's chunk simply never reports.
+    max_retries:
+        How many times a lost chunk is re-dispatched to the pool before
+        falling back to salvage.  Retries assume tasks are pure: a lost
+        chunk may still have produced side effects before dying.
+    salvage:
+        When True (default), a chunk that stays lost after all retries is
+        run in the parent process so the sweep still completes with a
+        full result set; when False the loss raises ``RuntimeError``.
     """
 
     name = "process"
 
     def __init__(self, workers: Optional[int] = None, chunk_size: int = 1,
                  start_method: Optional[str] = None,
-                 warmup: Optional[Callable[[], None]] = None) -> None:
+                 warmup: Optional[Callable[[], None]] = None,
+                 task_timeout: Optional[float] = None,
+                 max_retries: int = 1, salvage: bool = True) -> None:
         if workers is not None and workers <= 0:
             raise ValueError("workers must be positive")
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive when set")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self.workers = workers if workers is not None else available_workers()
         self.chunk_size = chunk_size
         self.start_method = start_method
         self.warmup = warmup
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.salvage = salvage
+        #: Chunks re-dispatched after a loss, across the last :meth:`run`.
+        self.retried_chunks = 0
+        #: Chunks recovered in-process, across the last :meth:`run`.
+        self.salvaged_chunks = 0
+
+    def _chunk_timeout(self, chunk: Sequence[TaskSpec]) -> Optional[float]:
+        """Wall-clock budget for one chunk (``None`` = wait forever)."""
+        if self.task_timeout is None:
+            return None
+        return self.task_timeout * len(chunk)
 
     def run(self, tasks: Iterable[TaskSpec]) -> List[Any]:
+        """Execute tasks across the pool, results in submission order.
+
+        Keeps a bounded window of ``2 * workers`` chunks in flight and
+        collects them strictly FIFO, so ordering is deterministic by
+        construction and the grid streams through bounded memory.  Lost
+        chunks (timeout / dead worker) are re-dispatched up to
+        ``max_retries`` times, then salvaged in-process; task exceptions
+        propagate immediately as :class:`TaskError`.
+        """
+        self.retried_chunks = 0
+        self.salvaged_chunks = 0
         chunks = _chunk_tasks(tasks, self.chunk_size)
         # Grab the first chunk eagerly: an empty task list should not pay
         # for pool startup, and a single chunk runs serially anyway.
@@ -129,19 +200,54 @@ class ProcessPoolBackend(ExecutionBackend):
 
         def rechained() -> Iterator[List[TaskSpec]]:
             yield first
-            if second is not None:
-                yield second
-                yield from chunks
+            yield second
+            yield from chunks
 
+        source = rechained()
+        window = max(2, self.workers * 2)
+        results: List[Any] = []
         context = multiprocessing.get_context(self.start_method)
         with context.Pool(self.workers, initializer=_init_worker,
                           initargs=(self.warmup,)) as pool:
-            # imap preserves submission order and feeds chunks to workers
-            # as they free up, so ordering is deterministic by
-            # construction and the grid streams through bounded memory.
-            results: List[Any] = []
-            for chunk_results in pool.imap(_run_chunk, rechained()):
+            # In-flight entries are [base_index, chunk, handle, attempts];
+            # mutable so a retry can swap in the fresh handle in place.
+            inflight: Deque[List[Any]] = deque()
+            next_base = 0
+
+            def submit_next() -> bool:
+                nonlocal next_base
+                chunk = next(source, None)
+                if chunk is None:
+                    return False
+                handle = pool.apply_async(_run_chunk, (chunk, next_base))
+                inflight.append([next_base, chunk, handle, 0])
+                next_base += len(chunk)
+                return True
+
+            while len(inflight) < window and submit_next():
+                pass
+            while inflight:
+                entry = inflight[0]
+                base, chunk, handle, attempts = entry
+                try:
+                    chunk_results = handle.get(self._chunk_timeout(chunk))
+                except TaskError:
+                    raise
+                except _LOST_CHUNK_ERRORS as exc:
+                    if attempts < self.max_retries:
+                        entry[2] = pool.apply_async(_run_chunk, (chunk, base))
+                        entry[3] = attempts + 1
+                        self.retried_chunks += 1
+                        continue
+                    if not self.salvage:
+                        raise RuntimeError(
+                            f"chunk at task {base} lost after "
+                            f"{attempts} retries: {exc!r}") from exc
+                    chunk_results = _run_chunk(chunk, base)
+                    self.salvaged_chunks += 1
+                inflight.popleft()
                 results.extend(chunk_results)
+                submit_next()
         return results
 
 

@@ -1,0 +1,104 @@
+"""Deterministic crash-injecting backend — a test double for recovery.
+
+Real worker crashes are awkward to stage (they need a live pool, marker
+files and ``os._exit``), so :class:`FaultyBackend` simulates them
+in-process with the *same* retry/salvage policy as
+:class:`~repro.exec.backends.ProcessPoolBackend`: a scripted crash plan
+says which task indices "lose their worker" and how many times, retries
+are bounded by ``max_retries``, and exhausted tasks are salvaged (run
+anyway, modeling the in-parent recovery path) or raised.  Because the
+plan is a plain mapping, recovery behaviour — including the merged
+result staying identical to a serial run — is itself under test without
+any real processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping
+
+from repro.exec.backends import ExecutionBackend, _run_chunk
+from repro.exec.task import TaskSpec
+
+__all__ = ["FaultyBackend", "WorkerCrash"]
+
+
+class WorkerCrash(RuntimeError):
+    """Simulated abrupt worker death (stands in for a killed process)."""
+
+
+class FaultyBackend(ExecutionBackend):
+    """Serial backend that injects scripted worker crashes.
+
+    Parameters
+    ----------
+    crash_plan:
+        Mapping of task submission index to how many consecutive
+        attempts at that task "crash" before one succeeds.
+    max_retries:
+        Crash budget per task before falling back to salvage, mirroring
+        :class:`~repro.exec.backends.ProcessPoolBackend`.
+    salvage:
+        When True (default), a task whose crashes exhaust the retry
+        budget is run anyway (the in-parent salvage path); when False
+        the exhaustion raises :class:`WorkerCrash`.
+
+    After :meth:`run`, the ``attempts`` / ``retried_tasks`` /
+    ``salvaged_tasks`` counters expose what the recovery machinery did.
+    """
+
+    name = "faulty"
+
+    def __init__(self, crash_plan: Mapping[int, int],
+                 max_retries: int = 1, salvage: bool = True) -> None:
+        for index, crashes in crash_plan.items():
+            if index < 0:
+                raise ValueError(f"crash_plan index {index} is negative")
+            if crashes < 0:
+                raise ValueError(
+                    f"crash_plan[{index}] = {crashes} is negative")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.crash_plan = dict(crash_plan)
+        self.max_retries = max_retries
+        self.salvage = salvage
+        #: Total execution attempts (successes + crashes), last run.
+        self.attempts = 0
+        #: Re-dispatches issued in response to crashes, last run.
+        self.retried_tasks = 0
+        #: Tasks recovered via the salvage path, last run.
+        self.salvaged_tasks = 0
+
+    def run(self, tasks: Iterable[TaskSpec]) -> List[Any]:
+        """Execute tasks serially, consuming the crash plan as it goes.
+
+        Results come back in submission order and — because crashes only
+        ever discard an attempt, never a result — are element-for-element
+        identical to :class:`~repro.exec.backends.SerialBackend` on the
+        same tasks whenever every crashed task is retried or salvaged.
+        """
+        self.attempts = 0
+        self.retried_tasks = 0
+        self.salvaged_tasks = 0
+        remaining = dict(self.crash_plan)
+        results: List[Any] = []
+        for index, task in enumerate(tasks):
+            crashes_taken = 0
+            while True:
+                self.attempts += 1
+                if remaining.get(index, 0) > 0:
+                    remaining[index] -= 1
+                    crashes_taken += 1
+                    if crashes_taken <= self.max_retries:
+                        self.retried_tasks += 1
+                        continue
+                    if not self.salvage:
+                        raise WorkerCrash(
+                            f"task {index} crashed {crashes_taken} times "
+                            f"(retry budget {self.max_retries})")
+                    # Salvage: run in the "parent", immune to injection.
+                    results.extend(_run_chunk([task], index))
+                    self.salvaged_tasks += 1
+                    break
+                results.extend(_run_chunk([task], index))
+                break
+        return results

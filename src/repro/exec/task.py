@@ -6,13 +6,43 @@ callable has to be importable at module scope (a top-level function or a
 :func:`functools.partial` over one), and the arguments must themselves be
 picklable.  The frozen hardware dataclasses used throughout this repo
 (configs, model specs, dataset traces) all qualify.
+
+Failures inside a worker come back wrapped in :class:`TaskError`, which
+carries the task's submission index and spec digest so a crash deep in a
+thousand-cell sweep is attributable to the exact cell that raised.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Tuple
+
+
+class TaskError(RuntimeError):
+    """A task raised inside an execution backend.
+
+    Wraps the original exception message with enough provenance to find
+    the failing cell in a large sweep: the task's submission ``index``
+    and the :meth:`TaskSpec.digest` of its spec.  The original exception
+    is not chained across process boundaries (it may not be picklable);
+    its rendered form is embedded in ``message`` instead.
+    """
+
+    def __init__(self, index: int, digest: str, message: str) -> None:
+        super().__init__(f"task {index} (digest {digest}) failed: {message}")
+        #: Submission-order index of the failing task.
+        self.index = index
+        #: :meth:`TaskSpec.digest` of the failing task's spec.
+        self.digest = digest
+        #: Rendered form of the original exception.
+        self.message = message
+
+    def __reduce__(self):
+        """Pickle via the three provenance fields (exceptions with custom
+        ``__init__`` signatures do not round-trip by default)."""
+        return (TaskError, (self.index, self.digest, self.message))
 
 
 @dataclass(frozen=True)
@@ -26,11 +56,36 @@ class TaskSpec:
     def __call__(self) -> Any:
         return self.fn(*self.args, **self.kwargs)
 
+    def digest(self) -> str:
+        """Short stable fingerprint of this spec for error attribution.
+
+        Hashes the callable's qualified name plus the ``repr`` of its
+        arguments — stable across processes (unlike ``id``-based hashes)
+        and cheap enough to compute only on the failure path.
+        """
+        fn = self.fn
+        name = (getattr(fn, "__module__", "?"),
+                getattr(fn, "__qualname__", repr(fn)))
+        payload = repr((name, self.args, sorted(self.kwargs.items())))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
+
+
+#: Exception types that signal "this object cannot be pickled", as
+#: opposed to an unrelated bug raised from a ``__getstate__`` hook.
+_PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
+
 
 def is_picklable(obj: Any) -> bool:
-    """Whether ``obj`` round-trips through pickle (cheap pre-flight check)."""
+    """Whether ``obj`` round-trips through pickle (cheap pre-flight check).
+
+    Only pickling failures (:class:`pickle.PicklingError`, plus the
+    ``TypeError``/``AttributeError`` that the pickle machinery raises for
+    locals, lambdas and open handles) count as "not picklable"; any other
+    exception escaping a ``__getstate__``/``__reduce__`` hook is a real
+    bug in the object and propagates to the caller.
+    """
     try:
         pickle.dumps(obj)
-    except Exception:
+    except _PICKLE_ERRORS:
         return False
     return True

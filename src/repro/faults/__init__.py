@@ -1,0 +1,49 @@
+"""Deterministic fault injection and resilience (registry kind ``faults``).
+
+Real clusters lose PIM/DRAM channels, stall nodes and time out requests;
+fault tolerance is a first-class availability concern in cluster design,
+and a serving simulator aimed at production scale needs failure semantics
+before it can model a fleet.  This package supplies them in three layers:
+
+* :mod:`repro.faults.plan` — typed fault descriptions and the seeded,
+  deterministic :class:`FaultPlan` (a pure function of options + seed,
+  so faults replay identically in sweeps and pickled workers);
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` runtime the
+  serving scheduler polls at iteration boundaries;
+* :mod:`repro.faults.resilience` — the :class:`ResiliencePolicy` /
+  :class:`ResilienceRuntime` pair wiring deadlines, retry/backoff
+  re-admission and shedding through the scheduler and the session's
+  executor chain;
+* :mod:`repro.faults.chaos` — the ``python -m repro chaos`` harness
+  sweeping seeded fault scenarios and asserting conservation invariants.
+
+The registry component kind is ``faults`` with default ``"none"``, which
+materializes to ``None`` — the scheduler then carries no resilience
+state and every fault-path branch reduces to one ``is not None`` check,
+the same zero-overhead-when-disabled discipline as the event bus.
+"""
+
+from repro.faults.chaos import chaos_spec, run_chaos, verify_session
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (ChannelDegrade, ChannelStall, Fault,
+                               FaultPlan, KvFault, RequestAbort,
+                               make_fault_plan)
+from repro.faults.resilience import (ResiliencePolicy, ResilienceRuntime,
+                                     resilient_executor)
+
+__all__ = [
+    "ChannelDegrade",
+    "ChannelStall",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "KvFault",
+    "RequestAbort",
+    "ResiliencePolicy",
+    "ResilienceRuntime",
+    "chaos_spec",
+    "make_fault_plan",
+    "resilient_executor",
+    "run_chaos",
+    "verify_session",
+]

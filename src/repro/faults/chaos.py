@@ -1,0 +1,199 @@
+"""Chaos harness: seeded fault sweeps with conservation invariants.
+
+CounterPoint-style methodology (PAPERS.md): the way to trust a model is
+to try to *refute* it.  Happy-path bit-identity (the grouping and
+streaming equivalence suites) is necessary but not sufficient — this
+harness drives :class:`~repro.api.session.Session` through seeded fault
+scenarios and checks the invariants that must survive adversarial
+conditions:
+
+* **conservation** — every arrival retires exactly once with a terminal
+  status (``completed | timed_out | shed | aborted``); the request pool
+  drains and no KV block leaks (allocator ledgers consistent and empty);
+* **monotonicity** — iteration records never move backwards in time and
+  the latency report's per-request timestamps stay ordered even across
+  retries and idle-forward jumps;
+* **determinism** — for a fixed ``(spec, fault_seed)`` the full
+  ``RunResult`` payload is bit-identical across grouping ``auto | off``
+  and ``stream | batch`` consumption.
+
+Exposed on the CLI as ``python -m repro chaos``; the CI ``chaos-smoke``
+job runs it with ``--seeds 3`` on every push.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["chaos_spec", "run_chaos", "verify_session"]
+
+#: Simulated-cycle horizon for arrivals (requests land early, then the
+#: batch drains over ~30x this span).
+_CHAOS_ARRIVAL_HORIZON = 3e6
+
+#: Simulated-cycle horizon for fault windows — sized to the makespan of
+#: the drain (~9e7 cycles) so faults strike live requests.
+_CHAOS_FAULT_HORIZON = 6e7
+
+#: Terminal statuses a retired request may carry.
+TERMINAL_STATUSES = frozenset(
+    {"completed", "timed_out", "shed", "aborted"})
+
+
+def chaos_spec(fault_seed: int, *, requests: int = 16,
+               grouping: str = "auto") -> Any:
+    """Build one chaos scenario cell for ``fault_seed``.
+
+    A NeuPIMs system under Poisson traffic with a tight KV budget,
+    deadlines, bounded retry and shedding enabled, and a seeded fault
+    plan aligned with the traffic horizon — enough pressure that every
+    resilience path exercises, small enough to run in well under a
+    second per cell.
+    """
+    from repro.api.spec import ScenarioSpec, ServingSpec, TrafficSpec
+    return ScenarioSpec(
+        model="gpt3-7b", system="neupims", layers_resident=2,
+        fidelity="analytic",
+        traffic=TrafficSpec.poisson(
+            rate_per_kcycle=0.02, horizon_cycles=_CHAOS_ARRIVAL_HORIZON,
+            seed=11, max_requests=requests),
+        serving=ServingSpec(
+            max_batch_size=8,
+            kv_capacity_bytes=1 << 27,
+            deadline_cycles=3e7,
+            max_retries=1,
+            retry_backoff_cycles=2e5,
+            shed_wait_cycles=4e7,
+            grouping=grouping),
+        faults="seeded",
+        faults_options={"seed": fault_seed,
+                        "horizon": _CHAOS_FAULT_HORIZON,
+                        "degrades": 1, "stalls": 1, "kv_faults": 1,
+                        "aborts": 1},
+        label=f"chaos-{fault_seed}-{grouping}")
+
+
+def verify_session(session: Any) -> List[str]:
+    """Check conservation/monotonicity invariants on a finished session.
+
+    Returns a list of human-readable violations (empty = all hold).
+    """
+    problems: List[str] = []
+    result = session.result()
+    arrival_ids = sorted(r.request_id for r in session.arrivals)
+    outcome_ids = sorted(r["request_id"] for r in result.requests)
+    if arrival_ids != outcome_ids:
+        missing = set(arrival_ids) - set(outcome_ids)
+        extra = set(outcome_ids) - set(arrival_ids)
+        problems.append(
+            f"conservation: arrivals != outcomes "
+            f"(missing={sorted(missing)}, extra={sorted(extra)})")
+    if len(outcome_ids) != len(set(outcome_ids)):
+        problems.append("conservation: duplicate request outcome")
+    for record in result.requests:
+        if record["status"] not in TERMINAL_STATUSES:
+            problems.append(
+                f"conservation: request {record['request_id']} has "
+                f"non-terminal status {record['status']!r}")
+    if len(session.pool) != 0:
+        problems.append(
+            f"conservation: pool not drained ({len(session.pool)} left)")
+    previous_end = float("-inf")
+    for record in result.records:
+        if record["latency"] <= 0:
+            problems.append(
+                f"monotonicity: iteration {record['index']} has "
+                f"non-positive latency {record['latency']}")
+        if record["start_time"] < previous_end - 1e-9:
+            problems.append(
+                f"monotonicity: iteration {record['index']} starts at "
+                f"{record['start_time']} before previous end "
+                f"{previous_end}")
+        previous_end = record["start_time"] + record["latency"]
+    try:
+        session.latency_tracker.report()
+    except ValueError as exc:
+        problems.append(f"monotonicity: latency report rejected: {exc}")
+    for index, allocator in enumerate(session.allocators or ()):
+        if not allocator.ledger_consistent():
+            problems.append(f"kv: channel {index} ledger inconsistent")
+        if allocator.used_blocks:
+            problems.append(
+                f"kv: channel {index} leaked {allocator.used_blocks} "
+                f"blocks after drain")
+    summary = result.resilience
+    if summary:
+        terminal_total = sum(
+            summary.get(key, 0)
+            for key in ("completed", "timed_out", "shed", "aborted"))
+        if terminal_total != len(arrival_ids):
+            problems.append(
+                f"conservation: terminal counts sum to {terminal_total} "
+                f"for {len(arrival_ids)} arrivals")
+    return problems
+
+
+def run_chaos(seeds: int = 3, *, requests: int = 16) -> Dict[str, Any]:
+    """Sweep ``seeds`` fault seeds across grouping and consumption modes.
+
+    For every seed, runs the chaos scenario under grouping ``auto`` and
+    ``off``, each consumed both batch (``session.run()``) and streamed
+    (``session.stream()``), verifies the invariants on each cell, and
+    checks the four ``RunResult`` payloads are bit-identical.  Returns a
+    JSON-ready report with per-cell summaries and all violations.
+    """
+    from repro.api.session import Session
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+    cells: List[Dict[str, Any]] = []
+    violations: List[str] = []
+    for fault_seed in range(seeds):
+        payloads: Dict[str, Dict[str, Any]] = {}
+        for grouping in ("auto", "off"):
+            for mode in ("batch", "stream"):
+                spec = chaos_spec(fault_seed, requests=requests,
+                                  grouping=grouping)
+                session = Session(spec)
+                if mode == "stream":
+                    for _ in session.stream():
+                        pass
+                    result = session.result()
+                else:
+                    result = session.run()
+                for problem in verify_session(session):
+                    violations.append(
+                        f"seed {fault_seed} {grouping}/{mode}: {problem}")
+                summary = result.resilience
+                cells.append({
+                    "fault_seed": fault_seed,
+                    "grouping": grouping,
+                    "mode": mode,
+                    "requests": len(session.arrivals),
+                    "iterations": result.iterations,
+                    "completed": summary.get("completed", 0),
+                    "timed_out": summary.get("timed_out", 0),
+                    "shed": summary.get("shed", 0),
+                    "aborted": summary.get("aborted", 0),
+                    "retries": summary.get("retries", 0),
+                    "faults": summary.get("faults", 0),
+                })
+                payloads[f"{grouping}/{mode}"] = result.to_dict()
+        reference = payloads["auto/batch"]
+        for key, payload in payloads.items():
+            if payload != reference:
+                violations.append(
+                    f"seed {fault_seed}: records diverge between "
+                    f"auto/batch and {key}")
+    return {
+        "seeds": seeds,
+        "requests_per_cell": requests,
+        "cells": cells,
+        "violations": violations,
+        "invariants": [
+            "every arrival retires exactly once with terminal status",
+            "pool drained, KV ledgers consistent with zero leaked blocks",
+            "iteration records and latency timestamps monotone",
+            "records bit-identical across grouping auto|off and "
+            "stream|batch for fixed (spec, fault_seed)",
+        ],
+    }

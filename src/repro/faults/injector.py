@@ -1,0 +1,112 @@
+"""Runtime that feeds a :class:`~repro.faults.plan.FaultPlan` into serving.
+
+The :class:`FaultInjector` is polled by the iteration scheduler at every
+iteration boundary.  It exposes four queries, all pure with respect to
+simulated time except for the activation cursor and pending-abort queue:
+
+* :meth:`poll` — faults whose start time has been reached since the last
+  poll (for event emission and abort queuing);
+* :meth:`latency_penalty` — extra cycles a fault window adds to an
+  iteration touching a degraded/stalled channel;
+* :meth:`kv_blocked` — whether a channel's KV pool is inside a
+  :class:`~repro.faults.plan.KvFault` window;
+* :meth:`take_aborts` — running requests a queued
+  :class:`~repro.faults.plan.RequestAbort` selects as victims.
+
+Plans are tiny (a handful of faults), so active-window checks are plain
+linear scans; the injector only exists at all when ``faults != "none"``,
+preserving the zero-overhead default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.faults.plan import FaultPlan, KvFault, RequestAbort
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Stateful cursor over a time-sorted :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._cursor = 0
+        self._pending_aborts: List[RequestAbort] = []
+
+    def poll(self, now: float) -> List[Any]:
+        """Return faults newly activated at or before ``now``.
+
+        Each fault is returned exactly once, in start order; aborts are
+        additionally queued until :meth:`take_aborts` consumes them.
+        """
+        fired: List[Any] = []
+        faults = self.plan.faults
+        while self._cursor < len(faults) and \
+                faults[self._cursor].start <= now:
+            fault = faults[self._cursor]
+            self._cursor += 1
+            fired.append(fault)
+            if isinstance(fault, RequestAbort):
+                self._pending_aborts.append(fault)
+        return fired
+
+    def latency_penalty(self, now: float, latency: float,
+                        batch: Sequence[Any]) -> float:
+        """Extra cycles fault windows add to an iteration of ``latency``.
+
+        Degrade factors compose as the max over active windows touching
+        the batch's channels (a derated channel gates the whole
+        sub-batch iteration); stall cycles are additive.
+        """
+        derate = 1.0
+        stall = 0.0
+        channels = None
+        for fault in self.plan.faults:
+            if not fault.active(now):
+                continue
+            channel = getattr(fault, "channel", None)
+            if channel is None:
+                continue
+            factor = getattr(fault, "factor", None)
+            cycles = getattr(fault, "stall_cycles", None)
+            if factor is None and cycles is None:
+                continue
+            if channels is None:
+                channels = {request.channel for request in batch
+                            if request.channel is not None}
+            if channel not in channels:
+                continue
+            if factor is not None and factor > derate:
+                derate = factor
+            if cycles is not None:
+                stall += cycles
+        return latency * (derate - 1.0) + stall
+
+    def kv_blocked(self, now: float, channel: int) -> bool:
+        """Whether ``channel`` is inside an active KV-fault window."""
+        for fault in self.plan.faults:
+            if isinstance(fault, KvFault) and fault.channel == channel \
+                    and fault.active(now):
+                return True
+        return False
+
+    def take_aborts(self, now: float, running: Sequence[Any]) -> List[Any]:
+        """Consume queued aborts, returning the selected victim requests.
+
+        Victims are picked as ``running[ordinal % len(running)]`` and
+        deduplicated; with no running requests the aborts stay queued
+        for the next boundary.
+        """
+        if not self._pending_aborts or not running:
+            return []
+        victims: List[Any] = []
+        seen = set()
+        for fault in self._pending_aborts:
+            victim = running[fault.ordinal % len(running)]
+            if victim.request_id not in seen:
+                seen.add(victim.request_id)
+                victims.append(victim)
+        self._pending_aborts = []
+        return victims

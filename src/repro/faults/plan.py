@@ -1,0 +1,201 @@
+"""Typed fault descriptions and seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is a *pure function* of ``(options, seed)``:
+building the same plan twice — in this process, inside a pickled sweep
+worker, or in a replayed session — yields identical faults at identical
+simulated times.  Nothing here reads wall clocks or global RNG state, so
+runs under fault injection stay bit-reproducible; the chaos harness
+(:mod:`repro.faults.chaos`) pins that contract across grouping modes and
+stream/batch consumption.
+
+The taxonomy mirrors the failure modes a NeuPIMs-style NPU+PIM node
+actually exhibits: transient per-channel degradation (a PIM/DRAM channel
+running derated or stalling), KV-allocation windows where a channel's
+paged KV pool refuses new blocks, and outright request aborts (client
+disconnects, upstream cancellations).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "ChannelDegrade",
+    "ChannelStall",
+    "Fault",
+    "FaultPlan",
+    "KvFault",
+    "RequestAbort",
+    "make_fault_plan",
+]
+
+#: Fraction-of-horizon bounds used by :func:`make_fault_plan` when
+#: drawing fault windows; kept module-level so the plan geometry is easy
+#: to audit and deterministic for a fixed seed.
+_WINDOW_START_FRAC = (0.05, 0.70)
+_WINDOW_LENGTH_FRAC = (0.05, 0.25)
+_DEGRADE_FACTOR_RANGE = (1.25, 2.5)
+_STALL_FRAC = (0.002, 0.01)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base fault: active on the half-open window ``[start, end)``.
+
+    Subclasses add the typed payload (channel, derate factor, ...); the
+    base class only fixes the temporal extent, in simulated cycles.
+    """
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"fault start must be >= 0, got {self.start}")
+        if self.duration < 0:
+            raise ValueError(
+                f"fault duration must be >= 0, got {self.duration}")
+
+    @property
+    def end(self) -> float:
+        """Exclusive end of the fault window in cycles."""
+        return self.start + self.duration
+
+    def active(self, now: float) -> bool:
+        """Whether the fault is in effect at simulated time ``now``."""
+        return self.start <= now < self.end
+
+    def describe(self) -> str:
+        """Short stable kind tag (the class name) for events/reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class ChannelDegrade(Fault):
+    """A PIM/DRAM channel runs derated: iteration latency × ``factor``.
+
+    Applied by the injector to any iteration whose batch touches
+    ``channel`` while the window is active; ``factor`` >= 1.
+    """
+
+    channel: int = 0
+    factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor < 1.0:
+            raise ValueError(
+                f"degrade factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class ChannelStall(Fault):
+    """A channel stalls: ``stall_cycles`` added per touching iteration."""
+
+    channel: int = 0
+    stall_cycles: float = 1e5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.stall_cycles < 0:
+            raise ValueError(
+                f"stall_cycles must be >= 0, got {self.stall_cycles}")
+
+
+@dataclass(frozen=True)
+class KvFault(Fault):
+    """KV allocations on ``channel`` fail while the window is active.
+
+    The scheduler treats a blocked channel exactly like allocator
+    pressure: admission skips it and mid-generation growth triggers the
+    KV-pressure path (retry under resilience, early finish otherwise).
+    """
+
+    channel: int = 0
+
+
+@dataclass(frozen=True)
+class RequestAbort(Fault):
+    """Abort one running request at the first boundary past ``start``.
+
+    ``ordinal`` selects the victim as ``running[ordinal % len(running)]``
+    so the choice is deterministic yet varies with the plan seed.  The
+    ``duration`` field is unused (aborts are point events); it stays for
+    the common ``Fault`` shape.
+    """
+
+    ordinal: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted schedule of typed faults.
+
+    Construct via :func:`make_fault_plan` for the seeded path; direct
+    construction with hand-written faults is supported for tests.
+    """
+
+    seed: int
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.faults, key=lambda f: f.start))
+        object.__setattr__(self, "faults", ordered)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+def make_fault_plan(seed: int, channels: int, *, horizon: float = 2e7,
+                    degrades: int = 1, stalls: int = 1, kv_faults: int = 1,
+                    aborts: int = 0) -> FaultPlan:
+    """Draw a deterministic :class:`FaultPlan` from a seed.
+
+    ``channels`` is the number of PIM/DRAM channels the target system
+    exposes (fault channels are drawn uniformly from it) and ``horizon``
+    the simulated-cycle span faults may start in — align it with the
+    traffic horizon so faults overlap live requests.  The counts select
+    how many faults of each kind to draw.  Everything is derived from a
+    private ``random.Random(seed)``, so the result is a pure function of
+    the arguments.
+    """
+    if channels < 1:
+        raise ValueError(f"channels must be >= 1, got {channels}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    for name, count in (("degrades", degrades), ("stalls", stalls),
+                        ("kv_faults", kv_faults), ("aborts", aborts)):
+        if count < 0:
+            raise ValueError(f"{name} must be >= 0, got {count}")
+    rng = random.Random(int(seed))
+
+    def window() -> Tuple[float, float]:
+        start = rng.uniform(*_WINDOW_START_FRAC) * horizon
+        duration = rng.uniform(*_WINDOW_LENGTH_FRAC) * horizon
+        return start, duration
+
+    faults = []
+    for _ in range(degrades):
+        start, duration = window()
+        faults.append(ChannelDegrade(
+            start=start, duration=duration,
+            channel=rng.randrange(channels),
+            factor=rng.uniform(*_DEGRADE_FACTOR_RANGE)))
+    for _ in range(stalls):
+        start, duration = window()
+        faults.append(ChannelStall(
+            start=start, duration=duration,
+            channel=rng.randrange(channels),
+            stall_cycles=rng.uniform(*_STALL_FRAC) * horizon))
+    for _ in range(kv_faults):
+        start, duration = window()
+        faults.append(KvFault(
+            start=start, duration=duration,
+            channel=rng.randrange(channels)))
+    for _ in range(aborts):
+        start, _ = window()
+        faults.append(RequestAbort(
+            start=start, duration=0.0, ordinal=rng.randrange(8)))
+    return FaultPlan(seed=int(seed), faults=tuple(faults))

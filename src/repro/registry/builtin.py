@@ -28,6 +28,11 @@ Factory calling conventions (the registration contract, DESIGN.md §8):
   ``IterationScheduler`` and accept extra options.
 * ``fidelity``: ``factory(session, **options) -> estimator or None`` —
   ``None`` means the device's closed-form constants.
+* ``faults``: ``factory(serving_spec, channels, **options) ->
+  FaultInjector or None`` — ``None`` (the ``"none"`` builtin) means no
+  fault injection and the session skips the resilience runtime
+  entirely; ``channels`` is the target system's PIM/DRAM channel count
+  so seeded plans draw valid fault channels.
 """
 
 from __future__ import annotations
@@ -67,6 +72,7 @@ def register_builtins(registry: ComponentRegistry) -> None:
     _register_kv(registry)
     _register_schedulers(registry)
     _register_fidelity(registry)
+    _register_faults(registry)
 
 
 # ----------------------------------------------------------------------
@@ -249,3 +255,32 @@ def _register_fidelity(registry: ComponentRegistry) -> None:
     registry.register("fidelity", "cycle", cycle,
                       description="command-level calibrated constants "
                                   "(memoized per config)")
+
+
+# ----------------------------------------------------------------------
+# Fault injection.
+# ----------------------------------------------------------------------
+
+def _register_faults(registry: ComponentRegistry) -> None:
+    def none(serving, channels, **options):
+        """No fault injection — the zero-overhead default."""
+        if options:
+            raise ValueError(f"unknown faults option(s) "
+                             f"{sorted(options)} for 'none'")
+        return None
+
+    def seeded(serving, channels, **options):
+        """Seeded deterministic fault plan (repro.faults.plan)."""
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import make_fault_plan
+        seed = int(options.pop("seed", 0))
+        return FaultInjector(make_fault_plan(seed, channels, **options))
+
+    registry.register("faults", "none", none,
+                      description="no fault injection (default)")
+    registry.register("faults", "seeded", seeded,
+                      option_names=("seed", "horizon", "degrades",
+                                    "stalls", "kv_faults", "aborts"),
+                      description="seeded deterministic fault plan "
+                                  "(channel degrade/stall, KV windows, "
+                                  "request aborts)")

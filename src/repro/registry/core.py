@@ -37,7 +37,7 @@ from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Tuple, Union)
 
 #: The component kinds a scenario is assembled from.
-KINDS = ("system", "scheduler", "traffic", "kv", "fidelity")
+KINDS = ("system", "scheduler", "traffic", "kv", "fidelity", "faults")
 
 #: Canonical frozen encoding of an option dict: sorted ``(key, value)``
 #: pairs, with nested mappings/sequences frozen recursively.

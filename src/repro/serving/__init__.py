@@ -18,10 +18,15 @@ from repro.serving.grouping import (
     shift_histogram,
 )
 from repro.serving.events import (
+    FaultInjected,
     IterationCompleted,
     KvPressure,
+    NodeDegraded,
     RequestAdmitted,
     RequestRetired,
+    RequestRetried,
+    RequestShed,
+    RequestTimedOut,
     ServingEvent,
     WindowCommitted,
 )
@@ -71,10 +76,15 @@ __all__ = [
     "class_histogram",
     "mha_histogram",
     "shift_histogram",
+    "FaultInjected",
     "IterationCompleted",
     "KvPressure",
+    "NodeDegraded",
     "RequestAdmitted",
     "RequestRetired",
+    "RequestRetried",
+    "RequestShed",
+    "RequestTimedOut",
     "ServingEvent",
     "WindowCommitted",
     "RequestPool",

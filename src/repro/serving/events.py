@@ -20,12 +20,17 @@ clock in cycles at emission.  The taxonomy:
   iteration needed (grouped-window boundary or mid-generation OOM).
 * :class:`WindowCommitted` — a group-commit steady-state window was
   synchronized back to per-request state (grouped engine only).
+* :class:`FaultInjected` / :class:`NodeDegraded` /
+  :class:`RequestTimedOut` / :class:`RequestRetried` /
+  :class:`RequestShed` — the fault/recovery taxonomy emitted when a
+  :class:`~repro.faults.resilience.ResilienceRuntime` is attached
+  (``faults`` component or resilience knobs in the spec).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.serving.scheduler import IterationRecord
@@ -48,9 +53,15 @@ class RequestAdmitted(ServingEvent):
 
 @dataclass(frozen=True)
 class RequestRetired(ServingEvent):
-    """A finished request left the pool and freed its KV blocks."""
+    """A request left the pool and freed its KV blocks.
+
+    ``status`` is the terminal outcome: ``"completed"`` (the default,
+    so pre-resilience consumers and pinned records are unchanged),
+    ``"timed_out"``, ``"shed"`` or ``"aborted"``.
+    """
 
     request_id: int
+    status: str = "completed"
 
 
 @dataclass(frozen=True)
@@ -76,11 +87,58 @@ class WindowCommitted(ServingEvent):
     iterations: int
 
 
+@dataclass(frozen=True)
+class FaultInjected(ServingEvent):
+    """A planned fault activated (``kind`` is the fault class name)."""
+
+    kind: str
+    channel: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class NodeDegraded(ServingEvent):
+    """A channel entered a degradation window (derate and/or stall)."""
+
+    channel: int
+    factor: float
+    stall_cycles: float
+
+
+@dataclass(frozen=True)
+class RequestTimedOut(ServingEvent):
+    """A running request exceeded its deadline (``attempt`` so far)."""
+
+    request_id: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class RequestRetried(ServingEvent):
+    """A timed-out/KV-starved request was re-admitted with backoff."""
+
+    request_id: int
+    attempt: int
+    next_arrival: float
+
+
+@dataclass(frozen=True)
+class RequestShed(ServingEvent):
+    """A waiting request was shed after ``waited`` cycles unadmitted."""
+
+    request_id: int
+    waited: float
+
+
 __all__ = [
+    "FaultInjected",
     "IterationCompleted",
     "KvPressure",
+    "NodeDegraded",
     "RequestAdmitted",
     "RequestRetired",
+    "RequestRetried",
+    "RequestShed",
+    "RequestTimedOut",
     "ServingEvent",
     "WindowCommitted",
 ]

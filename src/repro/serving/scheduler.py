@@ -17,9 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
-from repro.serving.events import (IterationCompleted, KvPressure,
+from repro.serving.events import (FaultInjected, IterationCompleted,
+                                  KvPressure, NodeDegraded,
                                   RequestAdmitted, RequestRetired,
-                                  WindowCommitted)
+                                  RequestRetried, RequestShed,
+                                  RequestTimedOut, WindowCommitted)
 from repro.serving.grouping import (GROUPING_MODES, GroupedExecutor,
                                     GroupedScheduleState)
 from repro.serving.paging import OutOfMemoryError, PagedKvAllocator
@@ -28,6 +30,7 @@ from repro.serving.request import InferenceRequest, RequestStatus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.binpack import ChannelLoadTracker
+    from repro.faults.resilience import ResilienceRuntime
     from repro.serving.latency import LatencyTracker
     from repro.sim.events import EventBus
 
@@ -123,6 +126,17 @@ class IterationScheduler:
         emission is guarded by ``events.active``, so a bus with no
         subscribers costs one branch per site and constructs nothing
         (the zero-overhead contract the observer bench gates).
+    resilience:
+        Optional :class:`~repro.faults.resilience.ResilienceRuntime`
+        enabling fault injection and the resilience mechanisms: at each
+        iteration boundary the scheduler polls the fault plan, aborts
+        victims, times out running requests past their deadline
+        (retrying them through the preemption restore machinery while
+        the budget lasts) and sheds waiting requests past the shedding
+        window.  ``None`` (the default) keeps every fault branch to a
+        single ``is not None`` check; the grouped fast path is disabled
+        while a runtime is attached so grouping ``auto`` and ``off``
+        stay bit-identical under faults by construction.
     """
 
     def __init__(
@@ -137,6 +151,7 @@ class IterationScheduler:
         grouped: Optional[GroupedExecutor] = None,
         latency_tracker: Optional["LatencyTracker"] = None,
         events: Optional["EventBus"] = None,
+        resilience: Optional["ResilienceRuntime"] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -155,7 +170,11 @@ class IterationScheduler:
         self.grouped = grouped
         self.latency_tracker = latency_tracker
         self.events = events
+        self.resilience = resilience
         self.stats = ServingStats()
+        #: Terminal outcome per retired request id (``completed`` /
+        #: ``timed_out`` / ``shed`` / ``aborted``).
+        self.outcomes: Dict[int, str] = {}
         self._now = 0.0
         self._grouped_state: Optional[GroupedScheduleState] = None
 
@@ -188,9 +207,18 @@ class IterationScheduler:
             newly.append(request)
         if self.assign_channels is not None and newly:
             self.assign_channels(newly)
+        resilience = self.resilience
+        injector = resilience.injector if resilience is not None else None
         for request in newly:
             channel = request.channel if request.channel is not None else 0
             if self.allocators is not None:
+                if injector is not None and \
+                        injector.kv_blocked(self._now, channel):
+                    # The channel's KV pool is inside a fault window:
+                    # treat exactly like allocator pressure (the request
+                    # stays pooled and re-candidates next boundary).
+                    request.channel = None
+                    continue
                 try:
                     self.allocators[channel].allocate(
                         request.request_id, request.seq_len)
@@ -200,6 +228,13 @@ class IterationScheduler:
             request.begin_generation(channel)
             if self.load_tracker is not None:
                 self.load_tracker.add(request)
+            if resilience is not None and resilience.preempting is not None:
+                # Re-admission of a preempted retry owes its restore
+                # cost (swap/recompute) to the next iteration.
+                cost = resilience.preempting.restore_cost(
+                    request.request_id)
+                if cost:
+                    resilience.charge(cost)
             admitted += 1
             events = self.events
             if events is not None and events.active:
@@ -219,6 +254,7 @@ class IterationScheduler:
                 self.allocators[request.channel].release(request.request_id)
             if self.load_tracker is not None:
                 self.load_tracker.remove(request)
+            self.outcomes[request.request_id] = "completed"
             events = self.events
             if events is not None and events.active:
                 events.emit(RequestRetired(time=self._now,
@@ -226,11 +262,139 @@ class IterationScheduler:
         return len(done)
 
     # ------------------------------------------------------------------
+    # Resilience (deadlines, retries, shedding, fault windows).
+    # ------------------------------------------------------------------
+
+    def _terminate(self, request: InferenceRequest, outcome: str) -> None:
+        """Remove ``request`` from the stack with terminal ``outcome``.
+
+        Used for the non-completed exits (``timed_out`` / ``shed`` /
+        ``aborted``): releases any KV allocation, detaches from the load
+        tracker, evicts from the pool and records the outcome.
+        """
+        resilience = self.resilience
+        rid = request.request_id
+        if self.load_tracker is not None and \
+                request.status is RequestStatus.RUNNING:
+            self.load_tracker.remove(request)
+        if self.allocators is not None and request.channel is not None:
+            self.allocators[request.channel].release(rid)
+        self.pool.evict(rid)
+        resilience.attempts.pop(rid, None)
+        resilience.deadline_base.pop(rid, None)
+        resilience.counters[outcome] += 1
+        self.outcomes[rid] = outcome
+        events = self.events
+        if events is not None and events.active:
+            events.emit(RequestRetired(time=self._now, request_id=rid,
+                                       status=outcome))
+
+    def _retry_request(self, request: InferenceRequest) -> bool:
+        """Preempt ``request`` and re-admit it later with backoff.
+
+        Returns ``False`` when the retry budget is exhausted (the caller
+        then applies its terminal handling).  Reuses the preemption
+        restore machinery: KV blocks are released through the
+        :class:`~repro.serving.preemption.PreemptingAllocatorPool`,
+        which records the swap/recompute restoration cost charged to the
+        iteration that re-admits the request.  Generation progress is
+        kept — the restore cost is what models recovering it.
+        """
+        resilience = self.resilience
+        rid = request.request_id
+        attempt = resilience.attempts.get(rid, 0) + 1
+        if attempt > resilience.policy.max_retries:
+            return False
+        if self.load_tracker is not None and \
+                request.status is RequestStatus.RUNNING:
+            self.load_tracker.remove(request)
+        if resilience.preempting is not None and \
+                request.channel is not None:
+            resilience.preempting.preempt(request)
+        else:
+            request.status = RequestStatus.WAITING
+        self.pool.evict(rid)
+        request.channel = None
+        resilience.attempts[rid] = attempt
+        arrival = self._now + resilience.retry_delay(attempt)
+        request.arrival_time = arrival
+        resilience.deadline_base[rid] = arrival
+        self.pool.submit(request)
+        resilience.counters["retries"] += 1
+        events = self.events
+        if events is not None and events.active:
+            events.emit(RequestRetried(time=self._now, request_id=rid,
+                                       attempt=attempt,
+                                       next_arrival=arrival))
+        return True
+
+    def _resilient_boundary(self) -> None:
+        """Fault activation, aborts, deadlines and shedding.
+
+        Runs once per iteration boundary, only when a runtime is
+        attached (the zero-overhead guard in :meth:`run_iteration` is a
+        single ``is not None`` branch).
+        """
+        resilience = self.resilience
+        now = self._now
+        events = self.events
+        live = events is not None and events.active
+        injector = resilience.injector
+        if injector is not None:
+            for fault in injector.poll(now):
+                resilience.counters["faults"] += 1
+                if live:
+                    channel = getattr(fault, "channel", None)
+                    events.emit(FaultInjected(time=now,
+                                              kind=fault.describe(),
+                                              channel=channel))
+                    factor = getattr(fault, "factor", None)
+                    stall = getattr(fault, "stall_cycles", None)
+                    if factor is not None or stall is not None:
+                        events.emit(NodeDegraded(
+                            time=now, channel=channel,
+                            factor=factor if factor is not None else 1.0,
+                            stall_cycles=stall if stall is not None
+                            else 0.0))
+            for victim in injector.take_aborts(now, self.pool.running()):
+                self._terminate(victim, "aborted")
+        policy = resilience.policy
+        if policy.deadline_cycles is not None:
+            deadline = policy.deadline_cycles
+            for request in self.pool.running():
+                rid = request.request_id
+                base = resilience.deadline_base.get(rid,
+                                                    request.arrival_time)
+                if now - base > deadline:
+                    resilience.counters["timeouts"] += 1
+                    if live:
+                        events.emit(RequestTimedOut(
+                            time=now, request_id=rid,
+                            attempt=resilience.attempts.get(rid, 0)))
+                    if not self._retry_request(request):
+                        self._terminate(request, "timed_out")
+        if policy.shed_wait_cycles is not None:
+            shed_wait = policy.shed_wait_cycles
+            for request in self.pool.waiting(now):
+                waited = now - request.arrival_time
+                if waited > shed_wait:
+                    if live:
+                        events.emit(RequestShed(
+                            time=now, request_id=request.request_id,
+                            waited=waited))
+                    self._terminate(request, "shed")
+
+    # ------------------------------------------------------------------
     # Class-grouped fast path.
     # ------------------------------------------------------------------
 
     def _grouping_active(self) -> bool:
-        return self.grouping != "off" and self.grouped is not None
+        # Resilience needs per-iteration boundaries (deadlines, fault
+        # windows, aborts), so the grouped fast path stands down while a
+        # runtime is attached — grouping auto|off are then identical by
+        # construction, which is what the chaos harness pins.
+        return (self.grouping != "off" and self.grouped is not None
+                and self.resilience is None)
 
     def sync_grouped(self) -> None:
         """Write any deferred grouped-window state back to the live stack.
@@ -360,6 +524,9 @@ class IterationScheduler:
             # A boundary is pending (retirement, admission, KV pressure)
             # or the batch is empty: fall through to the per-request path
             # with all deferred state already synchronized.
+        resilience = self.resilience
+        if resilience is not None:
+            self._resilient_boundary()
         retired = self._retire()
         admitted = self._admit()
         batch = self.pool.running()
@@ -375,6 +542,8 @@ class IterationScheduler:
             batch = self.pool.running()
             if not batch:
                 return None
+        if resilience is not None:
+            resilience.now = self._now
         latency = self.executor(batch)
         if latency <= 0:
             raise ValueError("executor returned non-positive latency")
@@ -383,22 +552,37 @@ class IterationScheduler:
             if self.load_tracker is not None:
                 self.load_tracker.update(request)
             if self.allocators is not None and request.channel is not None:
+                channel = request.channel
                 try:
-                    self.allocators[request.channel].allocate(
+                    if resilience is not None and \
+                            resilience.injector is not None and \
+                            resilience.injector.kv_blocked(self._now,
+                                                           channel):
+                        raise OutOfMemoryError(
+                            f"channel {channel} KV pool inside a fault "
+                            f"window")
+                    self.allocators[channel].allocate(
                         request.request_id, request.seq_len)
                 except OutOfMemoryError:
-                    # Out of KV memory mid-generation: finish the request
-                    # early (real systems would preempt/swap; the paper's
-                    # experiments are sized to avoid this).
-                    request.generated = request.output_len
-                    request.status = RequestStatus.DONE
+                    free = self.allocators[channel].free_blocks
+                    if resilience is not None and \
+                            not request.is_finished and \
+                            self._retry_request(request):
+                        # Preempted and re-admitted later with backoff;
+                        # the restore cost is charged on re-admission.
+                        pass
+                    else:
+                        # Out of KV memory mid-generation: finish the
+                        # request early (real systems would preempt/swap;
+                        # the paper's experiments are sized to avoid
+                        # this).
+                        request.generated = request.output_len
+                        request.status = RequestStatus.DONE
                     events = self.events
                     if events is not None and events.active:
                         events.emit(KvPressure(
-                            time=self._now, channel=request.channel,
-                            needed_blocks=1,
-                            free_blocks=self.allocators[request.channel]
-                            .free_blocks))
+                            time=self._now, channel=channel,
+                            needed_blocks=1, free_blocks=free))
         record = IterationRecord(
             index=len(self.stats.iterations),
             start_time=self._now,

@@ -12,6 +12,7 @@ from repro.analysis.sweep import (SweepAxis, SweepResult, iter_points,
                                   pareto_front, run_sweep)
 from repro.core.device import IterationResult
 from repro.exec.backends import ExecutionBackend
+from repro.exec.task import TaskError
 
 
 def result(latency=1e6, npu_busy=0.5e6):
@@ -78,8 +79,12 @@ class TestSweep:
         assert result.column("tp") == [1, 3]
 
     def test_metric_shadowing_axis_raises(self):
-        with pytest.raises(ValueError):
+        # Shadowing is only detectable once ``evaluate`` returns inside
+        # the task, so it surfaces wrapped in the exec layer's
+        # TaskError with the original ValueError chained as the cause.
+        with pytest.raises(TaskError, match="metrics shadow axes") as err:
             run_sweep([SweepAxis("a", [1])], lambda a: {"a": 2})
+        assert isinstance(err.value.__cause__, ValueError)
 
     def test_duplicate_axis_names_raise(self):
         with pytest.raises(ValueError):

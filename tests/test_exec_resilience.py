@@ -1,0 +1,181 @@
+"""Crash-tolerant parallel execution: TaskError, retries and salvage.
+
+The acceptance bar: a worker that is killed or times out mid-sweep is
+retried (then salvaged in the parent), and the merged result stays
+identical to a serial run — recovery must never perturb ordering.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.exec import (
+    FaultyBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    TaskError,
+    TaskSpec,
+    WorkerCrash,
+    is_picklable,
+)
+
+
+def square(x):
+    """Trivial pure task."""
+    return x * x
+
+
+def boom(x):
+    """Task that always raises (a deterministic bug)."""
+    raise ValueError(f"bad cell {x}")
+
+
+def crash_once(x, marker):
+    """Die abruptly on the first attempt, succeed after (marker file)."""
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(1)
+    return x * x
+
+
+def crash_in_worker(x, parent_pid):
+    """Die on every attempt except in the parent (the salvage path)."""
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return x * x
+
+
+class _PoisonedState:
+    """Object whose pickling hook raises a non-pickling error."""
+
+    def __getstate__(self):
+        raise RuntimeError("bug in __getstate__, not a pickling failure")
+
+
+class TestTaskError:
+    def test_serial_backend_wraps_with_index_and_digest(self):
+        tasks = [TaskSpec(square, (0,)), TaskSpec(boom, (1,)),
+                 TaskSpec(square, (2,))]
+        with pytest.raises(TaskError) as err:
+            SerialBackend().run(tasks)
+        assert err.value.index == 1
+        assert err.value.digest == TaskSpec(boom, (1,)).digest()
+        assert "ValueError: bad cell 1" in err.value.message
+        assert "task 1" in str(err.value)
+
+    def test_pool_backend_propagates_across_processes(self):
+        tasks = [TaskSpec(square, (i,)) for i in range(4)]
+        tasks.insert(2, TaskSpec(boom, (9,)))
+        pool = ProcessPoolBackend(workers=2)
+        with pytest.raises(TaskError) as err:
+            pool.run(tasks)
+        assert err.value.index == 2
+        assert err.value.digest == TaskSpec(boom, (9,)).digest()
+
+    def test_task_error_round_trips_through_pickle(self):
+        error = TaskError(7, "abc123def456", "ValueError: x")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, TaskError)
+        assert (clone.index, clone.digest, clone.message) == \
+            (7, "abc123def456", "ValueError: x")
+
+    def test_digest_stable_and_argument_sensitive(self):
+        assert TaskSpec(square, (1,)).digest() == \
+            TaskSpec(square, (1,)).digest()
+        assert TaskSpec(square, (1,)).digest() != \
+            TaskSpec(square, (2,)).digest()
+        assert len(TaskSpec(square, (1,)).digest()) == 12
+
+
+class TestIsPicklable:
+    def test_plain_objects_and_failures(self):
+        assert is_picklable(TaskSpec(square, (1,)))
+        assert not is_picklable(lambda x: x)
+        assert not is_picklable(open(os.devnull))
+
+    def test_non_pickling_errors_propagate(self):
+        # A bug inside __getstate__ is not "unpicklable" — it must
+        # surface, not be swallowed into a False.
+        with pytest.raises(RuntimeError, match="bug in __getstate__"):
+            is_picklable(_PoisonedState())
+
+
+class TestCrashRecovery:
+    def test_killed_worker_retried_result_matches_serial(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        tasks = [TaskSpec(square, (i,)) for i in range(6)]
+        tasks.insert(3, TaskSpec(crash_once, (7, marker)))
+        # Serial reference: pre-create the marker so the crash branch
+        # (os._exit) never fires in the pytest process itself.
+        open(marker, "w").close()
+        serial = SerialBackend().run(list(tasks))
+        os.remove(marker)
+        pool = ProcessPoolBackend(workers=2, task_timeout=1.0,
+                                  max_retries=1)
+        assert pool.run(tasks) == serial
+        assert pool.retried_chunks == 1
+        assert pool.salvaged_chunks == 0
+
+    def test_persistent_crash_salvaged_in_parent(self):
+        parent = os.getpid()
+        tasks = [TaskSpec(square, (i,)) for i in range(4)]
+        tasks.insert(2, TaskSpec(crash_in_worker, (5, parent)))
+        pool = ProcessPoolBackend(workers=2, task_timeout=1.0,
+                                  max_retries=1)
+        out = pool.run(tasks)
+        assert out == [0, 1, 25, 4, 9]
+        assert pool.retried_chunks == 1
+        assert pool.salvaged_chunks == 1
+
+    def test_salvage_disabled_raises(self):
+        parent = os.getpid()
+        tasks = [TaskSpec(square, (i,)) for i in range(4)]
+        tasks.append(TaskSpec(crash_in_worker, (5, parent)))
+        pool = ProcessPoolBackend(workers=2, task_timeout=1.0,
+                                  max_retries=0, salvage=False)
+        with pytest.raises(RuntimeError, match="lost after"):
+            pool.run(tasks)
+
+    def test_recovery_knob_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(task_timeout=0.0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(max_retries=-1)
+
+
+class TestFaultyBackend:
+    def test_crashing_tasks_retry_and_match_serial(self):
+        tasks = [TaskSpec(square, (i,)) for i in range(5)]
+        backend = FaultyBackend({1: 1, 3: 1}, max_retries=1)
+        assert backend.run(list(tasks)) == SerialBackend().run(list(tasks))
+        assert backend.retried_tasks == 2
+        assert backend.salvaged_tasks == 0
+        assert backend.attempts == 7  # 5 tasks + 2 crashed attempts
+
+    def test_exhausted_retries_salvage(self):
+        tasks = [TaskSpec(square, (i,)) for i in range(3)]
+        backend = FaultyBackend({0: 5}, max_retries=2)
+        assert backend.run(list(tasks)) == [0, 1, 4]
+        assert backend.salvaged_tasks == 1
+        assert backend.retried_tasks == 2
+
+    def test_salvage_disabled_raises_worker_crash(self):
+        backend = FaultyBackend({0: 5}, max_retries=1, salvage=False)
+        with pytest.raises(WorkerCrash, match="task 0 crashed"):
+            backend.run([TaskSpec(square, (1,))])
+
+    def test_task_bugs_still_wrapped_not_retried(self):
+        backend = FaultyBackend({}, max_retries=3)
+        with pytest.raises(TaskError) as err:
+            backend.run([TaskSpec(square, (0,)), TaskSpec(boom, (1,))])
+        assert err.value.index == 1
+        assert backend.attempts == 2  # no retry for deterministic bugs
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultyBackend({-1: 1})
+        with pytest.raises(ValueError):
+            FaultyBackend({0: -1})
+        with pytest.raises(ValueError):
+            FaultyBackend({}, max_retries=-1)

@@ -165,3 +165,80 @@ class TestStatsHelpers:
     def test_histogram_empty_stats(self):
         from repro.serving.scheduler import ServingStats
         assert iteration_latency_histogram(ServingStats()) == {}
+
+
+class TestSyncClockMonotonicity:
+    """Regression: the tracker clock never runs backwards.
+
+    Idle-forward jumps (scheduler skipping ahead to the next arrival)
+    and retried requests (whose ``arrival_time`` is re-based into the
+    future) are the two paths that historically could stamp first-token
+    times before arrivals; :meth:`LatencyTracker.sync_clock` and the
+    setdefault semantics of :meth:`observe_running` pin both.
+    """
+
+    def test_sync_clock_moves_forward_only(self):
+        tracker = LatencyTracker()
+        tracker.advance_clock(1000.0)
+        tracker.sync_clock(500.0)  # behind: must not rewind
+        assert tracker.clock == 1000.0
+        tracker.sync_clock(5000.0)  # idle-forward jump
+        assert tracker.clock == 5000.0
+
+    def test_idle_forward_keeps_first_token_after_arrival(self):
+        tracker = LatencyTracker()
+        executor = tracker.wrap(lambda batch: 100.0)
+        early = InferenceRequest(0, input_len=8, output_len=1,
+                                 arrival_time=0.0)
+        executor([early])
+        # Late arrival: the scheduler idles forward before serving it.
+        late = InferenceRequest(1, input_len=8, output_len=1,
+                                arrival_time=9000.0)
+        tracker.sync_clock(9000.0)
+        executor([late])
+        report = tracker.report()
+        by_id = {r.request_id: r for r in report.requests}
+        assert by_id[1].first_token_time == pytest.approx(9100.0)
+        assert by_id[1].ttft == pytest.approx(100.0)
+        for entry in report.requests:
+            assert entry.arrival_time <= entry.first_token_time \
+                <= entry.completion_time
+
+    def test_retried_request_keeps_original_arrival(self):
+        # A retry re-bases arrival_time into the future (backoff); the
+        # tracker must keep the original arrival or the reconstructed
+        # latency would have first_token < arrival and report() raises.
+        tracker = LatencyTracker()
+        executor = tracker.wrap(lambda batch: 100.0)
+        request = InferenceRequest(0, input_len=8, output_len=4,
+                                   arrival_time=0.0)
+        executor([request])  # first token at clock 100
+        request.arrival_time = 5000.0  # retry backoff re-base
+        tracker.sync_clock(5000.0)
+        executor([request])
+        report = tracker.report()
+        assert len(report.requests) == 1
+        entry = report.requests[0]
+        assert entry.arrival_time == 0.0
+        assert entry.first_token_time == pytest.approx(100.0)
+        assert entry.completion_time == pytest.approx(5100.0)
+
+    def test_scheduler_idle_jumps_produce_valid_report(self):
+        pool = RequestPool()
+        pool.submit_all([
+            InferenceRequest(0, input_len=8, output_len=2,
+                             arrival_time=0.0),
+            InferenceRequest(1, input_len=8, output_len=2,
+                             arrival_time=1e6),
+            InferenceRequest(2, input_len=8, output_len=2,
+                             arrival_time=7e6),
+        ])
+        tracker = LatencyTracker()
+        scheduler = IterationScheduler(pool, tracker.wrap(
+            lambda batch: 1000.0), max_batch_size=4,
+            latency_tracker=tracker)
+        scheduler.run(max_iterations=100)
+        report = tracker.report()  # raises if any timestamps disorder
+        assert len(report.requests) == 3
+        for entry in report.requests:
+            assert entry.ttft >= 0.0

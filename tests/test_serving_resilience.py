@@ -1,0 +1,252 @@
+"""Deadlines, retries, shedding, aborts and fault windows in the scheduler.
+
+Scheduler-level units drive :class:`IterationScheduler` with a constant
+latency executor so every boundary decision is hand-checkable; the
+session-level tests pin that an attached-but-idle resilience runtime is
+latency-neutral and that the fault events surface through the bus.
+"""
+
+import pytest
+
+from repro.api import ScenarioSpec, ServingSpec, Session, TrafficSpec
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    KvFault,
+    RequestAbort,
+    ResiliencePolicy,
+    ResilienceRuntime,
+    resilient_executor,
+)
+from repro.faults.plan import ChannelStall
+from repro.model.spec import GPT3_7B
+from repro.serving.events import (RequestRetired, RequestRetried,
+                                  RequestShed, RequestTimedOut)
+from repro.serving.paging import PagedKvAllocator, PagedKvConfig
+from repro.serving.pool import RequestPool
+from repro.serving.request import InferenceRequest
+from repro.serving.scheduler import IterationScheduler
+
+LATENCY = 1000.0
+
+FAST = dict(model="gpt3-7b", fidelity="analytic", layers_resident=2)
+
+
+def constant_executor(batch):
+    """Unit-test executor: every iteration costs ``LATENCY`` cycles."""
+    return LATENCY
+
+
+def request(rid, output_len=10, arrival=0.0):
+    return InferenceRequest(rid, input_len=8, output_len=output_len,
+                            arrival_time=arrival)
+
+
+def scheduler_with(requests, policy, injector=None, **kwargs):
+    pool = RequestPool()
+    pool.submit_all(requests)
+    runtime = ResilienceRuntime(policy, injector=injector)
+    scheduler = IterationScheduler(pool, constant_executor,
+                                   max_batch_size=kwargs.pop("batch", 4),
+                                   resilience=runtime, **kwargs)
+    return scheduler, runtime
+
+
+class TestDeadlinesAndRetries:
+    def test_timeout_retries_then_terminates(self):
+        policy = ResiliencePolicy(deadline_cycles=2500.0, max_retries=1,
+                                  retry_backoff_cycles=500.0)
+        scheduler, runtime = scheduler_with([request(0, output_len=50)],
+                                            policy)
+        scheduler.run(max_iterations=100)
+        assert scheduler.outcomes == {0: "timed_out"}
+        assert runtime.counters["timeouts"] == 2
+        assert runtime.counters["retries"] == 1
+        assert runtime.counters["timed_out"] == 1
+        assert len(scheduler.pool) == 0
+
+    def test_retry_rebases_deadline_and_applies_backoff(self):
+        policy = ResiliencePolicy(deadline_cycles=2500.0, max_retries=1,
+                                  retry_backoff_cycles=500.0)
+        scheduler, runtime = scheduler_with([request(0, output_len=50)],
+                                            policy)
+        # Three iterations pass the deadline at the fourth boundary
+        # (now = 3000 > 2500); the retry re-arrives at 3000 + 500 and is
+        # re-admitted by the same iteration's idle-forward jump.
+        for _ in range(4):
+            scheduler.run_iteration()
+        assert runtime.attempts[0] == 1
+        assert runtime.deadline_base[0] == pytest.approx(3500.0)
+        running = scheduler.pool.running()
+        assert len(running) == 1
+        assert running[0].arrival_time == pytest.approx(3500.0)
+        assert scheduler.now == pytest.approx(4500.0)
+
+    def test_completes_before_deadline_keeps_completed_status(self):
+        policy = ResiliencePolicy(deadline_cycles=1e6, max_retries=1)
+        scheduler, runtime = scheduler_with([request(0, output_len=5)],
+                                            policy)
+        scheduler.run(max_iterations=100)
+        assert scheduler.outcomes == {0: "completed"}
+        assert runtime.counters["timeouts"] == 0
+
+    def test_zero_retries_times_out_terminally_at_once(self):
+        policy = ResiliencePolicy(deadline_cycles=2500.0, max_retries=0)
+        scheduler, runtime = scheduler_with([request(0, output_len=50)],
+                                            policy)
+        scheduler.run(max_iterations=100)
+        assert scheduler.outcomes == {0: "timed_out"}
+        assert runtime.counters["retries"] == 0
+
+    def test_timeout_and_retry_events_emitted(self):
+        from repro.sim.events import EventBus
+        policy = ResiliencePolicy(deadline_cycles=2500.0, max_retries=1,
+                                  retry_backoff_cycles=500.0)
+        bus = EventBus()
+        seen = []
+        bus.subscribe(None, seen.append)
+        scheduler, _ = scheduler_with([request(0, output_len=50)], policy,
+                                      events=bus)
+        scheduler.run(max_iterations=100)
+        timeouts = [e for e in seen if isinstance(e, RequestTimedOut)]
+        retries = [e for e in seen if isinstance(e, RequestRetried)]
+        retired = [e for e in seen if isinstance(e, RequestRetired)]
+        assert len(timeouts) == 2 and len(retries) == 1
+        assert retries[0].attempt == 1
+        assert retries[0].next_arrival == pytest.approx(3500.0)
+        assert [e.status for e in retired] == ["timed_out"]
+
+
+class TestSheddingAndAborts:
+    def test_waiting_request_past_window_is_shed(self):
+        policy = ResiliencePolicy(shed_wait_cycles=1500.0)
+        blocker = request(0, output_len=50)
+        starved = request(1, output_len=5)
+        scheduler, runtime = scheduler_with([blocker, starved], policy,
+                                            batch=1)
+        scheduler.run(max_iterations=10)
+        assert scheduler.outcomes[1] == "shed"
+        assert runtime.counters["shed"] == 1
+        # The blocker keeps running: only the starved request left.
+        assert scheduler.pool.running_count() == 1
+
+    def test_shed_event_reports_wait(self):
+        from repro.sim.events import EventBus
+        policy = ResiliencePolicy(shed_wait_cycles=1500.0)
+        bus = EventBus()
+        shed = []
+        bus.subscribe(RequestShed, shed.append)
+        scheduler, _ = scheduler_with(
+            [request(0, output_len=50), request(1, output_len=5)],
+            policy, batch=1, events=bus)
+        scheduler.run(max_iterations=10)
+        assert len(shed) == 1
+        assert shed[0].request_id == 1
+        assert shed[0].waited > 1500.0
+
+    def test_abort_terminates_running_victim(self):
+        plan = FaultPlan(seed=0, faults=(
+            RequestAbort(start=1500.0, duration=0.0, ordinal=0),))
+        policy = ResiliencePolicy(deadline_cycles=1e6)
+        scheduler, runtime = scheduler_with(
+            [request(0, output_len=50)], policy,
+            injector=FaultInjector(plan))
+        scheduler.run(max_iterations=10)
+        assert scheduler.outcomes == {0: "aborted"}
+        assert runtime.counters["aborted"] == 1
+        assert runtime.counters["faults"] == 1
+        assert len(scheduler.pool) == 0
+
+
+class TestKvFaultWindows:
+    def _allocator(self, blocks=64):
+        block_bytes = 2 * 4096 * 2 * 32 * 16
+        return PagedKvAllocator(
+            PagedKvConfig(block_tokens=16,
+                          capacity_bytes=block_bytes * blocks), GPT3_7B)
+
+    def test_admission_skips_blocked_channel_until_window_ends(self):
+        from repro.sim.events import EventBus
+        from repro.serving.events import RequestAdmitted
+        plan = FaultPlan(seed=0, faults=(
+            KvFault(start=0.0, duration=2500.0, channel=0),))
+        policy = ResiliencePolicy(deadline_cycles=1e6)
+        bus = EventBus()
+        admitted = []
+        bus.subscribe(RequestAdmitted, admitted.append)
+
+        def assign(requests):
+            """Pin request id to channel id for the window test."""
+            for req in requests:
+                if req.channel is None:
+                    req.channel = req.request_id
+
+        pool = RequestPool()
+        blocked = request(0, output_len=10)
+        driver = request(1, output_len=10)
+        pool.submit_all([blocked, driver])
+        runtime = ResilienceRuntime(policy, injector=FaultInjector(plan))
+        scheduler = IterationScheduler(
+            pool, constant_executor, max_batch_size=4,
+            allocators=[self._allocator(), self._allocator()],
+            assign_channels=assign, events=bus, resilience=runtime)
+        scheduler.run(max_iterations=50)
+        assert scheduler.outcomes == {0: "completed", 1: "completed"}
+        times = {e.request_id: e.time for e in admitted}
+        # The driver admits immediately; the blocked request only after
+        # its channel's KV window closes.
+        assert times[1] == pytest.approx(0.0)
+        assert times[0] >= 2500.0
+
+
+class TestLatencyPenalties:
+    def test_stall_penalty_and_owed_cycles_drain_once(self):
+        plan = FaultPlan(seed=0, faults=(
+            ChannelStall(start=0.0, duration=1e5, channel=0,
+                         stall_cycles=250.0),))
+        runtime = ResilienceRuntime(ResiliencePolicy(),
+                                    injector=FaultInjector(plan))
+        runtime.charge(100.0)
+        executor = resilient_executor(runtime, constant_executor)
+        batch = [InferenceRequest(0, input_len=8, output_len=8, channel=0)]
+        runtime.now = 50.0
+        assert executor(batch) == pytest.approx(LATENCY + 250.0 + 100.0)
+        # Owed cycles drained; only the stall remains.
+        assert executor(batch) == pytest.approx(LATENCY + 250.0)
+        runtime.now = 2e5  # outside the window
+        assert executor(batch) == pytest.approx(LATENCY)
+
+
+class TestSessionNeutrality:
+    def _spec(self, **serving):
+        return ScenarioSpec(
+            **FAST,
+            traffic=TrafficSpec.poisson(rate_per_kcycle=0.02,
+                                        horizon_cycles=2e5, seed=5,
+                                        max_requests=6),
+            serving=ServingSpec(max_batch_size=4, **serving))
+
+    def test_idle_runtime_is_latency_neutral(self):
+        # Resilience knobs set but never firing: records identical to a
+        # run with no runtime attached at all.
+        plain = Session(self._spec()).run()
+        guarded = Session(self._spec(deadline_cycles=1e12,
+                                     max_retries=3,
+                                     retry_backoff_cycles=1e5,
+                                     shed_wait_cycles=1e12)).run()
+        assert guarded.records == plain.records
+        assert guarded.latency_ms == plain.latency_ms
+        assert guarded.total_time_cycles == plain.total_time_cycles
+        assert guarded.resilience.get("completed") == len(plain.requests)
+        assert guarded.resilience.get("retries", 0) == 0
+
+    def test_default_session_has_no_runtime(self):
+        session = Session(self._spec())
+        session.run()
+        assert session.resilience is None
+        assert session.fault_injector is None
+
+    def test_default_result_statuses_all_completed(self):
+        result = Session(self._spec()).run()
+        assert result.requests
+        assert {r["status"] for r in result.requests} == {"completed"}
