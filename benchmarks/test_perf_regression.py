@@ -373,3 +373,70 @@ def test_faults_disabled_serving_baseline(benchmark):
         rounds=1, iterations=1)
     emit("faults_disabled_serving", values)
     record(benchmark, values)
+
+
+def test_single_node_router_serving_baseline(benchmark):
+    """The cluster tier's zero-overhead-when-disabled gate.
+
+    The committed serving-bench workload runs once as a plain
+    ``Session`` and once as a 1-node round-robin fleet with no fault
+    schedule: the fleet's node payload must be bit-identical to the
+    plain run *and* to the committed simulated-metric baseline (the
+    router adds no probes, no executor wrapper, no re-dispatch on the
+    disabled path), and the router wrapper may cost at most 5% wall
+    clock over driving the session directly.
+    """
+    from repro.api.bench import compare_to_baseline, serving_bench_spec
+    from repro.api.session import Session
+    from repro.cluster import FleetSpec, run_fleet
+
+    node = serving_bench_spec(1024, "auto")
+    fleet = FleetSpec(nodes=(node,), traffic=node.traffic)
+
+    plain_result, plain_seconds = None, float("inf")
+    for _ in range(3):
+        session = Session(node)
+        start = time.perf_counter()
+        plain_result = session.run()
+        plain_seconds = min(plain_seconds, time.perf_counter() - start)
+    fleet_result, fleet_seconds = None, float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        fleet_result = run_fleet(fleet)
+        fleet_seconds = min(fleet_seconds, time.perf_counter() - start)
+
+    node_result = fleet_result.nodes[0]
+    assert node_result.to_dict() == plain_result.to_dict(), \
+        "1-node fleet diverged from the plain Session run"
+    overhead = fleet_seconds / max(plain_seconds, 1e-9) - 1.0
+    assert overhead < 0.05, \
+        f"single-node router overhead {overhead:.1%} exceeds the 5% budget"
+
+    baseline_path = os.path.join(os.path.dirname(__file__),
+                                 "serving_bench_baseline.json")
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    # The wall-clock `speedup` anchor belongs to the grouped-engine
+    # bench; this gate compares the deterministic simulated metrics.
+    baseline.pop("speedup", None)
+    values = {
+        "bench": "single_node_router",
+        "requests": 1024,
+        "iterations": node_result.iterations,
+        "tokens": node_result.total_tokens,
+        "sim_tokens_per_s": round(node_result.tokens_per_second, 3),
+        "sim_time_ms": round(node_result.total_time_cycles / 1e6, 3),
+        "wall_plain_s": round(plain_seconds, 3),
+        "wall_router_s": round(fleet_seconds, 3),
+        "router_overhead": round(overhead, 4),
+    }
+    problems = compare_to_baseline(values, baseline, tolerance=0.05)
+    assert not problems, "; ".join(problems)
+
+    benchmark.pedantic(
+        lambda: run_fleet(FleetSpec(
+            nodes=(serving_bench_spec(64, "auto"),),
+            traffic=serving_bench_spec(64, "auto").traffic)),
+        rounds=1, iterations=1)
+    emit("single_node_router", values)
+    record(benchmark, values)

@@ -44,6 +44,12 @@ Layer map
 * :mod:`repro.analysis` — the Figure 12 harness (`compare_systems`),
   sweeps, sensitivity, ablation grids, claim validation.
 * :mod:`repro.exec` — sharded parallel execution backends.
+* :mod:`repro.faults` — deterministic fault injection, resilience
+  policies, and the ``python -m repro chaos`` invariant harness.
+* :mod:`repro.cluster` — the fleet tier: a health-checked router
+  dispatching one traffic stream across N node sessions with pluggable
+  routing policies, seeded node kills, and request failover
+  (``python -m repro chaos --fleet``).
 * :mod:`repro.dram` / :mod:`repro.pim` — the command-level ground truth
   behind ``fidelity="cycle"``.
 """

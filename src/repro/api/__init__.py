@@ -32,8 +32,8 @@ DESIGN.md §7–§8.
 """
 
 from repro.api.bench import run_serving_bench, serving_bench_spec
-from repro.api.session import (RunResult, Session, run_scenario,
-                               run_scenarios, scenario_warmup)
+from repro.api.session import (RunResult, Session, aggregate_resilience,
+                               run_scenario, run_scenarios, scenario_warmup)
 from repro.api.spec import (FIDELITIES, GROUPING_MODES, SYSTEMS,
                             TRAFFIC_KINDS, ScenarioSpec, ServingSpec,
                             TrafficSpec)
@@ -48,6 +48,7 @@ __all__ = [
     "Session",
     "TRAFFIC_KINDS",
     "TrafficSpec",
+    "aggregate_resilience",
     "run_scenario",
     "run_scenarios",
     "run_serving_bench",

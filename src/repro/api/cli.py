@@ -12,7 +12,8 @@ Six subcommands share one scenario vocabulary:
   comparison against a committed baseline (the CI regression gate);
 * ``chaos`` — seeded fault sweeps through the serving stack with hard
   conservation/determinism invariants (the CI chaos-smoke gate; see
-  :mod:`repro.faults.chaos`);
+  :mod:`repro.faults.chaos`); ``--fleet`` targets the cluster tier
+  instead (seeded node kills against a routed fleet);
 * ``components`` — list the :mod:`repro.registry` component table
   (systems, schedulers, traffic models, KV allocators, fidelity
   engines, fault plans), including anything user code registered
@@ -96,6 +97,13 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
                         choices=("auto", "on", "off"),
                         help="equivalence-class group-commit engine for "
                              "serving runs (default auto)")
+    parser.add_argument("--faults", default=None,
+                        help="registered fault-plan component for serving "
+                             "runs (built-ins: none, seeded)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        dest="fault_seed",
+                        help="seed for the fault plan (implies --faults "
+                             "seeded when no component is named)")
     parser.add_argument("--tp", type=int, default=None)
     parser.add_argument("--pp", type=int, default=None)
     parser.add_argument("--layers-resident", type=int, default=None)
@@ -154,6 +162,14 @@ def build_spec(args: argparse.Namespace) -> ScenarioSpec:
     if serving_updates:
         from dataclasses import replace
         overrides["serving"] = replace(spec.serving, **serving_updates)
+    if args.faults is not None:
+        overrides["faults"] = args.faults
+    if args.fault_seed is not None:
+        if args.faults is None and spec.faults == "none":
+            # A bare --fault-seed means "inject the seeded plan".
+            overrides["faults"] = "seeded"
+        overrides["faults_options"] = {**spec.options_for("faults"),
+                                       "seed": args.fault_seed}
     return spec.override(**overrides) if overrides else spec
 
 
@@ -273,17 +289,38 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     each cell, and the four result payloads must be bit-identical.  Any
     violation prints to stderr and fails the command — the CI
     ``chaos-smoke`` contract.
+
+    With ``--fleet`` the sweep targets the cluster tier instead
+    (:func:`~repro.faults.chaos.run_fleet_chaos`): seeded node-kill
+    schedules against a routed fleet, asserting no request is lost
+    across failovers, payload identity across batch and step-chunked
+    stepping, and the single-node ≡ plain-Session anchor.
     """
-    from repro.faults.chaos import run_chaos
-    report = run_chaos(seeds=args.seeds, requests=args.requests)
-    rows = [(cell["fault_seed"], cell["grouping"], cell["mode"],
-             cell["requests"], cell["completed"], cell["timed_out"],
-             cell["shed"], cell["aborted"], cell["retries"],
-             cell["faults"]) for cell in report["cells"]]
-    print(format_table(
-        ["seed", "grouping", "mode", "requests", "completed",
-         "timed_out", "shed", "aborted", "retries", "faults"],
-        rows, title="chaos harness (seeded fault sweeps)"))
+    if args.fleet:
+        from repro.faults.chaos import run_fleet_chaos
+        report = run_fleet_chaos(seeds=args.seeds, nodes=args.fleet_nodes,
+                                 requests=args.requests,
+                                 faults=args.fleet_faults)
+        rows = [(cell["fault_seed"], cell["policy"], cell["mode"],
+                 cell["requests"], cell["completed"], cell["timed_out"],
+                 cell["shed"], cell["aborted"], cell["failed_over"])
+                for cell in report["cells"]]
+        print(format_table(
+            ["seed", "policy", "mode", "requests", "completed",
+             "timed_out", "shed", "aborted", "failed_over"],
+            rows, title=f"fleet chaos harness ({args.fleet_nodes} nodes, "
+                        f"{args.fleet_faults})"))
+    else:
+        from repro.faults.chaos import run_chaos
+        report = run_chaos(seeds=args.seeds, requests=args.requests)
+        rows = [(cell["fault_seed"], cell["grouping"], cell["mode"],
+                 cell["requests"], cell["completed"], cell["timed_out"],
+                 cell["shed"], cell["aborted"], cell["retries"],
+                 cell["faults"]) for cell in report["cells"]]
+        print(format_table(
+            ["seed", "grouping", "mode", "requests", "completed",
+             "timed_out", "shed", "aborted", "retries", "faults"],
+            rows, title="chaos harness (seeded fault sweeps)"))
     _dump_json(args.json_path, report)
     if report["violations"]:
         for violation in report["violations"]:
@@ -365,6 +402,18 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fault seeds to sweep (default 3)")
     chaos_parser.add_argument("--requests", type=int, default=16,
                               help="requests per chaos cell (default 16)")
+    chaos_parser.add_argument("--fleet", action="store_true",
+                              help="sweep the cluster tier instead: "
+                                   "seeded node-kill schedules against a "
+                                   "routed fleet (repro.cluster)")
+    chaos_parser.add_argument("--fleet-nodes", type=int, default=3,
+                              dest="fleet_nodes",
+                              help="fleet size for --fleet (default 3)")
+    chaos_parser.add_argument("--fleet-faults", default="node-kill",
+                              dest="fleet_faults",
+                              choices=("node-kill", "none"),
+                              help="fleet fault mode for --fleet "
+                                   "(default node-kill)")
     chaos_parser.add_argument("--json", metavar="FILE", default=None,
                               dest="json_path",
                               help="also dump the invariant report as "

@@ -36,8 +36,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.api.spec import ScenarioSpec
 from repro.core.config import NeuPimsConfig
@@ -195,6 +195,16 @@ class Session:
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
+        #: Optional hook wrapping the serving batch executor *inside*
+        #: the latency-tracker wrap (same composition discipline as
+        #: ``resilient_executor``, so injected cycles move the latency
+        #: clock).  Set before :meth:`materialize`; the fleet router
+        #: uses it to apply node-degrade derates.  While set, the
+        #: grouped fast path stands down (grouped windows bypass the
+        #: executor), keeping the wrapper authoritative per iteration.
+        self.executor_wrapper: Optional[
+            Callable[[Callable[[Sequence[InferenceRequest]], float]],
+                     Callable[[Sequence[InferenceRequest]], float]]] = None
         self.model_spec: ModelSpec = spec.resolve_model()
         self.config: NeuPimsConfig = spec.resolve_config()
         self.fidelity: str = spec.resolve_fidelity()
@@ -322,7 +332,17 @@ class Session:
             # Compose inside the tracker wrap so fault penalties and
             # restore costs move the latency clock like device cycles.
             inner = resilient_executor(self.resilience, inner)
+        if self.executor_wrapper is not None:
+            if serving.grouping == "on":
+                raise ValueError("executor_wrapper needs per-iteration "
+                                 "executor calls; use grouping='auto' or "
+                                 "'off'")
+            inner = self.executor_wrapper(inner)
         executor = self.latency_tracker.wrap(inner)
+        if self.executor_wrapper is not None:
+            grouped = None
+        else:
+            grouped = self._grouped_executor(serving.grouping)
         wiring: Dict[str, Any] = {}
         if self.resilience is not None:
             # Only passed when active so hand-registered schedulers
@@ -337,7 +357,7 @@ class Session:
                              if is_neupims else None),
             load_tracker=self.load_tracker,
             grouping=serving.grouping,
-            grouped=self._grouped_executor(serving.grouping),
+            grouped=grouped,
             latency_tracker=self.latency_tracker,
             events=self.events,
             **wiring,
@@ -677,6 +697,27 @@ def run_scenario(spec: Union[ScenarioSpec, Dict[str, Any]]) -> RunResult:
     if isinstance(spec, dict):
         spec = ScenarioSpec.from_dict(spec)
     return Session(spec).run()
+
+
+def aggregate_resilience(results: Iterable[RunResult]) -> Dict[str, int]:
+    """Sum ``RunResult.resilience`` counters across results.
+
+    The fleet-consistent rollup for fanned-out runs: each
+    :mod:`repro.exec` worker returns per-cell counter fragments, and a
+    sweep (or a fleet merge) needs their totals — retries, timeouts,
+    shed and aborted counts summed over every cell.  Pure integer
+    addition over per-result dicts, so the rollup is identical whether
+    the results came from a serial loop or any
+    :class:`~repro.exec.runner.ParallelRunner` worker count (the
+    determinism contract :mod:`repro.exec` pins for records extends to
+    the resilience counters).  Results without counters contribute
+    nothing; an all-empty input returns ``{}``.
+    """
+    totals: Dict[str, int] = {}
+    for result in results:
+        for key, value in result.resilience.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
 
 
 def scenario_warmup(specs: Sequence[ScenarioSpec]) -> PerfCacheWarmup:

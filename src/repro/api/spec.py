@@ -34,7 +34,7 @@ from repro.serving.trace import DATASETS, DatasetTrace, get_dataset
 SYSTEMS = ("neupims", "npu-pim", "npu-only", "gpu-only", "transpim")
 
 #: The built-in traffic kinds (registry kind ``"traffic"``).
-TRAFFIC_KINDS = ("warmed", "poisson", "replay")
+TRAFFIC_KINDS = ("warmed", "poisson", "replay", "external")
 
 #: The built-in fidelity settings (see DESIGN.md §7 for the selection
 #: rules); ``"auto"`` resolves to a registered fidelity engine.
@@ -107,6 +107,10 @@ class TrafficSpec:
       arrival list).
     * ``"replay"`` — explicit ``(input_len, output_len, arrival_time)``
       triples replayed through the scheduler, for trace-exact reruns.
+    * ``"external"`` — a streaming scenario with no arrivals of its own:
+      the serving stack materializes empty and requests are submitted
+      from outside via ``session.pool.submit``.  This is how the fleet
+      :class:`~repro.cluster.router.Router` feeds per-node sessions.
     """
 
     kind: str = "warmed"

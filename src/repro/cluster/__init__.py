@@ -1,0 +1,37 @@
+"""The fault-tolerant fleet tier: router, health model, failover.
+
+One :class:`FleetSpec` describes N node scenarios (homogeneous or
+heterogeneous) plus a single fleet-level arrival stream; the
+:class:`Router` dispatches that stream across per-node
+:class:`~repro.api.session.Session` stacks driven in lockstep through
+the ``step()`` core, with pluggable routing policies (the ``router``
+registry kind: round-robin, least-loaded, session-affinity,
+power-of-two-choices), a probe-based health model with failover through
+the preemption/restore machinery, and router-level admission
+backpressure.  Results merge into a :class:`FleetResult` whose
+conservation ledger the fleet chaos harness
+(:func:`repro.faults.chaos.run_fleet_chaos`, CLI
+``python -m repro chaos --fleet``) asserts on.  See DESIGN.md §11.
+"""
+
+from repro.cluster.policies import (LeastLoadedPolicy, PowerOfTwoPolicy,
+                                    RoundRobinPolicy, RoutingPolicy,
+                                    SessionAffinityPolicy)
+from repro.cluster.result import FleetResult, run_fleet, run_fleets
+from repro.cluster.router import NodeHandle, Router
+from repro.cluster.spec import FleetHealthSpec, FleetSpec
+
+__all__ = [
+    "FleetHealthSpec",
+    "FleetResult",
+    "FleetSpec",
+    "LeastLoadedPolicy",
+    "NodeHandle",
+    "PowerOfTwoPolicy",
+    "RoundRobinPolicy",
+    "Router",
+    "RoutingPolicy",
+    "SessionAffinityPolicy",
+    "run_fleet",
+    "run_fleets",
+]

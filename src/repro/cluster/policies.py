@@ -1,0 +1,154 @@
+"""Routing policies: pick a healthy node for each dispatched request.
+
+A policy is a tiny, deterministic strategy object created by the
+``router`` registry kind (see :mod:`repro.registry.builtin`).  The
+:class:`~repro.cluster.router.Router` calls :meth:`RoutingPolicy.choose`
+once per dispatched request with the request id, the list of currently
+healthy node indices, and a per-node load estimate (already derated for
+any active :class:`~repro.faults.plan.NodeDegrade` windows), and
+submits the request to the returned node.
+
+All policies are pure functions of their constructor arguments and the
+``choose`` inputs (power-of-two uses a private seeded
+:class:`random.Random`), so a fleet run is reproducible from its
+:class:`~repro.cluster.spec.FleetSpec` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+__all__ = [
+    "LeastLoadedPolicy",
+    "PowerOfTwoPolicy",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "SessionAffinityPolicy",
+]
+
+
+class RoutingPolicy:
+    """Base class for fleet routing policies.
+
+    Subclasses implement :meth:`choose`.  ``num_nodes`` is the fleet
+    size; policies may keep per-fleet cursors but must stay
+    deterministic for a fixed construction + call sequence.
+    """
+
+    #: Whether :meth:`choose` reads its ``load`` argument.  Policies
+    #: that route purely on the request id / rotation cursor set this
+    #: ``False`` and the router skips the per-dispatch channel-load
+    #: rollup entirely, passing an empty sequence instead (the rollup
+    #: is the dominant dispatch cost on large single-policy fleets).
+    uses_load = True
+
+    def __init__(self, num_nodes: int) -> None:
+        """Remember the fleet size (``num_nodes >= 1``)."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+
+    def choose(self, request_id: int, healthy: Sequence[int],
+               load: Sequence[float]) -> int:
+        """Return the node index (from ``healthy``) for ``request_id``.
+
+        ``healthy`` is a non-empty, sorted list of node indices that are
+        up and accepting work; ``load`` has one entry per fleet node
+        (indices outside ``healthy`` are present but must be ignored).
+        """
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through healthy nodes in index order.
+
+    The cursor advances over the *fleet* index space, skipping downed
+    nodes, so a node that recovers re-enters rotation in its original
+    position.
+    """
+
+    uses_load = False
+
+    def __init__(self, num_nodes: int) -> None:
+        """Start the rotation cursor at node 0."""
+        super().__init__(num_nodes)
+        self._cursor = 0
+
+    def choose(self, request_id: int, healthy: Sequence[int],
+               load: Sequence[float]) -> int:
+        """Return the next healthy node at-or-after the cursor."""
+        if len(healthy) == self.num_nodes:
+            # Whole fleet up: the cursor node is healthy by definition.
+            node = self._cursor
+            self._cursor = (self._cursor + 1) % self.num_nodes
+            return node
+        up = set(healthy)
+        for _ in range(self.num_nodes):
+            node = self._cursor % self.num_nodes
+            self._cursor = (self._cursor + 1) % self.num_nodes
+            if node in up:
+                return node
+        return healthy[0]
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    """Send each request to the healthy node with the lowest load.
+
+    Ties break toward the lower node index, keeping the choice
+    deterministic when several nodes are idle.
+    """
+
+    def choose(self, request_id: int, healthy: Sequence[int],
+               load: Sequence[float]) -> int:
+        """Return the healthy node minimizing ``(load, index)``."""
+        return min(healthy, key=lambda node: (load[node], node))
+
+
+class SessionAffinityPolicy(RoutingPolicy):
+    """Pin each request id to a home node (``request_id % num_nodes``).
+
+    If the home node is down the request spills to the next healthy
+    index (wrapping), so affinity degrades gracefully under node kills
+    instead of blocking the stream.
+    """
+
+    uses_load = False
+
+    def choose(self, request_id: int, healthy: Sequence[int],
+               load: Sequence[float]) -> int:
+        """Return the home node, or the next healthy one after it."""
+        up = set(healthy)
+        home = request_id % self.num_nodes
+        for offset in range(self.num_nodes):
+            node = (home + offset) % self.num_nodes
+            if node in up:
+                return node
+        return healthy[0]
+
+
+class PowerOfTwoPolicy(RoutingPolicy):
+    """Power-of-two-choices: sample two healthy nodes, take the lighter.
+
+    The classic load-balancing result (two random choices get most of
+    the benefit of global least-loaded) with a private seeded RNG so
+    fleets replay bit-identically for a fixed ``seed``.
+    """
+
+    def __init__(self, num_nodes: int, seed: int = 0) -> None:
+        """Create the policy with a private ``random.Random(seed)``."""
+        super().__init__(num_nodes)
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def choose(self, request_id: int, healthy: Sequence[int],
+               load: Sequence[float]) -> int:
+        """Sample two healthy candidates; return the less loaded one."""
+        pool: List[int] = list(healthy)
+        if len(pool) == 1:
+            return pool[0]
+        first = pool[self._rng.randrange(len(pool))]
+        second = pool[self._rng.randrange(len(pool))]
+        if (load[second], second) < (load[first], first):
+            return second
+        return first

@@ -1,0 +1,149 @@
+"""Fleet results: per-node outcomes merged under one conservation ledger.
+
+A :class:`FleetResult` is the cluster-tier analogue of
+:class:`~repro.api.session.RunResult`: per-node results plus fleet
+aggregates (merged latency distribution, total throughput over the
+fleet makespan), the final ``{request_id, status, node}`` table and the
+conservation ``ledger`` the chaos harness asserts on — every admitted
+request is exactly one of completed / timed-out / shed / aborted across
+all failovers (``requests == completed + timed_out + shed + aborted``).
+
+:func:`run_fleet` is the picklable unit of work that :func:`run_fleets`
+fans across :class:`~repro.exec.runner.ParallelRunner` workers — fleet
+specs serialize like scenario specs, per-worker warmup covers every
+node's cycle-fidelity config, and parallel fleet sweeps merge
+bit-identically to serial ones (the :mod:`repro.exec` determinism
+contract, extended to fleets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.session import RunResult, scenario_warmup
+from repro.cluster.spec import FleetSpec
+from repro.exec.backends import ParallelSpec
+from repro.exec.runner import ParallelRunner
+
+__all__ = ["FleetResult", "run_fleet", "run_fleets"]
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Uniform outcome of one fleet run.
+
+    ``nodes`` holds one per-node :class:`~repro.api.session.RunResult`
+    (same schema as standalone runs); ``statuses`` the final
+    ``{"request_id", "status", "node"}`` per stream request (``node``
+    is ``-1`` for router-level outcomes — watermark sheds and the
+    end-of-run conservation sweep); ``ledger`` the conservation
+    counters; ``resilience`` the
+    :func:`~repro.api.session.aggregate_resilience` rollup of the node
+    counters; ``node_log`` the health/failover event trail.  Latency
+    aggregates merge per-node distributions, keeping each request's
+    final-node record (failed-over requests measure from re-dispatch).
+    """
+
+    policy: str
+    nodes: Tuple[RunResult, ...]
+    statuses: Tuple[Dict[str, Any], ...]
+    ledger: Dict[str, int]
+    total_tokens: int
+    makespan_cycles: float
+    tokens_per_second: float
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    resilience: Dict[str, int] = field(default_factory=dict)
+    node_log: Tuple[Dict[str, Any], ...] = ()
+    label: str = ""
+
+    @property
+    def num_nodes(self) -> int:
+        """The fleet size."""
+        return len(self.nodes)
+
+    def conserved(self) -> bool:
+        """Whether the ledger balances: no request lost or double-counted."""
+        terminal = (self.ledger.get("completed", 0)
+                    + self.ledger.get("timed_out", 0)
+                    + self.ledger.get("shed", 0)
+                    + self.ledger.get("aborted", 0))
+        return (terminal == self.ledger.get("requests", 0)
+                == len(self.statuses))
+
+    def summary_rows(self) -> List[Tuple[str, object]]:
+        """(metric, value) rows for table rendering (CLI and examples)."""
+        rows: List[Tuple[str, object]] = [
+            ("policy", self.policy),
+            ("nodes", self.num_nodes),
+            ("requests", self.ledger.get("requests", 0)),
+            ("completed", self.ledger.get("completed", 0)),
+            ("failed over", self.ledger.get("failed_over", 0)),
+            ("shed", self.ledger.get("shed", 0)),
+            ("tokens generated", self.total_tokens),
+            ("makespan (ms)", round(self.makespan_cycles / 1e6, 3)),
+            ("throughput (tokens/s)", round(self.tokens_per_second)),
+        ]
+        if "end_to_end_p99_ms" in self.latency_ms:
+            rows.append(("p99 end-to-end (ms)",
+                         round(self.latency_ms["end_to_end_p99_ms"], 3)))
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Encode as a JSON-serializable plain dict (round-trips)."""
+        return {
+            "policy": self.policy,
+            "nodes": [node.to_dict() for node in self.nodes],
+            "statuses": [dict(s) for s in self.statuses],
+            "ledger": dict(self.ledger),
+            "total_tokens": self.total_tokens,
+            "makespan_cycles": self.makespan_cycles,
+            "tokens_per_second": self.tokens_per_second,
+            "latency_ms": dict(self.latency_ms),
+            "resilience": dict(self.resilience),
+            "node_log": [dict(entry) for entry in self.node_log],
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FleetResult":
+        """Rebuild a fleet result from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["nodes"] = tuple(RunResult.from_dict(node)
+                                 for node in payload.get("nodes", []))
+        payload["statuses"] = tuple(dict(s)
+                                    for s in payload.get("statuses", []))
+        payload["ledger"] = dict(payload.get("ledger", {}))
+        payload["latency_ms"] = dict(payload.get("latency_ms", {}))
+        payload["resilience"] = dict(payload.get("resilience", {}))
+        payload["node_log"] = tuple(dict(entry)
+                                    for entry in payload.get("node_log", []))
+        return cls(**payload)
+
+
+def run_fleet(fleet: Union[FleetSpec, Dict[str, Any]]) -> FleetResult:
+    """Run one fleet to a :class:`FleetResult` (picklable task unit)."""
+    if isinstance(fleet, dict):
+        fleet = FleetSpec.from_dict(fleet)
+    from repro.cluster.router import Router
+    return Router(fleet).run()
+
+
+def run_fleets(fleets: Sequence[FleetSpec],
+               parallel: ParallelSpec = None,
+               chunk_size: int = 1,
+               start_method: Optional[str] = None) -> List[FleetResult]:
+    """Fan fleet runs across an execution backend, merging in order.
+
+    Each fleet is one task unit (its nodes step in lockstep inside one
+    worker); workers pre-warm the perf caches for every distinct
+    cycle-fidelity node config across all fleets, exactly like
+    :func:`~repro.api.session.run_scenarios` does for scenarios.
+    Results are bit-identical to a serial loop for any worker count.
+    """
+    fleets = list(fleets)
+    node_specs = [node for fleet in fleets for node in fleet.nodes]
+    runner = ParallelRunner(parallel, chunk_size=chunk_size,
+                            start_method=start_method,
+                            warmup=scenario_warmup(node_specs))
+    return runner.map(run_fleet, fleets)

@@ -1,0 +1,176 @@
+"""Declarative fleet descriptions: N node scenarios + one traffic stream.
+
+A :class:`FleetSpec` is to the cluster tier what
+:class:`~repro.api.spec.ScenarioSpec` is to a single node: a frozen,
+picklable, JSON-round-tripping value that fully determines a run.  It
+holds the per-node :class:`~repro.api.spec.ScenarioSpec` stack (nodes
+may be homogeneous or heterogeneous), the *fleet-level*
+:class:`~repro.api.spec.TrafficSpec` whose arrivals the
+:class:`~repro.cluster.router.Router` dispatches across nodes, the
+routing ``policy`` (a ``router`` registry component), the health-model
+knobs (:class:`FleetHealthSpec`), and an optional seeded node-fault
+schedule (``fault_seed`` + ``fault_options`` feeding
+:func:`repro.faults.plan.make_node_fault_plan`).
+
+Each node's own ``traffic`` is replaced with the ``"external"`` kind at
+materialization — the router is the only arrival source — so the same
+node spec can be reused both standalone and inside a fleet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.spec import ScenarioSpec, TrafficSpec, _decode, _encode
+from repro.registry import (FrozenOptions, component_names, freeze_options,
+                            thaw_options)
+
+__all__ = ["FleetHealthSpec", "FleetSpec"]
+
+
+@dataclass(frozen=True)
+class FleetHealthSpec:
+    """Router health-model knobs (probe cadence, thresholds, cooldown).
+
+    The router probes every node each ``probe_interval_cycles``; a node
+    is marked down after ``fail_threshold`` consecutive failed probes
+    and re-admitted only after a probe succeeds at least
+    ``cooldown_cycles`` after its last failure (a half-open window: the
+    node keeps being probed while down, but traffic stays away until
+    the cooldown elapses).
+    """
+
+    probe_interval_cycles: float = 2e5
+    fail_threshold: int = 2
+    cooldown_cycles: float = 1e6
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_cycles <= 0:
+            raise ValueError("probe_interval_cycles must be positive")
+        if self.fail_threshold < 1:
+            raise ValueError("fail_threshold must be >= 1")
+        if self.cooldown_cycles < 0:
+            raise ValueError("cooldown_cycles must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Frozen description of a fault-tolerant serving fleet.
+
+    ``nodes`` are full per-node scenario stacks (their ``traffic`` is
+    ignored — the fleet-level ``traffic`` stream is the only arrival
+    source).  ``policy``/``policy_options`` name a registered ``router``
+    component; ``fault_seed`` (with ``fault_options`` forwarded to
+    :func:`repro.faults.plan.make_node_fault_plan`) enables the seeded
+    node-kill/degrade schedule; ``shed_watermark`` turns on router-level
+    admission backpressure when the surviving fleet's recent
+    ``KvPressure`` event count (within ``pressure_window_cycles``)
+    crosses the watermark.
+    """
+
+    nodes: Tuple[ScenarioSpec, ...] = ()
+    traffic: TrafficSpec = dataclasses.field(
+        default_factory=lambda: TrafficSpec.poisson())
+    policy: str = "round-robin"
+    policy_options: FrozenOptions = ()
+    health: FleetHealthSpec = dataclasses.field(
+        default_factory=FleetHealthSpec)
+    fault_seed: Optional[int] = None
+    fault_options: FrozenOptions = ()
+    shed_watermark: Optional[int] = None
+    pressure_window_cycles: float = 2e6
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.nodes, tuple):
+            object.__setattr__(self, "nodes", tuple(self.nodes))
+        if not self.nodes:
+            raise ValueError("FleetSpec needs at least one node")
+        for node in self.nodes:
+            if not isinstance(node, ScenarioSpec):
+                raise TypeError(f"nodes must be ScenarioSpec instances, "
+                                f"got {type(node).__name__}")
+        if self.traffic.kind not in ("poisson", "replay"):
+            raise ValueError(f"fleet traffic must be poisson or replay, "
+                             f"got {self.traffic.kind!r} (nodes receive "
+                             f"arrivals from the router, not their own "
+                             f"traffic spec)")
+        if self.policy not in component_names("router"):
+            raise ValueError(f"unknown router policy {self.policy!r}; "
+                             f"registered: "
+                             f"{sorted(component_names('router'))}")
+        for name in ("policy_options", "fault_options"):
+            object.__setattr__(self, name,
+                               freeze_options(getattr(self, name)))
+        if self.shed_watermark is not None and self.shed_watermark < 1:
+            raise ValueError("shed_watermark must be >= 1 when set")
+        if self.pressure_window_cycles <= 0:
+            raise ValueError("pressure_window_cycles must be positive")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def homogeneous(cls, node: ScenarioSpec, count: int,
+                    **updates: Any) -> "FleetSpec":
+        """A fleet of ``count`` identical nodes (plus field overrides)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return cls(nodes=(node,) * count, **updates)
+
+    # -- convenience ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """The fleet size."""
+        return len(self.nodes)
+
+    def override(self, **updates: Any) -> "FleetSpec":
+        """A copy with top-level fields replaced (specs are immutable)."""
+        return replace(self, **updates) if updates else self
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Encode as a JSON-serializable plain dict (round-trips)."""
+        data: Dict[str, Any] = {
+            "nodes": [node.to_dict() for node in self.nodes],
+            "traffic": _encode(self.traffic),
+            "policy": self.policy,
+            "health": _encode(self.health),
+            "pressure_window_cycles": self.pressure_window_cycles,
+            "label": self.label,
+        }
+        if self.policy_options:
+            data["policy_options"] = thaw_options(self.policy_options)
+        if self.fault_seed is not None:
+            data["fault_seed"] = self.fault_seed
+        if self.fault_options:
+            data["fault_options"] = thaw_options(self.fault_options)
+        if self.shed_watermark is not None:
+            data["shed_watermark"] = self.shed_watermark
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FleetSpec":
+        """Rebuild a fleet spec from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise TypeError("FleetSpec.from_dict expects a mapping")
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise ValueError(f"unknown FleetSpec field(s) "
+                             f"{sorted(unknown)}; known: "
+                             f"{sorted(field_names)}")
+        kwargs: Dict[str, Any] = {
+            k: v for k, v in data.items()
+            if k not in ("nodes", "traffic", "health")}
+        if "nodes" in data:
+            kwargs["nodes"] = tuple(ScenarioSpec.from_dict(node)
+                                    for node in data["nodes"])
+        if "traffic" in data:
+            kwargs["traffic"] = _decode(TrafficSpec, data["traffic"])
+        if "health" in data:
+            kwargs["health"] = _decode(FleetHealthSpec, data["health"])
+        return cls(**kwargs)

@@ -1,9 +1,12 @@
 """Sharded parallel execution subsystem (see DESIGN.md §6).
 
 Shards independent simulation units — sweep points, ablation grids,
-multi-config benchmark cells — across workers with chunked dispatch,
-per-worker warm ``repro.perf`` caches and a deterministic merge:
-parallel output is record-for-record identical to serial output.
+multi-config benchmark cells, whole fleets
+(:func:`repro.cluster.run_fleets`: each routed fleet's nodes step in
+lockstep inside one worker, so fleets shard like scenarios) — across
+workers with chunked dispatch, per-worker warm ``repro.perf`` caches
+and a deterministic merge: parallel output is record-for-record
+identical to serial output.
 
 * :class:`~repro.exec.runner.ParallelRunner` — the front end;
 * :class:`~repro.exec.backends.SerialBackend` /

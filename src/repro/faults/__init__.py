@@ -17,17 +17,27 @@ before it can model a fleet.  This package supplies them in three layers:
 * :mod:`repro.faults.chaos` — the ``python -m repro chaos`` harness
   sweeping seeded fault scenarios and asserting conservation invariants.
 
+The plan layer also carries **node-scoped** faults (:class:`NodeDown` /
+:class:`NodeDegrade`, built by :func:`make_node_fault_plan` and queried
+through the cursor-free :class:`NodeFaultSchedule`) consumed by the
+fleet router's health model (:mod:`repro.cluster`), with the fleet-level
+chaos sweep in :func:`run_fleet_chaos` (``python -m repro chaos
+--fleet``).
+
 The registry component kind is ``faults`` with default ``"none"``, which
 materializes to ``None`` — the scheduler then carries no resilience
 state and every fault-path branch reduces to one ``is not None`` check,
 the same zero-overhead-when-disabled discipline as the event bus.
 """
 
-from repro.faults.chaos import chaos_spec, run_chaos, verify_session
-from repro.faults.injector import FaultInjector
+from repro.faults.chaos import (chaos_spec, fleet_chaos_spec, run_chaos,
+                                run_fleet_chaos, verify_fleet,
+                                verify_session)
+from repro.faults.injector import FaultInjector, NodeFaultSchedule
 from repro.faults.plan import (ChannelDegrade, ChannelStall, Fault,
-                               FaultPlan, KvFault, RequestAbort,
-                               make_fault_plan)
+                               FaultPlan, KvFault, NodeDegrade, NodeDown,
+                               RequestAbort, make_fault_plan,
+                               make_node_fault_plan)
 from repro.faults.resilience import (ResiliencePolicy, ResilienceRuntime,
                                      resilient_executor)
 
@@ -38,12 +48,19 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "KvFault",
+    "NodeDegrade",
+    "NodeDown",
+    "NodeFaultSchedule",
     "RequestAbort",
     "ResiliencePolicy",
     "ResilienceRuntime",
     "chaos_spec",
+    "fleet_chaos_spec",
     "make_fault_plan",
+    "make_node_fault_plan",
     "resilient_executor",
     "run_chaos",
+    "run_fleet_chaos",
+    "verify_fleet",
     "verify_session",
 ]

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 from typing import Any, List, Sequence
 
-from repro.faults.plan import FaultPlan, KvFault, RequestAbort
+from repro.faults.plan import (FaultPlan, KvFault, NodeDegrade, NodeDown,
+                               RequestAbort)
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "NodeFaultSchedule"]
 
 
 class FaultInjector:
@@ -110,3 +111,51 @@ class FaultInjector:
                 victims.append(victim)
         self._pending_aborts = []
         return victims
+
+
+class NodeFaultSchedule:
+    """Pure time-indexed view of a node-scoped :class:`FaultPlan`.
+
+    The fleet router consults it instead of polling per-iteration: a
+    health probe at time ``p`` asks :meth:`down` (is the probed node
+    inside a :class:`~repro.faults.plan.NodeDown` window?) and routing
+    asks :meth:`degrade_factor` to derate a node's apparent capacity.
+    Every query is a pure function of ``(plan, now, node)`` — no
+    cursors, no consumed state — so fleet runs stay bit-reproducible
+    across stream/batch stepping and repeated runs.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def down(self, now: float, node: int) -> bool:
+        """Whether ``node`` is inside an active ``NodeDown`` window."""
+        for fault in self.plan.faults:
+            if isinstance(fault, NodeDown) and fault.node == node \
+                    and fault.active(now):
+                return True
+        return False
+
+    def degrade_factor(self, now: float, node: int) -> float:
+        """Latency derate for ``node`` at ``now`` (1.0 = healthy).
+
+        Factors compose as the max over active windows, matching the
+        channel-degrade composition rule of :meth:`FaultInjector.
+        latency_penalty`.
+        """
+        factor = 1.0
+        for fault in self.plan.faults:
+            if isinstance(fault, NodeDegrade) and fault.node == node \
+                    and fault.active(now) and fault.factor > factor:
+                factor = fault.factor
+        return factor
+
+    def degrades(self, node: int) -> bool:
+        """Whether the plan holds any ``NodeDegrade`` window for ``node``."""
+        return any(isinstance(fault, NodeDegrade) and fault.node == node
+                   for fault in self.plan.faults)
+
+    @property
+    def last_end(self) -> float:
+        """Exclusive end of the last fault window (0.0 for empty plans)."""
+        return max((fault.end for fault in self.plan.faults), default=0.0)

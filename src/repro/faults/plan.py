@@ -27,8 +27,11 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "KvFault",
+    "NodeDegrade",
+    "NodeDown",
     "RequestAbort",
     "make_fault_plan",
+    "make_node_fault_plan",
 ]
 
 #: Fraction-of-horizon bounds used by :func:`make_fault_plan` when
@@ -38,6 +41,9 @@ _WINDOW_START_FRAC = (0.05, 0.70)
 _WINDOW_LENGTH_FRAC = (0.05, 0.25)
 _DEGRADE_FACTOR_RANGE = (1.25, 2.5)
 _STALL_FRAC = (0.002, 0.01)
+#: Node-outage windows are longer than channel windows: a node must stay
+#: dark across several health probes before the router convicts it.
+_NODE_DOWN_LENGTH_FRAC = (0.10, 0.30)
 
 
 @dataclass(frozen=True)
@@ -114,6 +120,48 @@ class KvFault(Fault):
     """
 
     channel: int = 0
+
+
+@dataclass(frozen=True)
+class NodeDown(Fault):
+    """A whole fleet node is dark on ``[start, end)``.
+
+    Node-scoped (the ``node`` index addresses a fleet member, not a
+    memory channel): the router's health probes fail while the window is
+    active, so after ``fail_threshold`` consecutive failures the node is
+    marked down and its pooled requests fail over.  The node itself
+    keeps whatever simulated state it had — outage is a *routing* fact,
+    which is exactly how the cluster tier models it.
+    """
+
+    node: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ValueError(f"node must be >= 0, got {self.node}")
+
+
+@dataclass(frozen=True)
+class NodeDegrade(Fault):
+    """A fleet node runs derated: iteration latency × ``factor``.
+
+    Unlike :class:`ChannelDegrade` (one memory channel of one node) this
+    slows every iteration the node executes while the window is active;
+    the router also derates the node's apparent capacity so load-aware
+    policies steer traffic away from it.
+    """
+
+    node: int = 0
+    factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ValueError(f"node must be >= 0, got {self.node}")
+        if self.factor < 1.0:
+            raise ValueError(
+                f"degrade factor must be >= 1, got {self.factor}")
 
 
 @dataclass(frozen=True)
@@ -198,4 +246,38 @@ def make_fault_plan(seed: int, channels: int, *, horizon: float = 2e7,
         start, _ = window()
         faults.append(RequestAbort(
             start=start, duration=0.0, ordinal=rng.randrange(8)))
+    return FaultPlan(seed=int(seed), faults=tuple(faults))
+
+
+def make_node_fault_plan(seed: int, nodes: int, *, horizon: float = 2e7,
+                         downs: int = 1, degrades: int = 0) -> FaultPlan:
+    """Draw a deterministic node-scoped :class:`FaultPlan` from a seed.
+
+    The fleet analogue of :func:`make_fault_plan`: ``nodes`` is the
+    fleet size (fault nodes are drawn uniformly from it), ``downs`` and
+    ``degrades`` count the :class:`NodeDown` / :class:`NodeDegrade`
+    windows to draw inside ``horizon``.  Same pure-seeded discipline —
+    everything derives from a private ``random.Random(seed)``, so a
+    ``(fleet spec, fault_seed)`` pair replays bit-identically.
+    """
+    if nodes < 1:
+        raise ValueError(f"nodes must be >= 1, got {nodes}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    for name, count in (("downs", downs), ("degrades", degrades)):
+        if count < 0:
+            raise ValueError(f"{name} must be >= 0, got {count}")
+    rng = random.Random(int(seed))
+    faults = []
+    for _ in range(downs):
+        start = rng.uniform(*_WINDOW_START_FRAC) * horizon
+        duration = rng.uniform(*_NODE_DOWN_LENGTH_FRAC) * horizon
+        faults.append(NodeDown(start=start, duration=duration,
+                               node=rng.randrange(nodes)))
+    for _ in range(degrades):
+        start = rng.uniform(*_WINDOW_START_FRAC) * horizon
+        duration = rng.uniform(*_WINDOW_LENGTH_FRAC) * horizon
+        faults.append(NodeDegrade(
+            start=start, duration=duration, node=rng.randrange(nodes),
+            factor=rng.uniform(*_DEGRADE_FACTOR_RANGE)))
     return FaultPlan(seed=int(seed), faults=tuple(faults))

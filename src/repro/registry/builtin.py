@@ -33,6 +33,9 @@ Factory calling conventions (the registration contract, DESIGN.md §8):
   fault injection and the session skips the resilience runtime
   entirely; ``channels`` is the target system's PIM/DRAM channel count
   so seeded plans draw valid fault channels.
+* ``router``: ``factory(num_nodes, **options) -> RoutingPolicy`` — the
+  fleet dispatch policy of the cluster tier (:mod:`repro.cluster`);
+  ``num_nodes`` is the fleet size.
 """
 
 from __future__ import annotations
@@ -73,6 +76,7 @@ def register_builtins(registry: ComponentRegistry) -> None:
     _register_schedulers(registry)
     _register_fidelity(registry)
     _register_faults(registry)
+    _register_routers(registry)
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +183,13 @@ def _register_traffic(registry: ComponentRegistry) -> None:
             enumerate(traffic.replay_requests))
         return Workload(arrivals=arrivals)
 
+    def external(traffic, **options):
+        """Streaming traffic with no arrivals of its own (router-fed)."""
+        if options:
+            raise ValueError(f"unknown external traffic option(s) "
+                             f"{sorted(options)}")
+        return Workload(arrivals=())
+
     registry.register("traffic", "warmed", warmed,
                       description="sampled warmed generation batches "
                                   "(measurement)")
@@ -188,6 +199,9 @@ def _register_traffic(registry: ComponentRegistry) -> None:
     registry.register("traffic", "replay", replay,
                       option_names=("start_id",),
                       description="explicit trace replay")
+    registry.register("traffic", "external", external,
+                      description="empty streaming workload; requests "
+                                  "arrive via pool.submit (fleet nodes)")
 
 
 # ----------------------------------------------------------------------
@@ -284,3 +298,55 @@ def _register_faults(registry: ComponentRegistry) -> None:
                       description="seeded deterministic fault plan "
                                   "(channel degrade/stall, KV windows, "
                                   "request aborts)")
+
+
+# ----------------------------------------------------------------------
+# Fleet routing policies (the cluster tier).
+# ----------------------------------------------------------------------
+
+def _register_routers(registry: ComponentRegistry) -> None:
+    def round_robin(num_nodes, **options):
+        """Cycle dispatches over the healthy nodes in index order."""
+        from repro.cluster.policies import RoundRobinPolicy
+        if options:
+            raise ValueError(f"unknown round-robin option(s) "
+                             f"{sorted(options)}")
+        return RoundRobinPolicy(num_nodes)
+
+    def least_loaded(num_nodes, **options):
+        """Send each request to the node with the lowest estimated load."""
+        from repro.cluster.policies import LeastLoadedPolicy
+        if options:
+            raise ValueError(f"unknown least-loaded option(s) "
+                             f"{sorted(options)}")
+        return LeastLoadedPolicy(num_nodes)
+
+    def affinity(num_nodes, **options):
+        """Pin request id hashes to nodes (next healthy on failure)."""
+        from repro.cluster.policies import SessionAffinityPolicy
+        if options:
+            raise ValueError(f"unknown affinity option(s) "
+                             f"{sorted(options)}")
+        return SessionAffinityPolicy(num_nodes)
+
+    def power_of_two(num_nodes, **options):
+        """Sample two healthy nodes per request, pick the less loaded."""
+        from repro.cluster.policies import PowerOfTwoPolicy
+        seed = int(options.pop("seed", 0))
+        if options:
+            raise ValueError(f"unknown power-of-two option(s) "
+                             f"{sorted(options)}")
+        return PowerOfTwoPolicy(num_nodes, seed=seed)
+
+    registry.register("router", "round-robin", round_robin,
+                      description="cycle over healthy nodes (default)")
+    registry.register("router", "least-loaded", least_loaded,
+                      description="lowest estimated load from "
+                                  "ChannelLoadTracker rollups")
+    registry.register("router", "affinity", affinity,
+                      description="session affinity by request id "
+                                  "(next healthy node on failover)")
+    registry.register("router", "p2c", power_of_two,
+                      option_names=("seed",),
+                      description="power-of-two-choices with a seeded "
+                                  "deterministic sampler")

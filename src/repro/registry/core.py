@@ -37,7 +37,8 @@ from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Tuple, Union)
 
 #: The component kinds a scenario is assembled from.
-KINDS = ("system", "scheduler", "traffic", "kv", "fidelity", "faults")
+KINDS = ("system", "scheduler", "traffic", "kv", "fidelity", "faults",
+         "router")
 
 #: Canonical frozen encoding of an option dict: sorted ``(key, value)``
 #: pairs, with nested mappings/sequences frozen recursively.

@@ -25,6 +25,11 @@ clock in cycles at emission.  The taxonomy:
   :class:`RequestShed` — the fault/recovery taxonomy emitted when a
   :class:`~repro.faults.resilience.ResilienceRuntime` is attached
   (``faults`` component or resilience knobs in the spec).
+* :class:`NodeMarkedDown` / :class:`NodeRecovered` /
+  :class:`RequestFailedOver` / :class:`FleetShedding` — the fleet
+  taxonomy the cluster tier's :class:`~repro.cluster.router.Router`
+  emits on its own bus (health transitions, failover re-dispatch,
+  watermark backpressure).
 """
 
 from __future__ import annotations
@@ -129,12 +134,56 @@ class RequestShed(ServingEvent):
     waited: float
 
 
+@dataclass(frozen=True)
+class NodeMarkedDown(ServingEvent):
+    """The router convicted a fleet node after ``failures`` failed probes."""
+
+    node: int
+    failures: int
+
+
+@dataclass(frozen=True)
+class NodeRecovered(ServingEvent):
+    """A downed node passed its post-cooldown probe and rejoined."""
+
+    node: int
+    down_for: float
+
+
+@dataclass(frozen=True)
+class RequestFailedOver(ServingEvent):
+    """A request left a downed node and was re-dispatched elsewhere.
+
+    ``to_node`` is ``-1`` while no healthy node exists (the request is
+    parked in the router queue and re-dispatched on recovery);
+    ``restore_cycles`` is the recompute cost re-basing its arrival.
+    """
+
+    request_id: int
+    from_node: int
+    to_node: int
+    restore_cycles: float
+
+
+@dataclass(frozen=True)
+class FleetShedding(ServingEvent):
+    """The router shed an arrival: surviving-fleet KV pressure crossed
+    the admission watermark (``pressure`` recent events in window)."""
+
+    request_id: int
+    pressure: int
+
+
 __all__ = [
     "FaultInjected",
+    "FleetShedding",
     "IterationCompleted",
     "KvPressure",
     "NodeDegraded",
+    "NodeMarkedDown",
+    "NodeRecovered",
     "RequestAdmitted",
+    "RequestFailedOver",
     "RequestRetired",
     "RequestRetried",
     "RequestShed",

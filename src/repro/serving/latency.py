@@ -122,6 +122,8 @@ class LatencyTracker:
         self._outputs: Dict[int, int] = {}
         #: execution clock: the end time of the last observed iteration
         self._clock = 0.0
+        #: memoized :meth:`report`, dropped on new observations
+        self._report_cache: Optional[LatencyReport] = None
 
     @property
     def clock(self) -> float:
@@ -155,6 +157,7 @@ class LatencyTracker:
         # generated advances after the executor returns; the last
         # iteration a request appears in is its completion.
         self._completion[rid] = end
+        self._report_cache = None
 
     def has_first_token(self, request_id: int) -> bool:
         """Whether the request has produced its first token yet."""
@@ -163,6 +166,7 @@ class LatencyTracker:
     def note_completion(self, request_id: int, end: float) -> None:
         """Refresh a request's completion time (grouped-engine sync)."""
         self._completion[request_id] = end
+        self._report_cache = None
 
     def wrap(self, executor, clock_start: float = 0.0):
         """Wrap a BatchExecutor, recording per-request progress.
@@ -183,7 +187,14 @@ class LatencyTracker:
         return run
 
     def report(self) -> LatencyReport:
-        """Build the latency report for all requests seen."""
+        """Build the latency report for all requests seen.
+
+        The report is memoized until the next observation lands (the
+        session result and any fleet-level merge both read it), so
+        callers must treat the returned report as read-only.
+        """
+        if self._report_cache is not None:
+            return self._report_cache
         report = LatencyReport()
         for rid, first in sorted(self._first_token.items()):
             report.add(RequestLatency(
@@ -193,6 +204,7 @@ class LatencyTracker:
                 completion_time=self._completion[rid],
                 output_tokens=max(1, self._outputs.get(rid, 1)),
             ))
+        self._report_cache = report
         return report
 
 

@@ -125,6 +125,10 @@ class RequestPool:
             return list(view)
         return view[:bisect_right(self._waiting_arrivals, now)]
 
+    def waiting_count(self) -> int:
+        """Number of waiting requests (no scan, no sort)."""
+        return len(self._buckets[RequestStatus.WAITING])
+
     def has_waiting_arrived(self, now: float) -> bool:
         """Whether any waiting request has arrived by ``now`` (O(1) after
         the cached arrival-sorted view is built)."""

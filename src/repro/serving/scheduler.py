@@ -261,6 +261,42 @@ class IterationScheduler:
                                            request_id=request.request_id))
         return len(done)
 
+    def flush_finished(self) -> int:
+        """Retire finished requests *now* (a router/failover hook).
+
+        Identical to the retirement performed at the next iteration
+        boundary; exposed so the fleet router can settle a node's
+        genuinely completed requests before extracting the rest for
+        failover.  Call :meth:`sync_grouped` first when stepping under
+        grouping.
+        """
+        return self._retire()
+
+    def release_request(self, request: InferenceRequest) -> None:
+        """Detach ``request`` from this node's stack without an outcome.
+
+        The failover extraction path: frees the KV allocation, drops the
+        load-tracker contribution, evicts from the pool (detaching the
+        status observer so another pool may accept the request) and
+        resets it to a channel-less ``WAITING`` state.  Unlike
+        :meth:`_terminate` no terminal outcome is recorded — the request
+        lives on, on some other node.
+        """
+        rid = request.request_id
+        if self.load_tracker is not None and \
+                request.status is RequestStatus.RUNNING:
+            self.load_tracker.remove(request)
+        if self.allocators is not None and request.channel is not None:
+            self.allocators[request.channel].release(rid)
+        self.pool.evict(rid)
+        if self.resilience is not None:
+            self.resilience.attempts.pop(rid, None)
+            self.resilience.deadline_base.pop(rid, None)
+            if self.resilience.preempting is not None:
+                self.resilience.preempting.preempted.pop(rid, None)
+        request.status = RequestStatus.WAITING
+        request.channel = None
+
     # ------------------------------------------------------------------
     # Resilience (deadlines, retries, shedding, fault windows).
     # ------------------------------------------------------------------

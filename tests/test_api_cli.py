@@ -195,7 +195,7 @@ class TestComponents:
         payload = read_json(out)
         kinds = {entry["kind"] for entry in payload}
         assert kinds == {"system", "scheduler", "traffic", "kv",
-                         "fidelity", "faults"}
+                         "fidelity", "faults", "router"}
 
     def test_kind_filter_and_bad_kind(self, capsys):
         assert main(["components", "--kind", "scheduler"]) == 0
@@ -235,3 +235,51 @@ class TestComponents:
         # replay stays JSON-spec only: no flags can carry the triples.
         assert main(["run", *FAST_RUN, "--traffic", "replay"]) == 2
         assert "replay_requests" in capsys.readouterr().err
+
+
+class TestFaultFlags:
+    FAULT_RUN = ["run", "--model", "gpt3-7b", "--fidelity", "analytic",
+                 "--layers-resident", "2", "--traffic", "poisson",
+                 "--rate", "0.02", "--horizon", "2e5",
+                 "--max-requests", "6"]
+
+    def test_fault_seed_implies_seeded_component(self):
+        from repro.api.cli import build_parser
+        args = build_parser().parse_args(
+            [*self.FAULT_RUN, "--fault-seed", "7"])
+        spec = build_spec(args)
+        assert spec.faults == "seeded"
+        assert spec.options_for("faults") == {"seed": 7}
+
+    def test_explicit_component_name_is_kept(self):
+        from repro.api.cli import build_parser
+        args = build_parser().parse_args([*self.FAULT_RUN,
+                                          "--faults", "none"])
+        assert build_spec(args).faults == "none"
+
+    def test_faulted_run_round_trips_through_spec_json(self, tmp_path):
+        from repro.api import ScenarioSpec, run_scenario
+        out = tmp_path / "faulted.json"
+        assert main([*self.FAULT_RUN, "--faults", "seeded",
+                     "--fault-seed", "3", "--json", str(out)]) == 0
+        payload = read_json(out)
+        assert payload["spec"]["faults"] == "seeded"
+        assert payload["spec"]["faults_options"] == {"seed": 3}
+        # The emitted spec fully reproduces the emitted result.
+        spec = ScenarioSpec.from_dict(payload["spec"])
+        assert run_scenario(spec).to_dict() == payload["result"]
+
+
+class TestChaosFleet:
+    def test_fleet_sweep_writes_report_and_passes(self, tmp_path, capsys):
+        out = tmp_path / "fleet-chaos.json"
+        assert main(["chaos", "--fleet", "--seeds", "1",
+                     "--json", str(out)]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+        report = read_json(out)
+        assert report["violations"] == []
+        assert {cell["mode"] for cell in report["cells"]} == \
+            {"batch", "stream"}
+        for cell in report["cells"]:
+            assert cell["completed"] + cell["timed_out"] + cell["shed"] \
+                + cell["aborted"] == cell["requests"]

@@ -1,0 +1,209 @@
+"""The cluster tier: fleet specs, routing policies, failover, results.
+
+Unit tests pin the policy strategies and the FleetSpec/FleetResult
+round-trips; the integration tests pin the tentpole invariants — a
+1-node fleet is bit-identical to a plain Session, node kills conserve
+every request through failover, runs are deterministic per (spec,
+fault seed), group-commit chunking never changes the payload, and
+parallel fleet sweeps merge identically to serial ones.
+"""
+
+import json
+
+import pytest
+
+from repro.api import ScenarioSpec, ServingSpec, Session, TrafficSpec
+from repro.cluster import (FleetHealthSpec, FleetResult, FleetSpec,
+                           LeastLoadedPolicy, PowerOfTwoPolicy,
+                           RoundRobinPolicy, Router, RoutingPolicy,
+                           SessionAffinityPolicy, run_fleet, run_fleets)
+from repro.faults.chaos import fleet_chaos_spec
+
+FAST_NODE = ScenarioSpec(
+    model="gpt3-7b", system="neupims", layers_resident=2,
+    fidelity="analytic",
+    serving=ServingSpec(max_batch_size=8, deadline_cycles=6e7,
+                        max_retries=1, retry_backoff_cycles=2e5))
+
+
+def small_fleet(**updates):
+    """A fast 2-node fleet with a short Poisson stream."""
+    defaults = dict(
+        nodes=(FAST_NODE, FAST_NODE),
+        traffic=TrafficSpec.poisson(rate_per_kcycle=0.02,
+                                    horizon_cycles=1e6, seed=7,
+                                    max_requests=8))
+    defaults.update(updates)
+    return FleetSpec(**defaults)
+
+
+class TestFleetSpec:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            FleetSpec(nodes=())
+
+    def test_rejects_non_scenario_nodes(self):
+        with pytest.raises(TypeError, match="ScenarioSpec"):
+            FleetSpec(nodes=({"model": "gpt3-7b"},))
+
+    def test_rejects_external_traffic(self):
+        with pytest.raises(ValueError, match="poisson or replay"):
+            small_fleet(traffic=TrafficSpec(kind="external"))
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown router policy"):
+            small_fleet(policy="teleport")
+
+    def test_rejects_bad_watermark_and_window(self):
+        with pytest.raises(ValueError, match="shed_watermark"):
+            small_fleet(shed_watermark=0)
+        with pytest.raises(ValueError, match="pressure_window"):
+            small_fleet(pressure_window_cycles=0.0)
+
+    def test_health_knob_validation(self):
+        with pytest.raises(ValueError):
+            FleetHealthSpec(probe_interval_cycles=0.0)
+        with pytest.raises(ValueError):
+            FleetHealthSpec(fail_threshold=0)
+        with pytest.raises(ValueError):
+            FleetHealthSpec(cooldown_cycles=-1.0)
+
+    def test_homogeneous_builder(self):
+        fleet = FleetSpec.homogeneous(FAST_NODE, 4, policy="least-loaded")
+        assert fleet.num_nodes == 4
+        assert all(node == FAST_NODE for node in fleet.nodes)
+        assert fleet.policy == "least-loaded"
+        with pytest.raises(ValueError, match="count"):
+            FleetSpec.homogeneous(FAST_NODE, 0)
+
+    def test_dict_round_trip_through_json(self):
+        fleet = small_fleet(policy="p2c",
+                            policy_options={"seed": 3},
+                            fault_seed=5,
+                            fault_options={"horizon": 2e7, "downs": 1},
+                            shed_watermark=4, label="rt")
+        payload = json.loads(json.dumps(fleet.to_dict()))
+        clone = FleetSpec.from_dict(payload)
+        assert clone == fleet
+        assert clone.to_dict() == fleet.to_dict()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = small_fleet().to_dict()
+        data["replicas"] = 3
+        with pytest.raises(ValueError, match="replicas"):
+            FleetSpec.from_dict(data)
+
+
+class TestRoutingPolicies:
+    def test_base_validates_fleet_size(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            RoutingPolicy(0)
+
+    def test_round_robin_cycles_and_skips_down_nodes(self):
+        policy = RoundRobinPolicy(4)
+        all_up = [0, 1, 2, 3]
+        load = [0.0] * 4
+        assert [policy.choose(i, all_up, load) for i in range(5)] == \
+            [0, 1, 2, 3, 0]
+        # Node 2 goes down: the rotation continues from the cursor,
+        # skipping it, and 2 re-enters in place once healthy again.
+        degraded = [0, 1, 3]
+        assert [policy.choose(i, degraded, load) for i in range(3)] == \
+            [1, 3, 0]
+        assert policy.choose(9, all_up, load) == 1
+
+    def test_least_loaded_min_with_index_tiebreak(self):
+        policy = LeastLoadedPolicy(3)
+        assert policy.choose(0, [0, 1, 2], [2.0, 1.0, 3.0]) == 1
+        assert policy.choose(0, [0, 1, 2], [1.0, 1.0, 1.0]) == 0
+        # Load entries of unhealthy nodes are ignored even when lowest.
+        assert policy.choose(0, [1, 2], [0.0, 5.0, 4.0]) == 2
+
+    def test_affinity_pins_home_and_spills_forward(self):
+        policy = SessionAffinityPolicy(4)
+        load = [0.0] * 4
+        assert policy.choose(5, [0, 1, 2, 3], load) == 1
+        assert policy.choose(5, [0, 2, 3], load) == 2   # home 1 down
+        assert policy.choose(3, [0, 1], load) == 0      # wraps past 3
+
+    def test_power_of_two_is_seed_deterministic(self):
+        healthy = [0, 1, 2, 3]
+        load = [4.0, 1.0, 3.0, 2.0]
+        a = PowerOfTwoPolicy(4, seed=9)
+        b = PowerOfTwoPolicy(4, seed=9)
+        seq_a = [a.choose(i, healthy, load) for i in range(20)]
+        seq_b = [b.choose(i, healthy, load) for i in range(20)]
+        assert seq_a == seq_b
+        assert set(seq_a) <= set(healthy)
+        # A single healthy node needs no sampling at all.
+        assert PowerOfTwoPolicy(4, seed=9).choose(0, [2], load) == 2
+
+
+class TestSingleNodeEquivalence:
+    def test_one_node_fleet_matches_plain_session_bit_identically(self):
+        fleet = small_fleet(nodes=(FAST_NODE,))
+        fleet_result = run_fleet(fleet)
+        plain = Session(FAST_NODE.override(traffic=fleet.traffic)).run()
+        assert fleet_result.nodes[0].to_dict() == plain.to_dict()
+        assert fleet_result.ledger["requests"] == len(plain.requests)
+        assert fleet_result.ledger["failed_over"] == 0
+        assert fleet_result.conserved()
+
+
+class TestFailover:
+    def test_node_kill_conserves_every_request(self):
+        result = run_fleet(fleet_chaos_spec(0))
+        assert result.conserved()
+        assert result.ledger["failed_over"] > 0
+        assert {s["status"] for s in result.statuses} <= \
+            {"completed", "timed_out", "shed", "aborted"}
+        events = {entry["event"] for entry in result.node_log}
+        assert "down" in events, \
+            "the seeded NodeDown never tripped the health model"
+        assert "failover" in events
+
+    def test_deterministic_per_spec_and_seed(self):
+        fleet = fleet_chaos_spec(1)
+        assert run_fleet(fleet).to_dict() == run_fleet(fleet).to_dict()
+
+    def test_group_step_chunking_never_changes_payload(self):
+        fleet = small_fleet(fault_seed=1,
+                            fault_options={"horizon": 2e7, "downs": 1})
+        batch = Router(fleet)
+        batch.materialize()
+        stepped = Router(fleet)
+        stepped.max_group_steps = 1
+        stepped.materialize()
+        assert batch.run().to_dict() == stepped.run().to_dict()
+
+
+class TestFleetResult:
+    def test_round_trip_through_json(self):
+        result = run_fleet(small_fleet())
+        payload = json.loads(json.dumps(result.to_dict()))
+        clone = FleetResult.from_dict(payload)
+        assert clone.to_dict() == result.to_dict()
+        assert clone.conserved() == result.conserved()
+        assert clone.num_nodes == result.num_nodes
+
+    def test_summary_rows_render(self):
+        rows = run_fleet(small_fleet()).summary_rows()
+        metrics = [name for name, _ in rows]
+        for expected in ("policy", "nodes", "requests", "completed",
+                         "failed over"):
+            assert expected in metrics
+
+
+class TestRunFleets:
+    def test_parallel_merge_identical_to_serial(self):
+        fleets = [small_fleet(),
+                  small_fleet(policy="least-loaded")]
+        serial = run_fleets(fleets)
+        pooled = run_fleets(fleets, parallel=2)
+        assert [r.to_dict() for r in serial] == \
+            [r.to_dict() for r in pooled]
+
+    def test_accepts_spec_dicts(self):
+        fleet = small_fleet()
+        assert run_fleet(fleet.to_dict()).to_dict() == \
+            run_fleet(fleet).to_dict()

@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "compile_model.py",
     "serving_simulation.py",
     "slo_monitor.py",
+    "fleet_failover.py",
 ]
 
 

@@ -144,6 +144,46 @@ class TestCrashRecovery:
             ProcessPoolBackend(max_retries=-1)
 
 
+def run_fault_cell(seed):
+    """Worker-picklable: one seeded chaos cell to a RunResult."""
+    from repro.api import Session
+    from repro.faults.chaos import chaos_spec
+    return Session(chaos_spec(seed)).run()
+
+
+class TestResilienceAggregation:
+    """`aggregate_resilience` merges worker counters like a serial loop."""
+
+    def test_parallel_merge_matches_serial(self):
+        from repro.api import aggregate_resilience
+        from repro.exec import ParallelRunner
+        seeds = [0, 1, 2]
+        serial = [run_fault_cell(seed) for seed in seeds]
+        pooled = ParallelRunner(parallel=2, chunk_size=1).map(
+            run_fault_cell, seeds)
+        merged = aggregate_resilience(serial)
+        assert aggregate_resilience(pooled) == merged
+        # The rollup is plain per-key integer addition: every counter
+        # key any cell produced survives, nothing is invented.
+        keys = set()
+        for result in serial:
+            keys |= set(result.resilience)
+            for key, value in result.resilience.items():
+                assert merged[key] >= value
+        assert set(merged) == keys
+        assert merged["completed"] == sum(
+            r.resilience.get("completed", 0) for r in serial)
+        assert merged["completed"] > 0
+
+    def test_empty_and_counterless_results_merge_to_nothing(self):
+        from repro.api import ScenarioSpec, Session, aggregate_resilience
+        assert aggregate_resilience([]) == {}
+        plain = Session(ScenarioSpec(model="gpt3-7b", fidelity="analytic",
+                                     layers_resident=2)).run()
+        assert plain.resilience == {}
+        assert aggregate_resilience([plain, plain]) == {}
+
+
 class TestFaultyBackend:
     def test_crashing_tasks_retry_and_match_serial(self):
         tasks = [TaskSpec(square, (i,)) for i in range(5)]

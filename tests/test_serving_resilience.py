@@ -217,6 +217,86 @@ class TestLatencyPenalties:
         assert executor(batch) == pytest.approx(LATENCY)
 
 
+class TestRetryExhaustion:
+    """Persistent stalls exhaust retries into exactly one terminal status.
+
+    A :class:`ChannelStall` covering every channel for the whole run
+    guarantees each attempt blows its deadline, so every request walks
+    the full retry ladder and must land in ``timed_out`` exactly once —
+    no double-retire, and the pool observer is detached on the way out.
+    The behaviour must be identical under ``grouping="auto"`` and
+    ``"off"`` (resilience stands the grouped fast path down).
+    """
+
+    @staticmethod
+    def _register_stall_wall():
+        from repro.registry import REGISTRY
+
+        def stall_wall(serving, channels, **options):
+            """Persistent stall on every channel (test-only component)."""
+            stall = float(options.pop("stall_cycles", 1e6))
+            if options:
+                raise ValueError(f"unknown faults option(s) "
+                                 f"{sorted(options)} for 'stall-wall'")
+            faults = tuple(
+                ChannelStall(start=0.0, duration=1e15, channel=channel,
+                             stall_cycles=stall)
+                for channel in range(max(1, channels)))
+            return FaultInjector(FaultPlan(seed=0, faults=faults))
+
+        REGISTRY.register("faults", "stall-wall", stall_wall,
+                          option_names=("stall_cycles",), replace=True)
+
+    def _spec(self, grouping):
+        self._register_stall_wall()
+        return ScenarioSpec(
+            **FAST, system="neupims",
+            traffic=TrafficSpec.poisson(rate_per_kcycle=0.02,
+                                        horizon_cycles=2e5, seed=5,
+                                        max_requests=3),
+            serving=ServingSpec(max_batch_size=4, grouping=grouping,
+                                deadline_cycles=5e5, max_retries=1,
+                                retry_backoff_cycles=1e5),
+            faults="stall-wall")
+
+    @pytest.mark.parametrize("grouping", ["auto", "off"])
+    def test_exhausted_retries_terminate_exactly_once(self, grouping):
+        retired = []
+        session = Session(self._spec(grouping))
+        session.events.subscribe(RequestRetired, retired.append)
+        session.materialize()
+        submitted = session.scheduler.pool.waiting()
+        assert len(submitted) == 3
+        result = session.run()
+
+        # Exactly one terminal status per request, all timed out.
+        assert {r["status"] for r in result.requests} == {"timed_out"}
+        assert sorted(r["request_id"] for r in result.requests) == [0, 1, 2]
+        per_request = {}
+        for event in retired:
+            per_request[event.request_id] = \
+                per_request.get(event.request_id, 0) + 1
+        assert per_request == {0: 1, 1: 1, 2: 1}, "double retire"
+
+        # Every attempt blew its deadline: max_retries + 1 timeouts per
+        # request, the final one terminal.
+        assert result.resilience["timed_out"] == 3
+        assert result.resilience["retries"] == 3
+        assert result.resilience["timeouts"] == 6
+        assert result.resilience.get("completed", 0) == 0
+
+        # The pool drained and detached its status observers, so stale
+        # callbacks cannot corrupt the buckets after retirement.
+        assert len(session.scheduler.pool) == 0
+        for request in submitted:
+            assert "_status_observer" not in request.__dict__
+
+    def test_grouping_modes_agree_bit_identically(self):
+        auto = Session(self._spec("auto")).run()
+        off = Session(self._spec("off")).run()
+        assert auto.to_dict() == off.to_dict()
+
+
 class TestSessionNeutrality:
     def _spec(self, **serving):
         return ScenarioSpec(
