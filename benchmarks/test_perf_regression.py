@@ -375,6 +375,43 @@ def test_faults_disabled_serving_baseline(benchmark):
     record(benchmark, values)
 
 
+def test_counters_disabled_serving_baseline(benchmark):
+    """The counters subsystem's zero-overhead-when-disabled gate.
+
+    The serving bench runs with the counters component at its default
+    (``counters="none"`` — the factory returns ``None`` and every
+    producer skips its charging branch): the simulated metrics must
+    stay bit-identical to the committed baseline, and the
+    grouped-engine wall-clock speedup must stay within 5% of the
+    baseline anchor — the same single-``is not None``-branch budget the
+    faults layer is held to.
+    """
+    from repro.api.bench import compare_to_baseline, run_serving_bench
+    from repro.api.bench import serving_bench_spec
+    from repro.api.session import Session
+
+    spec = serving_bench_spec(64, "auto")
+    assert spec.counters == "none"
+    session = Session(spec)
+    result = session.run()
+    assert session.counters is None
+    assert not result.counters and "counters" not in result.to_dict()
+
+    baseline_path = os.path.join(os.path.dirname(__file__),
+                                 "serving_bench_baseline.json")
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    values = run_serving_bench(num_requests=1024, repeats=3)
+    problems = compare_to_baseline(values, baseline, tolerance=0.05)
+    assert not problems, "; ".join(problems)
+
+    benchmark.pedantic(
+        lambda: run_serving_bench(num_requests=64, repeats=1),
+        rounds=1, iterations=1)
+    emit("counters_disabled_serving", values)
+    record(benchmark, values)
+
+
 def test_single_node_router_serving_baseline(benchmark):
     """The cluster tier's zero-overhead-when-disabled gate.
 

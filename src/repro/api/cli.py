@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line over the scenario API.
 
-Six subcommands share one scenario vocabulary:
+Seven subcommands share one scenario vocabulary:
 
 * ``run`` — execute a single :class:`~repro.api.ScenarioSpec` (built
   from flags or loaded from a JSON file) and print its summary;
@@ -14,10 +14,16 @@ Six subcommands share one scenario vocabulary:
   conservation/determinism invariants (the CI chaos-smoke gate; see
   :mod:`repro.faults.chaos`); ``--fleet`` targets the cluster tier
   instead (seeded node kills against a routed fleet);
+* ``refute`` — the cross-fidelity counter refutation harness
+  (:mod:`repro.counters.refute`): sweep a scenario grid across both
+  fidelity tiers, diff their typed counter vectors against per-counter
+  tolerance bounds and print the worst-offending cells (the CI
+  ``refute-smoke`` gate); the emitted profile drives
+  ``fidelity="auto"``;
 * ``components`` — list the :mod:`repro.registry` component table
   (systems, schedulers, traffic models, KV allocators, fidelity
-  engines, fault plans), including anything user code registered
-  before invoking the CLI programmatically.
+  engines, fault plans, counter collectors), including anything user
+  code registered before invoking the CLI programmatically.
 
 ``--system`` and ``--scheduler`` accept any *registered* name — not
 just the built-ins — so a module that ``@register``\\ s a policy and
@@ -331,6 +337,48 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_refute(args: argparse.Namespace) -> int:
+    """``repro refute``: cross-fidelity counter refutation.
+
+    Sweeps the hardware-region x sequence-length grid through both
+    fidelity tiers (:func:`repro.counters.refute.run_refute`), prints
+    the per-counter worst-offending cells and every tolerance-bound
+    violation; any violation fails the command — the CI
+    ``refute-smoke`` contract.  The report (``--json``) embeds the
+    :class:`~repro.counters.profile.FidelityProfile` the sweep implies,
+    ready to feed ``fidelity="auto"`` via ``fidelity_options``.
+    """
+    from repro.counters.refute import run_refute
+    seq_lens = None
+    if args.seq_lens:
+        seq_lens = tuple(int(s) for s in args.seq_lens.split(",")
+                         if s.strip())
+    report = run_refute(model=args.model or "gpt3-7b", seq_lens=seq_lens,
+                        audit_fraction=args.audit_fraction,
+                        seed=args.seed)
+    rows = [(name, f"{entry['drift']:.3f}",
+             f"{report['bounds'][name]:.3f}", entry["region"],
+             entry["seq_len"], entry["op"])
+            for name, entry in report["worst"].items()]
+    print(format_table(
+        ["counter", "worst drift", "bound", "region", "seq_len", "op"],
+        rows, title=f"cross-fidelity refutation ({report['model']}, "
+                    f"{len(report['cells'])} cells)"))
+    _dump_json(args.json_path, report)
+    if report["violations"]:
+        for violation in report["violations"]:
+            print(f"refuted: {violation['counter']} drift "
+                  f"{violation['drift']:.3f} > bound "
+                  f"{violation['bound']:.3f} at {violation['region']} "
+                  f"seq_len={violation['seq_len']} {violation['op']}",
+                  file=sys.stderr)
+        return 1
+    print(f"refute: {len(report['cells'])} cells within bounds; "
+          f"profile default "
+          f"{report['profile'].get('default', 'analytic')}")
+    return 0
+
+
 def cmd_components(args: argparse.Namespace) -> int:
     """``repro components``: the registered component table."""
     from repro.registry import describe_components
@@ -420,12 +468,35 @@ def build_parser() -> argparse.ArgumentParser:
                                    "JSON")
     chaos_parser.set_defaults(handler=cmd_chaos)
 
+    refute_parser = subparsers.add_parser(
+        "refute", help="diff the fidelity tiers' typed counters against "
+                       "tolerance bounds")
+    refute_parser.add_argument("--model", default=None,
+                               help="model registry name "
+                                    "(default gpt3-7b)")
+    refute_parser.add_argument("--seq-lens", default=None,
+                               dest="seq_lens",
+                               help="comma-separated sequence-length "
+                                    "grid (default 128,512,1536)")
+    refute_parser.add_argument("--audit-fraction", type=float, default=0.0,
+                               dest="audit_fraction",
+                               help="fraction of analytic regions the "
+                                    "emitted profile re-checks at cycle "
+                                    "fidelity (default 0)")
+    refute_parser.add_argument("--seed", type=int, default=0,
+                               help="seed for the profile's audit draws")
+    refute_parser.add_argument("--json", metavar="FILE", default=None,
+                               dest="json_path",
+                               help="also dump the refutation report "
+                                    "(with its FidelityProfile) as JSON")
+    refute_parser.set_defaults(handler=cmd_refute)
+
     components_parser = subparsers.add_parser(
         "components", help="list the registered scenario components")
     components_parser.add_argument("--kind", default=None,
                                    help="restrict to one component kind "
                                         "(system/scheduler/traffic/kv/"
-                                        "fidelity/faults)")
+                                        "fidelity/faults/counters)")
     components_parser.add_argument("--json", metavar="FILE", default=None,
                                    dest="json_path",
                                    help="also dump the table as JSON")

@@ -41,6 +41,7 @@ from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
 
 from repro.api.spec import ScenarioSpec
 from repro.core.config import NeuPimsConfig
+from repro.counters.report import CounterReport
 from repro.core.device import IterationResult, NeuPimsDevice
 from repro.core.estimator import MhaLatencyEstimator
 from repro.core.system import NeuPimsSystem, ParallelismScheme
@@ -51,7 +52,8 @@ from repro.faults.resilience import (ResiliencePolicy, ResilienceRuntime,
                                      resilient_executor)
 from repro.model.spec import ModelSpec
 from repro.registry import REGISTRY, Workload
-from repro.serving.events import IterationCompleted, ServingEvent
+from repro.serving.events import (CountersSampled, IterationCompleted,
+                                  ServingEvent)
 from repro.serving.grouping import GroupedExecutor
 from repro.serving.latency import LatencyTracker
 from repro.serving.pool import RequestPool
@@ -84,6 +86,12 @@ class RunResult:
     resilience runtime was active; both are empty — and omitted from
     :meth:`to_dict` — when not applicable, so pre-resilience payloads
     keep their exact shape.
+
+    ``counters`` is the run's typed hardware counter rollup
+    (:class:`~repro.counters.report.CounterReport`), populated when the
+    scenario's ``counters`` component is not ``"none"``; like the
+    resilience fields it is omitted from :meth:`to_dict` when empty so
+    built-in-only payloads keep their pre-counters JSON shape.
     """
 
     kind: str
@@ -103,6 +111,7 @@ class RunResult:
     records: Tuple[Dict[str, float], ...] = ()
     requests: Tuple[Dict[str, Any], ...] = ()
     resilience: Dict[str, int] = field(default_factory=dict)
+    counters: CounterReport = field(default_factory=CounterReport)
 
     def summary_rows(self) -> List[Tuple[str, object]]:
         """(metric, value) rows for table rendering (CLI and examples)."""
@@ -153,6 +162,8 @@ class RunResult:
             data["requests"] = [dict(r) for r in self.requests]
         if self.resilience:
             data["resilience"] = dict(self.resilience)
+        if self.counters:
+            data["counters"] = self.counters.to_dict()
         return data
 
     @classmethod
@@ -166,6 +177,8 @@ class RunResult:
         payload["requests"] = tuple(dict(r)
                                     for r in payload.get("requests", ()))
         payload["resilience"] = dict(payload.get("resilience", {}))
+        payload["counters"] = CounterReport.from_dict(
+            payload.get("counters", {}))
         return cls(**payload)
 
 
@@ -202,6 +215,16 @@ class Session:
         #: uses it to apply node-degrade derates.  While set, the
         #: grouped fast path stands down (grouped windows bypass the
         #: executor), keeping the wrapper authoritative per iteration.
+        #:
+        #: Ordering contract: the wrapper composes *outside* any
+        #: resilience wrap and *inside* the latency tracker, i.e.
+        #: ``tracker(wrapper(resilient(inner)))``.  Wrappers that only
+        #: observe (pure latency pass-throughs, such as
+        #: :func:`repro.counters.collect.counting_executor`) must
+        #: commute with latency-scaling wrappers (fleet degrades) on
+        #: every simulated metric — either composition order yields
+        #: bit-identical results, a contract pinned by the
+        #: executor-wrapper regression tests in ``tests/test_counters``.
         self.executor_wrapper: Optional[
             Callable[[Callable[[Sequence[InferenceRequest]], float]],
                      Callable[[Sequence[InferenceRequest]], float]]] = None
@@ -218,6 +241,14 @@ class Session:
         self.latency_tracker: Optional[LatencyTracker] = None
         #: fault injector from the ``faults`` component (``None`` off)
         self.fault_injector = None
+        #: typed counter collector from the ``counters`` component
+        #: (``None`` for ``counters="none"``, the zero-overhead default)
+        self.counters = None
+        # Every request that ever entered the pool, for build-time KV
+        # page-churn accounting (the pool forgets retired requests, and
+        # externally fed sessions — fleet nodes — have no arrivals).
+        # Only populated while a counter collector is attached.
+        self._counter_requests: Dict[int, InferenceRequest] = {}
         #: resilience runtime; only built when faults or knobs are set
         self.resilience: Optional[ResilienceRuntime] = None
         #: typed serving events (zero-overhead while unsubscribed)
@@ -257,7 +288,10 @@ class Session:
 
     def _build_device(self) -> Any:
         """Construct the system-under-test through the registry."""
-        estimator = REGISTRY.create("fidelity", self.fidelity, self,
+        # The *declared* fidelity name resolves the factory (so the
+        # profile-guided ``auto`` component sees its ``profile`` option);
+        # ``self.fidelity`` stays the resolved tier for reporting.
+        estimator = REGISTRY.create("fidelity", self.spec.fidelity, self,
                                     **self.spec.options_for("fidelity"))
         return REGISTRY.create(
             "system", self.spec.system, self.model_spec, self.config,
@@ -283,6 +317,12 @@ class Session:
             self.device = self.system.device
         else:
             self.device = self._build_device()
+        self.counters = REGISTRY.create(
+            "counters", self.spec.counters, self,
+            **self.spec.options_for("counters"))
+        if self.counters is not None \
+                and hasattr(self.device, "attach_counters"):
+            self.device.attach_counters()
         traffic = self.spec.traffic
         self.workload = REGISTRY.create(
             "traffic", traffic.kind, traffic,
@@ -299,6 +339,21 @@ class Session:
         serving = self.spec.serving
         self.arrivals = tuple(workload.arrivals)
         self.pool = RequestPool()
+        if self.counters is not None:
+            # KV page churn must charge identically whether requests
+            # arrive from the traffic model or an external feeder (a
+            # fleet router submitting into the pool), and the pool
+            # forgets retired requests — so shadow every submission
+            # session-side.  ``submit_all`` routes through ``submit``,
+            # so the instance override below sees both.
+            tracked = self._counter_requests
+            inner_submit = self.pool.submit
+
+            def tracking_submit(request: InferenceRequest) -> None:
+                inner_submit(request)
+                tracked[request.request_id] = request
+
+            self.pool.submit = tracking_submit
         self.pool.submit_all(self.arrivals)
         is_neupims = isinstance(self.device, NeuPimsDevice)
         channels = self.device.channel_pool if is_neupims else 1
@@ -423,6 +478,13 @@ class Session:
         self._external_bytes += result.external_bytes
         for key, value in result.busy.items():
             self._busy[key] = self._busy.get(key, 0.0) + value
+        if self.counters is not None and result.counters:
+            self.counters.charge(result.counters)
+            events = self.events
+            if events.active:
+                events.emit(CountersSampled(
+                    time=self._latency_acc,
+                    counters=tuple(sorted(result.counters.items()))))
 
     # ------------------------------------------------------------------
     # Execution.
@@ -555,6 +617,40 @@ class Session:
                 / (self.config.org.total_bandwidth * seconds))
         return utilization
 
+    def _kv_page_churn(self) -> float:
+        """KV pages (paged-allocator blocks) turned over by the run.
+
+        Defined as the blocks needed to hold each pool request's final
+        context (:meth:`~repro.serving.paging.PagedKvAllocator.blocks_for`
+        over ``input_len + generated``), summed over every request that
+        ever entered the pool — a pure function of terminal request
+        state, so the charge is bit-identical across grouping modes,
+        stream-vs-batch consumption, and external (fleet-router) feeds.
+        """
+        if not self.allocators or not self._counter_requests:
+            return 0.0
+        allocator = self.allocators[0]
+        return float(sum(
+            allocator.blocks_for(req.input_len + req.generated)
+            for req in self._counter_requests.values()))
+
+    def _counter_report(self) -> CounterReport:
+        """Freeze the run's typed counters (empty when disabled).
+
+        Built afresh at result-build time — the iteration charges live
+        in the collector and the KV churn is a pure function of request
+        state, so calling this (or :meth:`result`) repeatedly never
+        double-charges.
+        """
+        if self.counters is None:
+            return CounterReport()
+        totals = self.counters.snapshot()
+        churn = self._kv_page_churn()
+        if churn:
+            totals["kv.page_churn"] = totals.get("kv.page_churn",
+                                                 0.0) + churn
+        return CounterReport.from_mapping(totals)
+
     def _energy_per_token(self, tokens: int) -> Optional[float]:
         """Estimated mJ/token from the aggregated busy profile."""
         if not self._busy or self._latency_acc <= 0 or tokens <= 0:
@@ -638,6 +734,7 @@ class Session:
             utilization=self._utilization(),
             energy_per_token_mj=self._energy_per_token(int(total_tokens)),
             records=tuple(records),
+            counters=self._counter_report(),
         )
 
     def _build_serving_result(self) -> RunResult:
@@ -689,6 +786,7 @@ class Session:
             records=records,
             requests=request_records,
             resilience=resilience_summary,
+            counters=self._counter_report(),
         )
 
 

@@ -264,11 +264,11 @@ _CONFIG_FLAGS = frozenset((
 #: Per-component option-dict fields (stored as canonical frozen pairs).
 _OPTION_FIELDS = ("system_options", "scheduler_options",
                   "traffic_options", "kv_options", "fidelity_options",
-                  "faults_options")
+                  "faults_options", "counters_options")
 #: Component-name fields omitted from ``to_dict`` at their defaults so
 #: built-in-only specs keep their pre-registry JSON shape.
 _COMPONENT_DEFAULTS = (("scheduler", "iteration"), ("kv", "paged"),
-                       ("faults", "none"))
+                       ("faults", "none"), ("counters", "none"))
 #: ServingSpec resilience fields omitted from ``to_dict`` at their
 #: defaults so pre-resilience serving payloads keep their JSON shape.
 _SERVING_PRUNED_DEFAULTS = (("deadline_cycles", None), ("max_retries", 0),
@@ -308,17 +308,20 @@ class ScenarioSpec:
         simulation (memoized per hardware config); ``"auto"`` picks per
         the DESIGN.md §7 rules (cycle for device-level warmed
         measurements on PIM systems, analytic otherwise).
-    scheduler / kv / faults:
+    scheduler / kv / faults / counters:
         Registered component names for the serving scheduler, the
         paged-KV allocator family (``kv`` applies when
-        ``serving.paged_kv`` is set) and the fault-injection plan
+        ``serving.paged_kv`` is set), the fault-injection plan
         (``"none"`` disables injection at zero overhead; ``"seeded"``
-        draws a deterministic plan from ``faults_options["seed"]``).
+        draws a deterministic plan from ``faults_options["seed"]``)
+        and the typed-counter collector (``"none"`` disables counter
+        collection at zero overhead; ``"typed"`` rolls the
+        :mod:`repro.counters` taxonomy into ``RunResult.counters``).
         Like ``system`` and ``traffic.kind``, these resolve through
         :mod:`repro.registry`, so a ``@register("scheduler",
         "my-policy")`` class sweeps like any built-in.
     system_options / scheduler_options / traffic_options / kv_options /
-    fidelity_options / faults_options:
+    fidelity_options / faults_options / counters_options:
         Per-component option dicts forwarded to the factories at
         materialization.  Accepted as plain dicts, stored as canonical
         frozen pairs (specs stay hashable/picklable), and JSON
@@ -339,19 +342,22 @@ class ScenarioSpec:
     scheduler: str = "iteration"
     kv: str = "paged"
     faults: str = "none"
+    counters: str = "none"
     system_options: FrozenOptions = ()
     scheduler_options: FrozenOptions = ()
     traffic_options: FrozenOptions = ()
     kv_options: FrozenOptions = ()
     fidelity_options: FrozenOptions = ()
     faults_options: FrozenOptions = ()
+    counters_options: FrozenOptions = ()
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Component names normalize to lower case (registry lookups are
         # case-insensitive) so the downstream comparisons — energy
         # anchors, feature forcing, fidelity rules — see one spelling.
-        for name in ("system", "scheduler", "kv", "fidelity", "faults"):
+        for name in ("system", "scheduler", "kv", "fidelity", "faults",
+                     "counters"):
             value = getattr(self, name)
             if not isinstance(value, str):
                 raise ValueError(f"{name} must be a component name "
@@ -361,6 +367,7 @@ class ScenarioSpec:
         get_component("scheduler", self.scheduler)
         get_component("kv", self.kv)
         get_component("faults", self.faults)
+        get_component("counters", self.counters)
         if self.fidelity != "auto":
             get_component("fidelity", self.fidelity)
         for name in _OPTION_FIELDS:
@@ -383,6 +390,9 @@ class ScenarioSpec:
             if self.fidelity == "cycle":
                 raise ValueError("cycle fidelity is device-level only; "
                                  "use fidelity='analytic' with pp")
+            if self.counters != "none":
+                raise ValueError("typed counters are device-engine only; "
+                                 "use counters='none' with pp")
         # The built-in non-PIM baselines have nothing to calibrate; a
         # user-registered system decides for itself (its factory rejects
         # the estimator if unsupported, per the registration contract).
@@ -428,9 +438,23 @@ class ScenarioSpec:
         return thaw_options(getattr(self, field_name))
 
     def resolve_fidelity(self) -> str:
-        """``"analytic"`` or ``"cycle"`` per the DESIGN.md §7 rules."""
+        """``"analytic"`` or ``"cycle"`` per the DESIGN.md §7 rules.
+
+        With a refutation-derived profile shipped in
+        ``fidelity_options["profile"]``, ``"auto"`` becomes
+        profile-guided: the :class:`~repro.counters.profile.
+        FidelityProfile` picks the tier for this spec's scenario region
+        (deterministic, including its seeded audit promotions).
+        Without a profile, the static rules apply: cycle for
+        device-level warmed measurements on PIM systems, analytic
+        otherwise.
+        """
         if self.fidelity != "auto":
             return self.fidelity
+        payload = self.options_for("fidelity").get("profile")
+        if payload is not None:
+            from repro.counters.profile import FidelityProfile
+            return FidelityProfile.from_dict(payload).resolve(self)
         if (self.system in ("neupims", "npu-pim") and self.pp is None
                 and self.traffic.kind == "warmed"):
             return "cycle"
@@ -547,7 +571,7 @@ class ScenarioSpec:
         elif "config" in data:
             kwargs["config"] = None
         for name in ("system", "tp", "pp", "layers_resident", "fidelity",
-                     "scheduler", "kv", "faults", "label"):
+                     "scheduler", "kv", "faults", "counters", "label"):
             if name in data:
                 kwargs[name] = data[name]
         for name in _OPTION_FIELDS:

@@ -54,6 +54,9 @@ class IterationResult:
     busy: Dict[str, float] = field(default_factory=dict)
     external_bytes: float = 0.0
     internal_pim_bytes: float = 0.0
+    #: typed counter vector of the iteration (empty unless a counter
+    #: model is attached; see :mod:`repro.counters`)
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def utilization(self, name: str) -> float:
         """Busy fraction of the named unit over the iteration."""
@@ -161,6 +164,11 @@ class NeuPimsDevice:
         #: admission-time bin packing starts from its loads instead of
         #: assuming idle channels.
         self.load_tracker: Optional[ChannelLoadTracker] = None
+        #: Optional analytic-tier counter model (see
+        #: :meth:`attach_counters`); when attached, iteration results are
+        #: annotated with typed counter vectors before entering the
+        #: replay memo, so memo hits replay counters too.
+        self.counter_model = None
         self._rr_cursor = 0
         # Per-class MHA contributions, keyed by seq_len.  Every
         # contribution (GEMV estimate, softmax time, internal KV bytes)
@@ -204,6 +212,17 @@ class NeuPimsDevice:
         self.load_tracker = ChannelLoadTracker(self.estimator,
                                                self.channel_pool)
         return self.load_tracker
+
+    def attach_counters(self):
+        """Create and attach the analytic-tier typed counter model.
+
+        Returns the :class:`~repro.counters.model.DeviceCounterModel`;
+        subsequent iterations carry their counter vectors on
+        :attr:`IterationResult.counters`.
+        """
+        from repro.counters.model import DeviceCounterModel
+        self.counter_model = DeviceCounterModel(self)
+        return self.counter_model
 
     # ------------------------------------------------------------------
     # Channel assignment (Algorithm 2 or round robin).
@@ -263,10 +282,7 @@ class NeuPimsDevice:
         t_ffn = sum(self.npu.gemm_cycles(g, dtype) for g in ffns)
         bytes_moved = (qkv.bytes_moved(dtype) + proj.bytes_moved(dtype)
                        + sum(g.bytes_moved(dtype) for g in ffns))
-        sys_cfg = self.config.npu.systolic
-        arrays = self.config.npu.num_systolic_arrays
-        ideal = sum(g.flops for g in (qkv, proj, *ffns)) \
-            / (2 * sys_cfg.macs_per_cycle * arrays)
+        ideal = self.npu.systolic_busy_cycles(qkv, proj, *ffns)
         stage = GemmStage(qkv_cycles=t_qkv, projffn_cycles=t_proj + t_ffn,
                           external_bytes=float(bytes_moved),
                           compute_cycles=float(ideal))
@@ -414,6 +430,11 @@ class NeuPimsDevice:
             if cached is not None:
                 return cached
             result = self._serialized_classes(plan.batch_size, hist)
+        if self.counter_model is not None:
+            # Annotate a copy (interleave-memo objects are shared across
+            # plan signatures) so the counter vector enters the replay
+            # memo with the timing — memo hits replay counters exactly.
+            result = self.counter_model.annotate(result, hist)
         if len(self._iteration_memo) >= 2048:
             self._iteration_memo.clear()
         self._iteration_memo[signature] = result

@@ -20,11 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.dram.timing import HbmOrganization, PimTiming, TimingParams
 from repro.model.spec import ModelSpec
 from repro.pim.engine import CalibratedLatencies
+from repro.pim.gemv import GemvOp, mha_gemv_ops
 
 
 def analytic_latencies(timing: Optional[TimingParams] = None,
@@ -100,6 +101,17 @@ class MhaLatencyEstimator:
             1.0, logit_pages * self.spec.num_heads)
         latency += self.latencies.l_tile * n_tiles
         return latency
+
+    def mha_gemv_ops(self, seq_len: int) -> Tuple[GemvOp, GemvOp]:
+        """The logit/attend GEMV geometry this estimator prices.
+
+        Counters hook: the refutation harness and the analytic counter
+        model derive wave counts, row activations and C/A-bus cost from
+        these ops — the same shapes the cycle tier lowers to command
+        streams (:func:`repro.pim.gemv.mha_gemv_ops` is the single
+        source) — so cross-tier counter diffs compare like with like.
+        """
+        return mha_gemv_ops(self.spec.num_heads, self.spec.head_dim, seq_len)
 
     def estimate(self, seq_len: int) -> float:
         """Total estimated MHA latency for one request (Algorithm 1)."""

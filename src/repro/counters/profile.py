@@ -1,0 +1,168 @@
+"""Profile-guided fidelity: the store behind ``fidelity="auto"``.
+
+Closes the PGO loop over the refutation harness (see PAPERS.md): a
+:class:`FidelityProfile` records, per scenario region, whether the
+analytic tier's counter vectors survived refutation against the cycle
+tier.  ``fidelity="auto"`` consults the profile (shipped in a spec's
+``fidelity_options["profile"]`` as a plain JSON payload, so it freezes,
+pickles through :class:`~repro.exec.ParallelRunner` and round-trips the
+CLI) and picks analytic or cycle per region — keeping fleet-scale sweeps
+fast where the analytic tier is proven honest and falling back to cycle
+accuracy where it drifted.
+
+Scenario regions key on the hardware features that change the PIM
+command encoding — the composite ISA and the dual-row-buffer bank —
+because those are exactly the axes the refutation grid sweeps.
+Decisions are deterministic and seedable: an ``audit_fraction`` of
+scenarios in analytic regions is promoted to cycle fidelity via a
+stable hash of the scenario payload, so long sweeps keep re-checking
+the profile's own assumptions without any RNG state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+#: The two fidelity tiers a profile can assign to a region.
+TIERS = ("analytic", "cycle")
+
+
+def region_key(composite: bool, dual_row_buffer: bool) -> str:
+    """Canonical region name for one PIM command-encoding configuration."""
+    encoding = "composite" if composite else "fine"
+    buffer = "dual" if dual_row_buffer else "blocked"
+    return f"{encoding}:{buffer}"
+
+
+def spec_region(spec) -> str:
+    """The refutation region a :class:`ScenarioSpec` falls into."""
+    config = spec.resolve_config()
+    return region_key(config.composite_isa, config.dual_row_buffer)
+
+
+def _audit_draw(seed: int, token: str) -> float:
+    """Deterministic uniform draw in [0, 1) from a seed and a token."""
+    digest = hashlib.sha256(f"{seed}:{token}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FidelityProfile:
+    """Per-region analytic-vs-cycle decisions learned from refutation.
+
+    Attributes
+    ----------
+    regions:
+        Canonical sorted ``(region, tier)`` pairs; regions absent from
+        the profile use ``default``.
+    default:
+        Tier for unknown regions (``"analytic"``).
+    audit_fraction:
+        Fraction of analytic-region scenarios promoted to cycle
+        fidelity as honesty audits (deterministic per scenario).
+    seed:
+        Seed for the audit hash, so distinct sweeps audit distinct
+        scenario subsets while every decision stays reproducible.
+    """
+
+    regions: Tuple[Tuple[str, str], ...] = ()
+    default: str = "analytic"
+    audit_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.default not in TIERS:
+            raise ValueError(f"unknown default tier {self.default!r}")
+        for region, tier in self.regions:
+            if tier not in TIERS:
+                raise ValueError(f"unknown tier {tier!r} for region "
+                                 f"{region!r}")
+        if not 0.0 <= self.audit_fraction <= 1.0:
+            raise ValueError("audit_fraction must be in [0, 1]")
+        object.__setattr__(self, "regions",
+                           tuple(sorted(self.regions)))
+
+    @classmethod
+    def from_refutation(cls, report: Mapping[str, Any],
+                        audit_fraction: float = 0.0,
+                        seed: int = 0) -> "FidelityProfile":
+        """Build a profile from a refutation report payload.
+
+        Regions where every swept cell stayed within the per-counter
+        bounds run analytic; regions with any violation are pinned to
+        cycle fidelity.
+        """
+        violated = {cell["region"] for cell in report.get("violations", ())}
+        regions = tuple(sorted(
+            (region, "cycle" if region in violated else "analytic")
+            for region in {cell["region"] for cell in report.get("cells", ())}
+        ))
+        return cls(regions=regions, audit_fraction=audit_fraction, seed=seed)
+
+    def tier_for(self, region: str) -> str:
+        """The profiled tier for one region (``default`` if unknown)."""
+        for key, tier in self.regions:
+            if key == region:
+                return tier
+        return self.default
+
+    def decide(self, region: str, token: str) -> str:
+        """Final tier for a scenario: profiled region tier plus audits.
+
+        ``token`` is any stable serialization of the scenario; the same
+        (seed, token) always decides the same way.
+        """
+        tier = self.tier_for(region)
+        if tier == "analytic" and self.audit_fraction > 0.0 \
+                and _audit_draw(self.seed, token) < self.audit_fraction:
+            return "cycle"
+        return tier
+
+    def resolve(self, spec) -> str:
+        """Tier for a :class:`ScenarioSpec`, honoring spec constraints.
+
+        Cycle fidelity is device-level and PIM-only; scenarios the cycle
+        tier cannot serve (pipeline-parallel system engine, non-PIM
+        baselines) stay analytic whatever the profile says.
+        """
+        token = json.dumps(spec.to_dict(), sort_keys=True, default=str)
+        tier = self.decide(spec_region(spec), token)
+        if tier == "cycle" and (spec.pp is not None or spec.system not in
+                                ("neupims", "npu-pim")):
+            return "analytic"
+        return tier
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON payload (round-trips through :meth:`from_dict`)."""
+        payload: Dict[str, Any] = {
+            "regions": {region: tier for region, tier in self.regions},
+        }
+        if self.default != "analytic":
+            payload["default"] = self.default
+        if self.audit_fraction:
+            payload["audit_fraction"] = self.audit_fraction
+        if self.seed:
+            payload["seed"] = self.seed
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FidelityProfile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        if not isinstance(payload, Mapping):
+            raise TypeError("FidelityProfile.from_dict expects a mapping")
+        known = {"regions", "default", "audit_fraction", "seed"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown FidelityProfile field(s) "
+                             f"{sorted(unknown)}; known: {sorted(known)}")
+        regions = payload.get("regions", {})
+        return cls(
+            regions=tuple(sorted((str(k), str(v))
+                                 for k, v in dict(regions).items())),
+            default=payload.get("default", "analytic"),
+            audit_fraction=float(payload.get("audit_fraction", 0.0)),
+            seed=int(payload.get("seed", 0)),
+        )

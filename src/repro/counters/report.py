@@ -1,0 +1,115 @@
+"""Typed counter taxonomy and the frozen :class:`CounterReport` rollup.
+
+The counters subsystem confronts the two fidelity tiers (analytic
+Algorithm-1 estimates vs command-level DRAM/PIM replay) with a shared
+vocabulary of hardware event counters, in the spirit of CounterPoint's
+counter-based model refutation (see PAPERS.md).  Both tiers charge the
+same six typed counters:
+
+``dram.row_activations``
+    DRAM row activations, counting every bank a wave opens (an all-bank
+    ``PIM_GEMV`` wave charges ``banks_per_channel`` activations).
+``dram.ca_busy_cycles``
+    Command/address bus occupancy in cycles (PIM commands occupy the bus
+    for 2-4 cycles; regular commands for 1).
+``dram.refresh_stalls``
+    ``REF`` commands issued while PIM work was resident (each stalls the
+    channel for ``tRFC``).
+``pim.gemv_issue_slots``
+    Dot-product wave issue slots consumed by GEMVs (one per all-bank
+    wave, whether issued as ``PIM_DOTPRODUCT`` or inside ``PIM_GEMV``).
+``npu.systolic_busy_cycles``
+    Ideal MAC-limited systolic-array cycles of the iteration's GEMMs.
+``kv.page_churn``
+    KV-cache pages (paged-allocator blocks) touched by request
+    lifecycles over the run.
+
+Charges roll up into :class:`CounterReport`: frozen, canonically sorted,
+and JSON-round-tripping, so reports compare bit-for-bit across grouping
+modes, stream-vs-batch consumption, and process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+#: Canonical counter names, sorted; both fidelity tiers charge these.
+COUNTER_NAMES: Tuple[str, ...] = (
+    "dram.ca_busy_cycles",
+    "dram.refresh_stalls",
+    "dram.row_activations",
+    "kv.page_churn",
+    "npu.systolic_busy_cycles",
+    "pim.gemv_issue_slots",
+)
+
+
+@dataclass(frozen=True)
+class CounterReport:
+    """Frozen rollup of typed counter charges.
+
+    ``counters`` holds canonical ``(name, value)`` pairs sorted by name
+    with zero entries dropped, so two reports built from the same charges
+    — in any charge order, on either side of a pickle or JSON round trip
+    — compare equal bit for bit.
+    """
+
+    counters: Tuple[Tuple[str, float], ...] = ()
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, float]) -> "CounterReport":
+        """Canonicalize a name->value mapping into a report."""
+        pairs = tuple(sorted((str(name), float(value))
+                             for name, value in mapping.items()
+                             if float(value) != 0.0))
+        return cls(counters=pairs)
+
+    @classmethod
+    def merge(cls, reports: Iterable["CounterReport"]) -> "CounterReport":
+        """Sum several reports counter-wise (fleet / sweep rollup)."""
+        totals: Dict[str, float] = {}
+        for report in reports:
+            for name, value in report.counters:
+                totals[name] = totals.get(name, 0.0) + value
+        return cls.from_mapping(totals)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Value of one counter (0.0 when never charged)."""
+        for key, value in self.counters:
+            if key == name:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain name->value dict (sorted insertion order)."""
+        return dict(self.counters)
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON payload: the sorted name->value mapping."""
+        return self.as_dict()
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, float]) -> "CounterReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls.from_mapping(payload)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters)
+
+    def drift(self, other: "CounterReport") -> Dict[str, float]:
+        """Relative per-counter drift vs ``other`` (the refutation diff).
+
+        For each counter charged by either side, returns
+        ``|a - b| / max(|a|, |b|)`` (0.0 when both are zero) — a
+        symmetric relative error the refutation harness checks against
+        per-counter tolerance bounds.
+        """
+        names = {name for name, _ in self.counters}
+        names.update(name for name, _ in other.counters)
+        out: Dict[str, float] = {}
+        for name in sorted(names):
+            a, b = self.get(name), other.get(name)
+            scale = max(abs(a), abs(b))
+            out[name] = abs(a - b) / scale if scale > 0.0 else 0.0
+        return out

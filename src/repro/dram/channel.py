@@ -211,6 +211,7 @@ class Channel:
         start = self._book_ca(t, ca_bus_cycles(cmd.ctype))
         bank.activate(BufferTarget.MEM, cmd.row, start)
         self._record_acts(start, 1)
+        self.stats.add("dram.row_activations")
         return IssueRecord(cmd, start, self._ca_free_at,
                            start + self.timing.tRCD)
 
@@ -284,6 +285,7 @@ class Channel:
         for b in cmd.banks:
             self.banks[b].activate(target, cmd.row, start)
         self._record_acts(start, len(cmd.banks))
+        self.stats.add("dram.row_activations", len(cmd.banks))
         end = start + self.timing.tRCD
         if not self.dual_row_buffer:
             for b in cmd.banks:
@@ -372,6 +374,10 @@ class Channel:
             for bank in self.banks:
                 bank.begin_pim_hold(end)
         self.stats.add("pim.gemv_waves", cmd.k)
+        # The internal sequencer activates one row in every bank per wave;
+        # charge the typed activation counter the all-bank total so the
+        # composite and fine-grained encodings account identically.
+        self.stats.add("dram.row_activations", cmd.k * len(self.banks))
         return IssueRecord(cmd, start, self._ca_free_at, end)
 
     # ------------------------------------------------------------------

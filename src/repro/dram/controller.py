@@ -393,6 +393,32 @@ class MemoryController:
             registries.append(self.channel.stats)
         return registries
 
+    def counter_view(self) -> Dict[str, float]:
+        """Typed counter vector measured from the command-level simulation.
+
+        Maps the controller/channel stat registries onto the counter
+        taxonomy of :mod:`repro.counters.report` (the cycle tier of the
+        refutation harness).  GEMV issue slots count dot-product waves
+        whether they were issued as explicit ``PIM_DOTPRODUCT`` commands
+        (fine-grained encoding) or sequenced inside ``PIM_GEMV``
+        (composite encoding); refresh stalls count issued ``REF``
+        commands.  Because every constituent stat is charged through
+        :meth:`~repro.dram.channel.Channel.issue` and scaled
+        arithmetically by the :meth:`drain_fast` replay deltas, the view
+        is bit-identical between :meth:`drain` and :meth:`drain_fast`.
+        """
+        totals: Dict[str, float] = {}
+        for registry in self._stat_registries():
+            for name, value in registry.as_dict().items():
+                totals[name] = totals.get(name, 0.0) + value
+        return {
+            "dram.ca_busy_cycles": float(self.channel.ca_busy_cycles),
+            "dram.refresh_stalls": totals.get("refresh.issued", 0.0),
+            "dram.row_activations": totals.get("dram.row_activations", 0.0),
+            "pim.gemv_issue_slots": (totals.get("pim.gemv_waves", 0.0)
+                                     + totals.get("cmd.PIM_DOTPRODUCT", 0.0)),
+        }
+
     def _observe_boundary(self, queue: Deque[Command],
                           history: Dict[tuple, _RunBoundary],
                           log: List[Command]) -> bool:

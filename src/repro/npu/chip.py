@@ -88,6 +88,18 @@ class NpuChip:
         memory = self._bytes_cycles(gemm.bytes_moved(dtype_bytes))
         return max(compute, memory)
 
+    def systolic_busy_cycles(self, *gemms: GemmShape) -> float:
+        """Ideal MAC-limited cycles of one or more GEMMs.
+
+        The ``npu.systolic_busy_cycles`` typed counter: the time the
+        systolic arrays spend doing useful MACs, excluding memory stalls
+        — the numerator of Table 4's NPU compute utilization and the
+        device tier's NPU occupancy charge.
+        """
+        flops = sum(gemm.flops for gemm in gemms)
+        return flops / (2 * self.config.systolic.macs_per_cycle
+                        * self.config.num_systolic_arrays)
+
     def gemm_compute_utilization(self, gemm: GemmShape,
                                  dtype_bytes: int = 2) -> float:
         """Fraction of peak MACs achieved, including memory stalls."""

@@ -17,7 +17,8 @@ from repro.dram.channel import Channel
 from repro.dram.controller import ControllerConfig, MemoryController
 from repro.dram.timing import HbmOrganization, PimTiming, TimingParams
 from repro.model.spec import ModelSpec
-from repro.pim.gemv import GemvOp, composite_stream, fine_grained_stream
+from repro.pim.gemv import (GemvOp, composite_stream, fine_grained_stream,
+                            mha_gemv_ops)
 from repro.pim.layout import KvLayout
 
 
@@ -170,11 +171,8 @@ class PimChannelEngine:
 
     def mha_ops(self, seq_len: int, tag: str = "") -> Tuple[GemvOp, GemvOp]:
         """The logit and attend GEMVs of one request."""
-        logit = GemvOp(rows=seq_len * self.spec.num_heads,
-                       cols=self.spec.head_dim, tag=f"logit{tag}")
-        attend = GemvOp(rows=self.spec.head_dim * self.spec.num_heads,
-                        cols=seq_len, tag=f"attend{tag}")
-        return logit, attend
+        return mha_gemv_ops(self.spec.num_heads, self.spec.head_dim,
+                            seq_len, tag=tag)
 
     def run_requests(self, seq_lens: Sequence[int]) -> Tuple[float, List[MhaExecution]]:
         """Simulate the channel's MHA work; returns (total_cycles, per-request)."""

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import List
+from typing import List, Tuple
 
-from repro.dram.commands import Command, CommandType
+from repro.dram.commands import Command, CommandType, ca_bus_cycles
 from repro.dram.timing import HbmOrganization
 
 
@@ -115,3 +115,47 @@ def command_count(op: GemvOp, org: HbmOrganization, composite: bool,
     if composite:
         return len(composite_stream(op, org, dtype_bytes))
     return len(fine_grained_stream(op, org, dtype_bytes))
+
+
+def ca_bus_cost(op: GemvOp, org: HbmOrganization, composite: bool,
+                dtype_bytes: int = 2) -> int:
+    """Total C/A-bus busy cycles of one GEMV, computed arithmetically.
+
+    Prices the exact command composition of the two stream builders
+    through :func:`repro.dram.commands.ca_bus_cycles` without
+    materializing the streams — the analytic tier's prediction for the
+    ``dram.ca_busy_cycles`` counter (refresh-driven ``REF`` commands and
+    activation replays are deliberately excluded; they are the genuine
+    cross-tier drift the refutation harness measures).
+    """
+    waves = op.waves(org, dtype_bytes)
+    gwrites = op.gwrites(org, dtype_bytes)
+    cost = gwrites * ca_bus_cycles(CommandType.PIM_GWRITE)
+    if composite:
+        return cost + (ca_bus_cycles(CommandType.PIM_HEADER)
+                       + ca_bus_cycles(CommandType.PIM_GEMV)
+                       + ca_bus_cycles(CommandType.PIM_PRECHARGE))
+    per_wave = (org.bank_groups * ca_bus_cycles(CommandType.PIM_ACTIVATION)
+                + ca_bus_cycles(CommandType.PIM_DOTPRODUCT)
+                + ca_bus_cycles(CommandType.PIM_PRECHARGE))
+    return cost + waves * per_wave + ca_bus_cycles(CommandType.PIM_RDRESULT)
+
+
+def mha_gemv_ops(num_heads: int, head_dim: int, seq_len: int,
+                 tag: str = "") -> Tuple[GemvOp, GemvOp]:
+    """The logit and attend GEMVs of one request's MHA (§6.3 layout).
+
+    Single source of the MHA GEMV geometry: the cycle tier
+    (:meth:`repro.pim.engine.PimChannelEngine.mha_ops`), Algorithm 1's
+    estimator (:meth:`repro.core.estimator.MhaLatencyEstimator.mha_gemv_ops`)
+    and the analytic counter model all lower a request's attention to
+    these two shapes, so cross-tier counter comparisons diff the same
+    operations.
+    """
+    if seq_len <= 0:
+        raise ValueError("seq_len must be positive")
+    logit = GemvOp(rows=seq_len * num_heads, cols=head_dim,
+                   tag=f"logit{tag}")
+    attend = GemvOp(rows=head_dim * num_heads, cols=seq_len,
+                    tag=f"attend{tag}")
+    return logit, attend

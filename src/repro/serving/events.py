@@ -20,6 +20,11 @@ clock in cycles at emission.  The taxonomy:
   iteration needed (grouped-window boundary or mid-generation OOM).
 * :class:`WindowCommitted` — a group-commit steady-state window was
   synchronized back to per-request state (grouped engine only).
+* :class:`CountersSampled` — one iteration's typed counter vector
+  (:mod:`repro.counters` taxonomy), emitted when a ``counters``
+  component is materialized on the session; carries canonical sorted
+  pairs so subscribers can fold them into a
+  :class:`~repro.counters.report.CounterReport` directly.
 * :class:`FaultInjected` / :class:`NodeDegraded` /
   :class:`RequestTimedOut` / :class:`RequestRetried` /
   :class:`RequestShed` — the fault/recovery taxonomy emitted when a
@@ -35,7 +40,7 @@ clock in cycles at emission.  The taxonomy:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.serving.scheduler import IterationRecord
@@ -90,6 +95,19 @@ class WindowCommitted(ServingEvent):
     """A grouped steady-state window synchronized (``iterations`` deep)."""
 
     iterations: int
+
+
+@dataclass(frozen=True)
+class CountersSampled(ServingEvent):
+    """One device iteration's typed counter vector was charged.
+
+    ``counters`` holds canonical ``(name, value)`` pairs sorted by name
+    (the :data:`repro.counters.report.COUNTER_NAMES` taxonomy), so the
+    event is hashable like every other serving event and folds into a
+    :class:`~repro.counters.report.CounterReport` without re-sorting.
+    """
+
+    counters: Tuple[Tuple[str, float], ...]
 
 
 @dataclass(frozen=True)
@@ -175,6 +193,7 @@ class FleetShedding(ServingEvent):
 
 
 __all__ = [
+    "CountersSampled",
     "FaultInjected",
     "FleetShedding",
     "IterationCompleted",

@@ -195,7 +195,7 @@ class TestComponents:
         payload = read_json(out)
         kinds = {entry["kind"] for entry in payload}
         assert kinds == {"system", "scheduler", "traffic", "kv",
-                         "fidelity", "faults", "router"}
+                         "fidelity", "faults", "router", "counters"}
 
     def test_kind_filter_and_bad_kind(self, capsys):
         assert main(["components", "--kind", "scheduler"]) == 0

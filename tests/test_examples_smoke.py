@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "serving_simulation.py",
     "slo_monitor.py",
     "fleet_failover.py",
+    "fidelity_audit.py",
 ]
 
 

@@ -15,7 +15,7 @@ PACKAGES = [
     "repro", "repro.sim", "repro.model", "repro.dram", "repro.pim",
     "repro.npu", "repro.serving", "repro.core", "repro.baselines",
     "repro.compiler", "repro.analysis", "repro.perf", "repro.api",
-    "repro.registry", "repro.faults", "repro.cluster",
+    "repro.registry", "repro.faults", "repro.cluster", "repro.counters",
 ]
 
 
